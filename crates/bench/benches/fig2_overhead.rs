@@ -1,0 +1,48 @@
+//! Criterion bench for the Fig. 2 experiment: regenerates the table once,
+//! then benchmarks the cost of one full-stack cell (a complete simulated
+//! training job through the platform).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dlaas_bench::fig2;
+use dlaas_bench::harness::print_table;
+
+fn regenerate_table() {
+    let results = fig2::run_all(2018, 200);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.cell.model.to_string(),
+                r.cell.framework.to_string(),
+                r.cell.gpus.to_string(),
+                format!("{:.2}%", r.measured_pct),
+                format!("{:.2}%", r.cell.paper_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 (bench regeneration, 200 iters)",
+        &["Benchmark", "Framework", "#GPUs", "ours", "paper"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("full_stack_cell_vgg16_caffe_1gpu", |b| {
+        let cell = &fig2::cells()[0];
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig2::run_cell(seed, cell, 100))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

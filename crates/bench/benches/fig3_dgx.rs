@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 3 experiment: regenerates the table once,
+//! then benchmarks one DLaaS-vs-DGX cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dlaas_bench::fig3;
+use dlaas_bench::harness::print_table;
+
+fn regenerate_table() {
+    let results = fig3::run_all(2018, 200);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.cell.model.to_string(),
+                r.cell.gpus.to_string(),
+                format!("{:.2}%", r.measured_pct),
+                format!("{:.2}%", r.cell.paper_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 (bench regeneration, 200 iters)",
+        &["Benchmark", "#GPUs", "ours", "paper"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("full_stack_cell_vgg16_2gpu_vs_dgx1", |b| {
+        let cell = &fig3::cells()[5];
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig3::run_cell(seed, cell, 100))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the Fig. 4 experiment: regenerates the recovery
+//! table once, then benchmarks single recovery measurements on a live
+//! platform rig.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dlaas_bench::fig4::{self, Component};
+use dlaas_bench::harness::print_table;
+
+fn regenerate_table() {
+    let results = fig4::run_all(2018, 3);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.to_string(),
+                r.stats.range_secs(),
+                r.component.paper_range().to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 4 (bench regeneration, 3 trials)",
+        &["Component", "ours", "paper"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    group.bench_function("api_recovery_measurement", |b| {
+        let mut rig = fig4::rig(77);
+        b.iter(|| black_box(fig4::measure_once(&mut rig, Component::Api)));
+    });
+    group.bench_function("learner_recovery_measurement", |b| {
+        let mut rig = fig4::rig(78);
+        b.iter(|| black_box(fig4::measure_once(&mut rig, Component::Learner)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablation (§III-d): the Guardian's deploy-retry limit.
+//!
+//! The Guardian retries a failed deployment "a (configurable) number of
+//! times before `[it]` gives up and marks the DL job in MongoDB as FAILED".
+//! This sweep injects two Guardian crashes during deployment and varies
+//! the limit: limits ≤ 2 burn out and fail the job; limits ≥ 3 ride the
+//! faults out and complete it.
+//!
+//! Usage: `cargo run -p dlaas-bench --bin ablation_retry [seed]`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_bench::harness::BENCH_KEY;
+use dlaas_bench::harness::print_table;
+use dlaas_core::{paths, CoreConfig, DlaasPlatform, GpuNodeSpec, JobId, JobStatus,
+                 PlatformConfig, Tenant, TrainingManifest};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_kube::PodPhase;
+use dlaas_sim::{Sim, SimDuration};
+
+struct Outcome {
+    limit: u32,
+    crashes_injected: u32,
+    status: JobStatus,
+    attempts: i64,
+    wall_secs: f64,
+}
+
+fn run_one(seed: u64, limit: u32, crashes: u32) -> Outcome {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let cfg = PlatformConfig {
+        core: CoreConfig {
+            deploy_max_attempts: limit,
+            ..CoreConfig::default()
+        },
+        gpu_nodes: vec![GpuNodeSpec {
+            kind: GpuKind::K80,
+            count: 2,
+            gpus_each: 1,
+        }],
+        ..PlatformConfig::default()
+    };
+    let platform = DlaasPlatform::new(&mut sim, cfg);
+    platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
+    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform.seed_dataset("bench-data", "d/", 2_000_000_000);
+    platform.create_bucket("bench-results");
+
+    let manifest = TrainingManifest::builder(format!("retry-{limit}"))
+        .framework(Framework::TensorFlow)
+        .model(DlModel::Resnet50)
+        .gpus(GpuKind::K80, 1)
+        .data("bench-data", "d/", 2_000_000_000)
+        .results("bench-results")
+        .iterations(500)
+        .build()
+        .expect("valid manifest");
+    let client = platform.client("bench", BENCH_KEY);
+    let got: Rc<RefCell<Option<JobId>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.submit(&mut sim, manifest, move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("accepted"));
+    });
+    sim.run_until_pred(|_| got.borrow().is_some());
+    let job = got.borrow().clone().unwrap();
+    let t0 = sim.now();
+    let gpod = paths::guardian_job(&job);
+
+    // Crash the Guardian during its first `crashes` deployment attempts.
+    let mut injected = 0;
+    while injected < crashes {
+        let s = platform.wait_for_status(&mut sim, &job, JobStatus::Deploying, SimDuration::from_mins(10));
+        if s.is_some_and(|s| s.is_terminal()) {
+            break; // gave up before we could inject them all
+        }
+        if platform.kube().pod_phase(&gpod) == Some(PodPhase::Running) {
+            platform.kube().crash_pod(&mut sim, &gpod);
+            injected += 1;
+            sim.run_for(SimDuration::from_secs(5));
+        } else {
+            sim.run_for(SimDuration::from_secs(1));
+        }
+    }
+
+    let end = platform
+        .wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12))
+        .unwrap_or(JobStatus::Failed);
+    let attempts = platform
+        .job_document(&job)
+        .and_then(|d| d.path("attempts").and_then(dlaas_docstore::Value::as_i64))
+        .unwrap_or(0);
+    Outcome {
+        limit,
+        crashes_injected: injected,
+        status: end,
+        attempts,
+        wall_secs: (sim.now() - t0).as_secs_f64(),
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2018);
+    eprintln!("injecting 2 guardian crashes during deploy; sweeping the retry limit (seed {seed})…");
+    let rows: Vec<Vec<String>> = [1u32, 2, 3, 5]
+        .iter()
+        .map(|limit| {
+            let o = run_one(seed, *limit, 2);
+            vec![
+                o.limit.to_string(),
+                o.crashes_injected.to_string(),
+                o.status.to_string(),
+                o.attempts.to_string(),
+                format!("{:.0}s", o.wall_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — Guardian deploy-retry limit under 2 injected deploy crashes",
+        &["retry limit", "crashes injected", "job outcome", "attempts used", "time to terminal"],
+        &rows,
+    );
+    println!("\nlimits ≤ the fault count fail the job (after full rollback);\nlarger limits ride the faults out and complete it.");
+}

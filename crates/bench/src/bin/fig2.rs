@@ -1,0 +1,68 @@
+//! Regenerates Figure 2: DLaaS vs IBM Cloud bare metal on K80s.
+//!
+//! Usage: `cargo run -p dlaas-bench --bin fig2 [seed] [iterations]`
+//!
+//! Each paper cell was a single measured run; `seed` plays the role of
+//! "which day the experiment ran" (it draws the per-run jitter).
+
+use dlaas_bench::fig2;
+use dlaas_bench::harness::print_table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2018);
+    let iterations: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!(
+        "running {} full-stack training jobs (seed {seed}, {iterations} iters, {trials} trial(s))…",
+        8 * trials
+    );
+    let trial_results: Vec<Vec<fig2::Fig2Result>> = (0..trials)
+        .map(|t| fig2::run_all(seed + t, iterations))
+        .collect();
+
+    let rows: Vec<Vec<String>> = (0..trial_results[0].len())
+        .map(|i| {
+            let cell = &trial_results[0][i].cell;
+            let pcts: Vec<f64> = trial_results.iter().map(|t| t[i].measured_pct).collect();
+            let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
+            let lo = pcts.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = pcts.iter().cloned().fold(f64::MIN, f64::max);
+            let ours = if trials > 1 {
+                format!("{mean:.2}% [{lo:.2}..{hi:.2}]")
+            } else {
+                format!("{mean:.2}%")
+            };
+            vec![
+                cell.model.to_string(),
+                cell.framework.to_string(),
+                cell.gpus.to_string(),
+                format!("{:.1}", trial_results[0][i].bare_metal),
+                format!("{:.1}", trial_results[0][i].dlaas),
+                ours,
+                format!("{:.2}%", cell.paper_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — Performance overhead of DLaaS vs bare metal (K80, 1GbE, COS data)",
+        &[
+            "Benchmark",
+            "Framework",
+            "#GPUs",
+            "bare img/s",
+            "DLaaS img/s",
+            "diff (ours)",
+            "diff (paper)",
+        ],
+        &rows,
+    );
+
+    let max = trial_results
+        .iter()
+        .flatten()
+        .map(|r| r.measured_pct)
+        .fold(f64::MIN, f64::max);
+    println!("\nmax overhead: {max:.2}% — the paper's claim: overhead is minimal (≤ ~6%)");
+}

@@ -1,0 +1,97 @@
+//! Workload soak: a Poisson stream of mixed training jobs against a
+//! shared cluster for several simulated hours, with optional chaos.
+//! Reports completion, turnaround and platform health — the capacity /
+//! dependability view an operator of the paper's platform would watch.
+//!
+//! Usage: `cargo run --release -p dlaas-bench --bin workload_soak [seed] [hours] [chaos:0|1]`
+
+use dlaas_bench::harness::{print_table, BENCH_KEY};
+use dlaas_bench::workload::{WorkloadConfig, WorkloadGenerator};
+use dlaas_core::{DlaasPlatform, GpuNodeSpec, PlatformConfig, Tenant};
+use dlaas_faults::ChaosMonkey;
+use dlaas_gpu::GpuKind;
+use dlaas_kube::labels;
+use dlaas_sim::{Sim, SimDuration};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2018);
+    let hours: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let chaos: bool = args.next().map(|s| s == "1").unwrap_or(false);
+
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let cfg = PlatformConfig {
+        core_nodes: 4,
+        gpu_nodes: vec![GpuNodeSpec {
+            kind: GpuKind::K80,
+            count: 8,
+            gpus_each: 4,
+        }],
+        ..PlatformConfig::default()
+    };
+    let platform = DlaasPlatform::new(&mut sim, cfg);
+    platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
+    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform.seed_dataset("wl-data", "d/", 1_000_000_000);
+    platform.create_bucket("wl-results");
+
+    eprintln!(
+        "soaking for {hours} simulated hours (seed {seed}, chaos {})…",
+        if chaos { "ON" } else { "off" }
+    );
+    let gen = WorkloadGenerator::start(
+        &mut sim,
+        platform.client("operator", BENCH_KEY),
+        WorkloadConfig::default(),
+    );
+    let monkey = chaos.then(|| {
+        ChaosMonkey::unleash(
+            &mut sim,
+            platform.kube(),
+            labels! {},
+            SimDuration::from_secs(60),
+            0.4,
+        )
+    });
+
+    sim.run_for(SimDuration::from_hours(hours));
+    gen.stop();
+    if let Some(m) = &monkey {
+        m.stop();
+    }
+    // Drain: let everything in flight finish.
+    sim.run_for(SimDuration::from_hours(4));
+
+    let report = gen.report();
+    let report = report.borrow();
+    let (done, failed, other) = report.outcomes(&platform);
+    let turnaround = report
+        .mean_turnaround_secs(&platform)
+        .map(|s| format!("{s:.0}s"))
+        .unwrap_or_else(|| "n/a".into());
+    let restarts: u64 = report
+        .submitted
+        .iter()
+        .filter_map(|s| platform.job_info(&s.job))
+        .map(|i| i.learner_restarts)
+        .sum();
+    print_table(
+        "Workload soak",
+        &["metric", "value"],
+        &[
+            vec!["jobs submitted".into(), report.submitted.len().to_string()],
+            vec!["jobs rejected".into(), report.rejected.to_string()],
+            vec!["completed".into(), done.to_string()],
+            vec!["failed/killed".into(), failed.to_string()],
+            vec!["unfinished".into(), other.to_string()],
+            vec!["mean turnaround".into(), turnaround],
+            vec!["learner restarts".into(), restarts.to_string()],
+        ],
+    );
+    assert_eq!(other, 0, "no job may be left in limbo after the drain");
+    if !chaos {
+        assert_eq!(failed, 0, "without chaos nothing should fail");
+    }
+    println!("\nall acknowledged jobs reached a terminal state.");
+}

@@ -1,0 +1,259 @@
+//! Figure 4: time to recover from crash failures, by component.
+//!
+//! Paper rows:
+//!
+//! | Component | Paper   |
+//! |-----------|---------|
+//! | API       | 3–5 s   |
+//! | LCM       | 4–6 s   |
+//! | Guardian  | 1–2 s   |
+//! | Helper    | 3–4 s   |
+//! | Learner   | 10–20 s |
+//!
+//! Method, as in the paper: with a training job live on the platform,
+//! crash each component with the scripted equivalent of
+//! `kubectl delete pod` and measure the time until it is back. The shape
+//! to reproduce: the Guardian (tiny Go binary, no volumes) is fastest;
+//! the core services take a few seconds; the learner is much slower
+//! because it "binds to cloud object store and persistent NFS volumes"
+//! and restarts a heavyweight framework container.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_core::{paths, DlaasPlatform, JobId, JobStatus, TrainingManifest};
+use dlaas_faults::{measure_recovery, RecoveryStats};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_sim::{Sim, SimDuration, SimTime};
+
+use crate::harness::{experiment_platform, BENCH_KEY};
+
+/// The components of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// An API service replica.
+    Api,
+    /// The Lifecycle Manager.
+    Lcm,
+    /// A job's Guardian.
+    Guardian,
+    /// A job's helper pod.
+    Helper,
+    /// A learner.
+    Learner,
+}
+
+impl Component {
+    /// All components, in the paper's row order.
+    pub fn all() -> [Component; 5] {
+        [
+            Component::Api,
+            Component::Lcm,
+            Component::Guardian,
+            Component::Helper,
+            Component::Learner,
+        ]
+    }
+
+    /// The paper's reported recovery range.
+    pub fn paper_range(&self) -> &'static str {
+        match self {
+            Component::Api => "3-5s",
+            Component::Lcm => "4-6s",
+            Component::Guardian => "1-2s",
+            Component::Helper => "3-4s",
+            Component::Learner => "10-20s",
+        }
+    }
+
+    fn pod_name(&self, job: &JobId) -> String {
+        match self {
+            Component::Api => "dlaas-api-0".to_owned(),
+            Component::Lcm => "dlaas-lcm-0".to_owned(),
+            Component::Guardian => paths::guardian_job(job),
+            Component::Helper => paths::helper_pod(job),
+            Component::Learner => paths::learner_pod(job, 0),
+        }
+    }
+
+    /// Whether recovery means "serving traffic" (readiness) or just
+    /// "container running" (per-job pods have no service in front).
+    fn needs_readiness(&self) -> bool {
+        matches!(self, Component::Api | Component::Lcm)
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Component::Api => "API",
+            Component::Lcm => "LCM",
+            Component::Guardian => "Guardian",
+            Component::Helper => "Helper",
+            Component::Learner => "Learner",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result for one component.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// The component.
+    pub component: Component,
+    /// Measured recovery times across trials.
+    pub stats: RecoveryStats,
+}
+
+/// A live experiment: platform + one long-running job to host the per-job
+/// components.
+pub struct Fig4Rig {
+    /// The simulation.
+    pub sim: Sim,
+    /// The platform.
+    pub platform: DlaasPlatform,
+    /// The long-running job.
+    pub job: JobId,
+}
+
+/// Boots the platform and parks a long training job in PROCESSING.
+pub fn rig(seed: u64) -> Fig4Rig {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let platform = experiment_platform(&mut sim, GpuKind::K80, 4);
+    let manifest = TrainingManifest::builder("fig4-host")
+        .framework(Framework::TensorFlow)
+        .model(DlModel::Resnet50)
+        .gpus(GpuKind::K80, 1)
+        .learners(1)
+        .data("bench-data", "d/", 2_000_000_000)
+        .results("bench-results")
+        .iterations(100_000_000)
+        .checkpoint_every(10_000)
+        .build()
+        .expect("valid manifest");
+    let client = platform.client("bench", BENCH_KEY);
+    let got: Rc<RefCell<Option<JobId>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.submit(&mut sim, manifest, move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("submission accepted"));
+    });
+    sim.run_until_pred(|_| got.borrow().is_some());
+    let job = got.borrow().clone().expect("submitted");
+    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    assert_eq!(s, Some(JobStatus::Processing), "host job must be training");
+    Fig4Rig { sim, platform, job }
+}
+
+/// One recovery measurement: `kubectl delete pod` + stopwatch.
+pub fn measure_once(rig: &mut Fig4Rig, component: Component) -> Option<SimDuration> {
+    let pod = component.pod_name(&rig.job);
+    let kube = rig.platform.kube().clone();
+    let fault_at: SimTime = rig.sim.now();
+    let needs_ready = component.needs_readiness();
+    let kube2 = kube.clone();
+    let pod2 = pod.clone();
+    let recovered = move |sim: &Sim| {
+        let restarted = kube2
+            .pod_started_at(&pod2)
+            .is_some_and(|t| t > fault_at);
+        if !restarted {
+            return false;
+        }
+        if needs_ready {
+            kube2.pod_ready(sim, &pod2)
+        } else {
+            true
+        }
+    };
+    let r = measure_recovery(
+        &mut rig.sim,
+        move |sim| {
+            kube.delete_pod(sim, &pod);
+        },
+        recovered,
+        SimDuration::from_secs(120),
+    );
+    // Let the platform settle before the next fault.
+    rig.sim.run_for(SimDuration::from_secs(30));
+    r
+}
+
+/// Runs `trials` recoveries for every component on one rig.
+pub fn run_all(seed: u64, trials: u32) -> Vec<Fig4Result> {
+    let mut rig = rig(seed);
+    Component::all()
+        .iter()
+        .map(|c| {
+            let mut stats = RecoveryStats::new();
+            for _ in 0..trials {
+                if let Some(d) = measure_once(&mut rig, *c) {
+                    stats.push(d);
+                }
+            }
+            Fig4Result {
+                component: *c,
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// The §III-d side claim: "Creation of the Guardian is a very quick
+/// (less than 3s in our experiments) single step process." Measures from
+/// the LCM receiving the deploy call (job still PENDING) to the Guardian
+/// container running.
+pub fn guardian_creation_time(seed: u64) -> SimDuration {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let platform = experiment_platform(&mut sim, GpuKind::K80, 1);
+    let manifest = TrainingManifest::builder("quick")
+        .framework(Framework::Caffe)
+        .model(DlModel::Vgg16)
+        .gpus(GpuKind::K80, 1)
+        .data("bench-data", "d/", 2_000_000_000)
+        .results("bench-results")
+        .iterations(100)
+        .build()
+        .expect("valid manifest");
+    let client = platform.client("bench", BENCH_KEY);
+    let got: Rc<RefCell<Option<JobId>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.submit(&mut sim, manifest, move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("accepted"));
+    });
+    sim.run_until_pred(|_| got.borrow().is_some());
+    let job = got.borrow().clone().expect("submitted");
+    let from = sim.now();
+    let kube = platform.kube().clone();
+    let gpod = paths::guardian_job(&job);
+    sim.run_until_pred(move |_| {
+        kube.pod_phase(&gpod) == Some(dlaas_kube::PodPhase::Running)
+    });
+    sim.now() - from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learner_recovery_dwarfs_guardian_recovery() {
+        let mut r = rig(31);
+        let guardian = measure_once(&mut r, Component::Guardian).expect("guardian recovers");
+        let learner = measure_once(&mut r, Component::Learner).expect("learner recovers");
+        assert!(
+            learner > guardian * 4,
+            "learner {learner} must dwarf guardian {guardian}"
+        );
+    }
+
+    #[test]
+    fn guardian_creation_under_three_seconds() {
+        let d = guardian_creation_time(32);
+        assert!(
+            d < SimDuration::from_secs(3),
+            "guardian creation took {d} (paper: <3s)"
+        );
+    }
+}

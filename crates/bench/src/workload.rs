@@ -1,0 +1,245 @@
+//! Multi-tenant workload generation: a Poisson stream of training jobs
+//! with a configurable mix of frameworks, models and sizes — the traffic
+//! a production DLaaS deployment actually sees, used by the soak
+//! experiment and available to downstream users for capacity planning.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_core::{DlaasClient, DlaasPlatform, JobId, JobStatus, TrainingManifest};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_sim::{Sim, SimDuration, SimTime, TimerHandle};
+
+/// Shape of the generated traffic.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Mean time between submissions (exponential interarrival).
+    pub mean_interarrival: SimDuration,
+    /// Training-iteration range (uniform).
+    pub iterations: (u64, u64),
+    /// Probability a job is distributed (2–4 learners).
+    pub distributed_p: f64,
+    /// Probability a distributed-capable job checkpoints.
+    pub checkpoint_p: f64,
+    /// GPU kind to request.
+    pub gpu: GpuKind,
+    /// Candidate (framework, model) pairs, drawn uniformly.
+    pub mix: Vec<(Framework, DlModel)>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mean_interarrival: SimDuration::from_secs(120),
+            iterations: (200, 1_500),
+            distributed_p: 0.25,
+            checkpoint_p: 0.5,
+            gpu: GpuKind::K80,
+            mix: vec![
+                (Framework::TensorFlow, DlModel::Resnet50),
+                (Framework::TensorFlow, DlModel::InceptionV3),
+                (Framework::Caffe, DlModel::Vgg16),
+            ],
+        }
+    }
+}
+
+/// One submitted job and what became of it.
+#[derive(Debug, Clone)]
+pub struct SubmittedJob {
+    /// The assigned id.
+    pub job: JobId,
+    /// Simulated submission time.
+    pub submitted_at: SimTime,
+    /// What was asked for.
+    pub manifest: TrainingManifest,
+}
+
+/// Collected results of a workload run.
+#[derive(Debug, Default)]
+pub struct WorkloadReport {
+    /// Jobs acknowledged by the platform.
+    pub submitted: Vec<SubmittedJob>,
+    /// Submissions the platform rejected (quota etc.).
+    pub rejected: u64,
+}
+
+impl WorkloadReport {
+    /// Completion statistics against the platform's records:
+    /// `(completed, failed_or_killed, other)`.
+    pub fn outcomes(&self, platform: &DlaasPlatform) -> (usize, usize, usize) {
+        let mut done = 0;
+        let mut failed = 0;
+        let mut other = 0;
+        for s in &self.submitted {
+            match platform.job_status(&s.job) {
+                Some(JobStatus::Completed) => done += 1,
+                Some(st) if st.is_terminal() => failed += 1,
+                _ => other += 1,
+            }
+        }
+        (done, failed, other)
+    }
+
+    /// Mean turnaround (submission → terminal) in simulated seconds, over
+    /// completed jobs.
+    pub fn mean_turnaround_secs(&self, platform: &DlaasPlatform) -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0u32;
+        for s in &self.submitted {
+            let Some(info) = platform.job_info(&s.job) else { continue };
+            if info.status != JobStatus::Completed {
+                continue;
+            }
+            if let Some((_, t_us)) = info.history.last() {
+                total += (*t_us as f64 / 1e6) - s.submitted_at.as_secs_f64();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+}
+
+/// A running generator; drop or [`WorkloadGenerator::stop`] to cease
+/// submissions.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    report: Rc<RefCell<WorkloadReport>>,
+    timer: TimerHandle,
+}
+
+impl WorkloadGenerator {
+    /// Starts submitting jobs through `client` per `cfg`. Buckets named in
+    /// the generated manifests (`wl-data` / `wl-results`) must exist.
+    pub fn start(sim: &mut Sim, client: DlaasClient, cfg: WorkloadConfig) -> Self {
+        let report = Rc::new(RefCell::new(WorkloadReport::default()));
+        let mut rng = sim.rng().fork("workload-gen");
+        let r = report.clone();
+        let mut serial = 0u64;
+        // Tick at a fine grain and fire probabilistically so interarrival
+        // is (approximately) exponential while staying deterministic.
+        let tick = SimDuration::from_secs(5);
+        let p = tick.as_secs_f64() / cfg.mean_interarrival.as_secs_f64();
+        let timer = dlaas_sim::every(sim, tick, move |sim, _n| {
+            if !rng.chance(p.min(1.0)) {
+                return true;
+            }
+            serial += 1;
+            let (framework, model) = *rng
+                .choose(&cfg.mix)
+                .expect("workload mix must not be empty");
+            let learners = if rng.chance(cfg.distributed_p) {
+                rng.range_u64(2, 5) as u32
+            } else {
+                1
+            };
+            let iters = rng.range_u64(cfg.iterations.0, cfg.iterations.1 + 1);
+            let ckpt = if rng.chance(cfg.checkpoint_p) {
+                (iters / 5).max(50)
+            } else {
+                0
+            };
+            let manifest = TrainingManifest::builder(format!("wl-{serial}"))
+                .framework(framework)
+                .model(model)
+                .gpus(cfg.gpu, 1)
+                .learners(learners)
+                .data("wl-data", "d/", 1_000_000_000)
+                .results("wl-results")
+                .iterations(iters)
+                .checkpoint_every(ckpt)
+                .build()
+                .expect("generated manifest is valid");
+            let report = r.clone();
+            let m2 = manifest.clone();
+            let submitted_at = sim.now();
+            client.submit(sim, manifest, move |_sim, result| match result {
+                Ok(job) => report.borrow_mut().submitted.push(SubmittedJob {
+                    job,
+                    submitted_at,
+                    manifest: m2,
+                }),
+                Err(_) => report.borrow_mut().rejected += 1,
+            });
+            true
+        });
+        WorkloadGenerator { report, timer }
+    }
+
+    /// Stops generating.
+    pub fn stop(&self) {
+        self.timer.cancel();
+    }
+
+    /// The accumulating report.
+    pub fn report(&self) -> Rc<RefCell<WorkloadReport>> {
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::BENCH_KEY;
+    use dlaas_core::Tenant;
+
+    #[test]
+    fn generator_submits_and_jobs_complete() {
+        let mut sim = Sim::new(55);
+        sim.trace_mut().set_enabled(false);
+        let platform = crate::harness::experiment_platform(&mut sim, GpuKind::K80, 4);
+        platform.add_tenant(&Tenant::new("wl", "wl-key", 0));
+        platform.seed_dataset("wl-data", "d/", 1_000_000_000);
+        platform.create_bucket("wl-results");
+        let client = platform.client("wl", "wl-key");
+
+        let cfg = WorkloadConfig {
+            mean_interarrival: SimDuration::from_secs(60),
+            iterations: (100, 300),
+            ..WorkloadConfig::default()
+        };
+        let gen = WorkloadGenerator::start(&mut sim, client, cfg);
+        sim.run_for(SimDuration::from_mins(30));
+        gen.stop();
+        sim.run_for(SimDuration::from_hours(3));
+
+        let report = gen.report();
+        let report = report.borrow();
+        assert!(
+            report.submitted.len() >= 5,
+            "expected a stream of jobs, got {}",
+            report.submitted.len()
+        );
+        let (done, failed, other) = report.outcomes(&platform);
+        assert_eq!(failed, 0);
+        assert_eq!(other, 0, "all jobs must have finished");
+        assert_eq!(done, report.submitted.len());
+        assert!(report.mean_turnaround_secs(&platform).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        fn run() -> usize {
+            let mut sim = Sim::new(56);
+            sim.trace_mut().set_enabled(false);
+            let platform = crate::harness::experiment_platform(&mut sim, GpuKind::K80, 2);
+            platform.add_tenant(&Tenant::new("wl", "wl-key", 0));
+            platform.seed_dataset("wl-data", "d/", 1_000_000_000);
+            platform.create_bucket("wl-results");
+            let gen = WorkloadGenerator::start(
+                &mut sim,
+                platform.client("wl", "wl-key"),
+                WorkloadConfig::default(),
+            );
+            sim.run_for(SimDuration::from_mins(60));
+            gen.stop();
+            let n = gen.report().borrow().submitted.len();
+            n
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared substrate handles passed to every service behavior.
+
+use std::rc::Rc;
+
+use dlaas_docstore::MongoRpc;
+use dlaas_etcd::{EtcdClient, EtcdCluster};
+use dlaas_kube::Kube;
+use dlaas_objstore::ObjectStore;
+use dlaas_sharedfs::NfsServer;
+
+use crate::config::CoreConfig;
+use crate::mongo::MetaClient;
+use crate::proto::CoreRpc;
+
+/// Name of the Kubernetes service fronting the API pods.
+pub const API_SERVICE: &str = "dlaas-api";
+/// Name of the Kubernetes service fronting the LCM pods.
+pub const LCM_SERVICE: &str = "dlaas-lcm";
+
+/// Everything a platform component needs to reach the substrates.
+/// Cloning shares the underlying handles.
+#[derive(Clone)]
+pub struct Handles {
+    /// Control-plane RPC (client ↔ API ↔ LCM).
+    pub rpc: CoreRpc,
+    /// Metadata-store RPC.
+    pub mongo: MongoRpc,
+    /// The replicated etcd cluster.
+    pub etcd: Rc<EtcdCluster>,
+    /// The cloud object store.
+    pub objstore: ObjectStore,
+    /// The shared NFS service.
+    pub nfs: NfsServer,
+    /// The Kubernetes cluster.
+    pub kube: Kube,
+    /// Platform configuration.
+    pub config: Rc<CoreConfig>,
+}
+
+impl std::fmt::Debug for Handles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handles").finish_non_exhaustive()
+    }
+}
+
+impl Handles {
+    /// A metadata client identified as `who`.
+    pub fn meta(&self, who: &str) -> MetaClient {
+        MetaClient::new(self.mongo.clone(), who)
+    }
+
+    /// An etcd client identified as `who`.
+    pub fn etcd_client(&self, who: &str) -> EtcdClient {
+        self.etcd.client(who)
+    }
+}

@@ -1,0 +1,292 @@
+//! The Lifecycle Manager (LCM).
+//!
+//! "The LCM is responsible for the job from submission to
+//! completion/failure, i.e., the deployment, monitoring, garbage
+//! collection, and user-initiated termination of the job. […] To deploy a
+//! DL job, the LCM simply instantiates a component called the Guardian
+//! with all the metadata of the DL job [as] a K8S Job." (§III-c, §III-d)
+//!
+//! The LCM is stateless: the metadata store is the source of truth. Its
+//! periodic scan is the dependability backstop that makes the platform
+//! self-healing across its own crashes:
+//!
+//! * accepted jobs whose `DeployJob` message was lost (e.g. the LCM died
+//!   right after the API acknowledged) are picked up and deployed,
+//! * jobs whose Guardian exhausted its K8s backoff limit are failed,
+//! * terminal jobs with leftover cluster resources are garbage-collected.
+
+use dlaas_docstore::{Filter, Value};
+use dlaas_kube::{labels, pod_addr, Cleanup, ContainerSpec, ImageRef, JobStatus as KubeJobStatus,
+                 PodSpec, ProcessCtx, Resources};
+use dlaas_sim::{Sim, SimTime};
+
+use crate::handles::Handles;
+use crate::job::{JobId, JobStatus};
+use crate::mongo::{MetaClient, JOBS};
+use crate::paths;
+use crate::proto::{CoreRequest, CoreResponse};
+
+/// Behavior factory for the LCM container.
+pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
+    let addr = pod_addr(&ctx.pod);
+    let meta = h.meta(&ctx.pod);
+    ctx.record(sim, "LCM instance up");
+
+    let h2 = h.clone();
+    let ctx2 = ctx.clone();
+    let meta2 = meta.clone();
+    h.rpc.serve(addr.clone(), move |sim, req, responder| {
+        if !ctx2.is_alive() {
+            return;
+        }
+        match req {
+            CoreRequest::DeployJob { job } => {
+                ensure_guardian(sim, &h2, &job);
+                responder.ok(sim, CoreResponse::Ok);
+            }
+            CoreRequest::StopJob { job } => {
+                let h3 = h2.clone();
+                let job2 = job.clone();
+                meta2.advance_status(sim, &job, JobStatus::Killed, move |sim, r| {
+                    match r {
+                        Ok(_) => {
+                            teardown_job(sim, &h3, &job2, true);
+                            responder.ok(sim, CoreResponse::Ok);
+                        }
+                        Err(e) => responder.err(sim, e.to_string()),
+                    }
+                });
+            }
+            _ => responder.err(sim, "not an LCM endpoint"),
+        }
+    });
+
+    // The background scan.
+    let scan_period = h.config.lcm_scan;
+    let h3 = h.clone();
+    let meta3 = meta.clone();
+    let alive = ctx.alive_flag();
+    let timer = dlaas_sim::every(sim, scan_period, move |sim, _n| {
+        if !alive.get() {
+            return false;
+        }
+        scan(sim, &h3, &meta3);
+        true
+    });
+
+    let rpc = h.rpc.clone();
+    Box::new(move |_sim| {
+        timer.cancel();
+        rpc.stop_serving(&addr);
+    })
+}
+
+/// Creates the Guardian K8s Job for `job` if it does not already exist
+/// (idempotent — safe under API retries and scan races).
+pub(crate) fn ensure_guardian(sim: &mut Sim, h: &Handles, job: &JobId) {
+    let name = paths::guardian_job(job);
+    if h.kube.job_status(&name).is_some() {
+        return;
+    }
+    sim.record("lcm", format!("creating guardian for {job}"));
+    let pod = PodSpec::new(
+        "unused",
+        ContainerSpec::new(
+            "guardian",
+            ImageRef::microservice("dlaas/guardian"),
+            "guardian",
+        )
+        .with_arg(job.as_str())
+        .with_cold_start(h.config.guardian_cold_start),
+    )
+    .with_labels(labels! {
+        "role" => "core",
+        "app" => "guardian",
+        "job" => job.as_str(),
+    })
+    .with_resources(Resources::new(250, 256, 0), None);
+    h.kube
+        .create_job(sim, &name, h.config.guardian_backoff_limit, pod);
+}
+
+/// Deletes every cluster resource belonging to `job`: the learner
+/// StatefulSet, the helper Deployment, the network policy, the NFS volume
+/// and the job's etcd keys; optionally the Guardian K8s Job itself.
+/// Results and logs in the object store are deliberately kept.
+pub(crate) fn teardown_job(sim: &mut Sim, h: &Handles, job: &JobId, delete_guardian: bool) {
+    sim.record("lcm", format!("tearing down resources of {job}"));
+    h.kube.delete_statefulset(sim, &paths::learner_set(job));
+    h.kube.delete_deployment(sim, &paths::helper_deployment(job));
+    h.kube.remove_network_policy(&paths::network_policy(job));
+    if delete_guardian {
+        h.kube.delete_job(sim, &paths::guardian_job(job));
+    }
+    h.nfs.delete_volume_named(&paths::volume(job));
+    let etcd = h.etcd_client(&format!("lcm-gc-{job}"));
+    etcd.delete_prefix(sim, paths::etcd_job_prefix(job), |_sim, _r| {});
+}
+
+fn job_ids(docs: &[Value]) -> Vec<JobId> {
+    docs.iter()
+        .filter_map(|d| d.path("_id").and_then(Value::as_str))
+        .map(JobId::new)
+        .collect()
+}
+
+/// When the job most recently entered DEPLOYING, per its status history.
+fn deploying_since(doc: &Value) -> Option<SimTime> {
+    let history = doc.path("history")?.as_arr()?;
+    history
+        .iter()
+        .rev()
+        .find(|e| {
+            e.path("status").and_then(Value::as_str) == Some("DEPLOYING")
+        })
+        .and_then(|e| e.path("t_us"))
+        .and_then(Value::as_i64)
+        .map(|us| SimTime::from_micros(us as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlaas_docstore::obj;
+
+    #[test]
+    fn deploying_since_finds_latest_entry() {
+        let doc = obj! {
+            "_id" => "j",
+            "history" => vec![
+                obj! {"status" => "PENDING", "t_us" => 10},
+                obj! {"status" => "DEPLOYING", "t_us" => 20},
+                obj! {"status" => "DEPLOYING", "t_us" => 50},
+            ],
+        };
+        assert_eq!(deploying_since(&doc), Some(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn deploying_since_absent_when_never_deployed() {
+        let doc = obj! {
+            "_id" => "j",
+            "history" => vec![obj! {"status" => "PENDING", "t_us" => 10}],
+        };
+        assert_eq!(deploying_since(&doc), None);
+        assert_eq!(deploying_since(&obj! {"_id" => "j"}), None);
+        assert_eq!(deploying_since(&Value::Null), None);
+    }
+
+    #[test]
+    fn job_ids_extracts_in_order() {
+        let docs = vec![obj! {"_id" => "a"}, obj! {"x" => 1}, obj! {"_id" => "b"}];
+        let ids = job_ids(&docs);
+        assert_eq!(ids, vec![JobId::new("a"), JobId::new("b")]);
+    }
+}
+
+fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
+    // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
+    let h2 = h.clone();
+    let redeploy_after = h.config.pending_redeploy_after;
+    meta.find(
+        sim,
+        JOBS,
+        Filter::eq("status", JobStatus::Pending.to_string()),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for doc in &docs {
+                let submitted =
+                    doc.path("submitted_us").and_then(Value::as_i64).unwrap_or(0) as u64;
+                let age = sim
+                    .now()
+                    .saturating_duration_since(SimTime::from_micros(submitted));
+                let Some(id) = doc.path("_id").and_then(Value::as_str) else { continue };
+                let job = JobId::new(id);
+                if age >= redeploy_after && h2.kube.job_status(&paths::guardian_job(&job)).is_none()
+                {
+                    sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
+                    ensure_guardian(sim, &h2, &job);
+                }
+            }
+        },
+    );
+
+    // 2. Fail jobs whose Guardian exhausted its K8s backoff limit, and
+    //    jobs stuck in DEPLOYING past the deploy timeout (undeployable:
+    //    e.g. they request hardware the cluster does not have).
+    let h3 = h.clone();
+    let meta2 = meta.clone();
+    let deploy_timeout = h.config.deploy_timeout;
+    let active: Vec<Value> = [
+        JobStatus::Pending,
+        JobStatus::Deploying,
+        JobStatus::Processing,
+        JobStatus::Storing,
+    ]
+    .iter()
+    .map(|s| Value::from(s.to_string()))
+    .collect();
+    meta.find(
+        sim,
+        JOBS,
+        Filter::In("status".into(), active),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for doc in &docs {
+                let Some(id) = doc.path("_id").and_then(Value::as_str) else { continue };
+                let job = JobId::new(id);
+                let guardian_gave_up = h3.kube.job_status(&paths::guardian_job(&job))
+                    == Some(KubeJobStatus::Failed);
+
+                let status: Option<JobStatus> = doc
+                    .path("status")
+                    .and_then(Value::as_str)
+                    .and_then(|s| s.parse().ok());
+                let deploy_stuck = status == Some(JobStatus::Deploying)
+                    && deploying_since(doc).is_some_and(|since| {
+                        sim.now().saturating_duration_since(since) >= deploy_timeout
+                    });
+
+                if guardian_gave_up || deploy_stuck {
+                    let reason = if guardian_gave_up {
+                        "guardian gave up"
+                    } else {
+                        "deploy timeout (resources unschedulable?)"
+                    };
+                    sim.record("lcm", format!("scan: failing {job}: {reason}"));
+                    let h4 = h3.clone();
+                    let job2 = job.clone();
+                    meta2.advance_status(sim, &job, JobStatus::Failed, move |sim, _r| {
+                        teardown_job(sim, &h4, &job2, true);
+                    });
+                }
+            }
+        },
+    );
+
+    // 3. Garbage-collect leftovers of terminal jobs.
+    let h5 = h.clone();
+    let terminal: Vec<Value> = [JobStatus::Completed, JobStatus::Failed, JobStatus::Killed]
+        .iter()
+        .map(|s| Value::from(s.to_string()))
+        .collect();
+    meta.find(
+        sim,
+        JOBS,
+        Filter::In("status".into(), terminal),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for job in job_ids(&docs) {
+                let has_pods = !h5
+                    .kube
+                    .pods_matching(&labels! {"job" => job.as_str()})
+                    .is_empty();
+                let has_volume = h5.nfs.find_volume(&paths::volume(&job)).is_some();
+                if has_pods || has_volume {
+                    sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
+                    teardown_job(sim, &h5, &job, true);
+                }
+            }
+        },
+    );
+}

@@ -1,0 +1,344 @@
+//! A retrying client for the metadata store, plus the job-document schema.
+//!
+//! Every core service reads and writes job metadata through this client.
+//! The status-advance helper enforces the lifecycle invariant: a job's
+//! externally visible status never moves backwards and never leaves a
+//! terminal state — even when two Guardian incarnations race.
+
+use dlaas_docstore::{mongo_addr, Filter, MongoRequest, MongoResponse, MongoRpc, Update, Value};
+use dlaas_net::{Addr, RpcError};
+use dlaas_sim::{Sim, SimDuration};
+
+use crate::job::{JobId, JobStatus};
+use crate::manifest::TrainingManifest;
+use crate::proto::JobInfo;
+
+const ATTEMPTS: u32 = 15;
+const TIMEOUT: SimDuration = SimDuration::from_millis(500);
+const BACKOFF: SimDuration = SimDuration::from_millis(150);
+
+/// The jobs collection name.
+pub const JOBS: &str = "jobs";
+/// The tenants collection name.
+pub const TENANTS: &str = "tenants";
+
+/// Client error for metadata operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Store unreachable within the retry budget.
+    Unavailable,
+    /// The store rejected the operation.
+    Rejected(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::Unavailable => write!(f, "metadata store unavailable"),
+            MetaError::Rejected(m) => write!(f, "metadata store rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Retrying handle to the metadata store.
+#[derive(Clone)]
+pub struct MetaClient {
+    rpc: MongoRpc,
+    from: Addr,
+}
+
+impl std::fmt::Debug for MetaClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaClient").field("from", &self.from).finish()
+    }
+}
+
+impl MetaClient {
+    /// Creates a client identified as `from` on the wire.
+    pub fn new(rpc: MongoRpc, from: impl Into<String>) -> Self {
+        MetaClient {
+            rpc,
+            from: Addr::new(format!("mongoc/{}", from.into())),
+        }
+    }
+
+    fn request(
+        &self,
+        sim: &mut Sim,
+        req: MongoRequest,
+        attempts: u32,
+        done: impl FnOnce(&mut Sim, Result<MongoResponse, MetaError>) + 'static,
+    ) {
+        if attempts == 0 {
+            done(sim, Err(MetaError::Unavailable));
+            return;
+        }
+        let me = self.clone();
+        self.rpc.call(
+            sim,
+            self.from.clone(),
+            mongo_addr(),
+            req.clone(),
+            TIMEOUT,
+            move |sim, result| match result {
+                Ok(resp) => done(sim, Ok(resp)),
+                Err(RpcError::Remote(m)) => done(sim, Err(MetaError::Rejected(m))),
+                Err(_) => {
+                    sim.schedule_in(BACKOFF, move |sim| {
+                        me.request(sim, req, attempts - 1, done);
+                    });
+                }
+            },
+        );
+    }
+
+    /// Inserts a document.
+    pub fn insert(
+        &self,
+        sim: &mut Sim,
+        coll: &str,
+        doc: Value,
+        done: impl FnOnce(&mut Sim, Result<String, MetaError>) + 'static,
+    ) {
+        self.request(
+            sim,
+            MongoRequest::InsertOne {
+                coll: coll.into(),
+                doc,
+            },
+            ATTEMPTS,
+            |sim, r|
+
+                done(sim, r.map(|resp| match resp {
+                    MongoResponse::Inserted { id } => id,
+                    other => panic!("unexpected insert response: {other:?}"),
+                })),
+        );
+    }
+
+    /// Finds one document.
+    pub fn find_one(
+        &self,
+        sim: &mut Sim,
+        coll: &str,
+        filter: Filter,
+        done: impl FnOnce(&mut Sim, Result<Option<Value>, MetaError>) + 'static,
+    ) {
+        self.request(
+            sim,
+            MongoRequest::FindOne {
+                coll: coll.into(),
+                filter,
+            },
+            ATTEMPTS,
+            |sim, r| {
+                done(sim, r.map(|resp| match resp {
+                    MongoResponse::Doc(d) => d,
+                    other => panic!("unexpected find response: {other:?}"),
+                }))
+            },
+        );
+    }
+
+    /// Finds all matching documents.
+    pub fn find(
+        &self,
+        sim: &mut Sim,
+        coll: &str,
+        filter: Filter,
+        done: impl FnOnce(&mut Sim, Result<Vec<Value>, MetaError>) + 'static,
+    ) {
+        self.request(
+            sim,
+            MongoRequest::Find {
+                coll: coll.into(),
+                filter,
+            },
+            ATTEMPTS,
+            |sim, r| {
+                done(sim, r.map(|resp| match resp {
+                    MongoResponse::Docs(d) => d,
+                    other => panic!("unexpected find response: {other:?}"),
+                }))
+            },
+        );
+    }
+
+    /// Updates the first matching document; reports whether one matched.
+    pub fn update_one(
+        &self,
+        sim: &mut Sim,
+        coll: &str,
+        filter: Filter,
+        update: Update,
+        done: impl FnOnce(&mut Sim, Result<bool, MetaError>) + 'static,
+    ) {
+        self.request(
+            sim,
+            MongoRequest::UpdateOne {
+                coll: coll.into(),
+                filter,
+                update,
+            },
+            ATTEMPTS,
+            |sim, r| {
+                done(sim, r.map(|resp| match resp {
+                    MongoResponse::Updated(n) => n > 0,
+                    other => panic!("unexpected update response: {other:?}"),
+                }))
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Job-document schema helpers
+    // ------------------------------------------------------------------
+
+    /// Builds the document inserted at submission time. The store assigns
+    /// the `_id` (which becomes the [`JobId`]) unless one is present.
+    pub fn job_document(tenant: &str, manifest: &TrainingManifest, now_us: u64) -> Value {
+        dlaas_docstore::obj! {
+            "tenant" => tenant,
+            "name" => manifest.name.clone(),
+            "status" => JobStatus::Pending.to_string(),
+            "history" => vec![dlaas_docstore::obj! {
+                "status" => JobStatus::Pending.to_string(),
+                "t_us" => now_us,
+            }],
+            "manifest" => manifest.to_json(),
+            "attempts" => 0,
+            "learner_restarts" => 0,
+            "iteration" => 0,
+            "images_per_sec" => Value::Null,
+            "submitted_us" => now_us,
+        }
+    }
+
+    /// Advances a job's status, enforcing forward-only transitions: the
+    /// update filter only matches documents whose current status has a
+    /// strictly lower lifecycle rank. `done` receives whether the
+    /// transition applied.
+    pub fn advance_status(
+        &self,
+        sim: &mut Sim,
+        job: &JobId,
+        to: JobStatus,
+        done: impl FnOnce(&mut Sim, Result<bool, MetaError>) + 'static,
+    ) {
+        let allowed: Vec<Value> = [
+            JobStatus::Pending,
+            JobStatus::Deploying,
+            JobStatus::Processing,
+            JobStatus::Storing,
+        ]
+        .iter()
+        .filter(|s| s.can_advance_to(to))
+        .map(|s| Value::from(s.to_string()))
+        .collect();
+        let filter = Filter::and(vec![
+            Filter::eq("_id", job.as_str()),
+            Filter::In("status".into(), allowed),
+        ]);
+        let now_us = sim.now().as_micros();
+        let update = Update::Many(vec![
+            Update::set("status", to.to_string()),
+            Update::push(
+                "history",
+                dlaas_docstore::obj! { "status" => to.to_string(), "t_us" => now_us },
+            ),
+        ]);
+        self.update_one(sim, JOBS, filter, update, done);
+    }
+
+    /// Parses a job document into the API's [`JobInfo`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed document (documents are platform-written).
+    pub fn parse_job_info(doc: &Value) -> JobInfo {
+        let job = JobId::new(
+            doc.path("_id")
+                .and_then(Value::as_str)
+                .expect("stored documents always carry _id"),
+        );
+        let name = doc
+            .path("name")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let status: JobStatus = doc
+            .path("status")
+            .and_then(Value::as_str)
+            .expect("status")
+            .parse()
+            .expect("valid status");
+        let history = doc
+            .path("history")
+            .and_then(Value::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|e| {
+                        let s: JobStatus =
+                            e.path("status")?.as_str()?.parse().ok()?;
+                        let t = e.path("t_us")?.as_i64()? as u64;
+                        Some((s, t))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        JobInfo {
+            job,
+            name,
+            status,
+            history,
+            iteration: doc.path("iteration").and_then(Value::as_i64).unwrap_or(0) as u64,
+            learner_restarts: doc
+                .path("learner_restarts")
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as u64,
+            images_per_sec: doc.path("images_per_sec").and_then(Value::as_f64),
+            learners: doc
+                .path("learners")
+                .and_then(Value::as_obj)
+                .map(|m| {
+                    m.iter()
+                        .filter_map(|(k, v)| {
+                            Some((k.parse().ok()?, v.as_str()?.to_owned()))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_document_shape_and_parse() {
+        let m = TrainingManifest::builder("train")
+            .data("d", "p/", 100)
+            .results("r")
+            .build()
+            .unwrap();
+        let mut doc = MetaClient::job_document("acme", &m, 123);
+        assert!(doc.path("_id").is_none(), "id assigned by the store");
+        assert_eq!(doc.path("status").unwrap().as_str(), Some("PENDING"));
+        assert_eq!(doc.path("tenant").unwrap().as_str(), Some("acme"));
+        dlaas_docstore::Update::set("_id", "j1").apply(&mut doc);
+
+        let info = MetaClient::parse_job_info(&doc);
+        assert_eq!(info.status, JobStatus::Pending);
+        assert_eq!(info.history, vec![(JobStatus::Pending, 123)]);
+        assert_eq!(info.iteration, 0);
+        assert_eq!(info.images_per_sec, None);
+
+        // The stored manifest round-trips.
+        let stored = doc.path("manifest").unwrap().as_str().unwrap();
+        assert_eq!(TrainingManifest::from_json(stored).unwrap(), m);
+    }
+}

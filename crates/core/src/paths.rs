@@ -1,0 +1,193 @@
+//! Naming conventions shared by the platform's components: Kubernetes
+//! resource names, etcd key layout, NFS file layout and object-store keys.
+//!
+//! Centralized here because the Guardian's rollback (§III-d) works by
+//! deleting "everything named after job X" — the names must line up
+//! across components and across Guardian incarnations.
+
+use crate::job::JobId;
+
+/// NFS volume for a job.
+pub fn volume(job: &JobId) -> String {
+    format!("vol-{job}")
+}
+
+/// Helper Deployment name (`-0` suffix for its single pod).
+pub fn helper_deployment(job: &JobId) -> String {
+    format!("helper-{job}")
+}
+
+/// The helper pod's name.
+pub fn helper_pod(job: &JobId) -> String {
+    format!("helper-{job}-0")
+}
+
+/// Learner StatefulSet name.
+pub fn learner_set(job: &JobId) -> String {
+    format!("learner-{job}")
+}
+
+/// Learner pod name for an ordinal.
+pub fn learner_pod(job: &JobId, ordinal: u32) -> String {
+    format!("learner-{job}-{ordinal}")
+}
+
+/// Guardian Kubernetes Job (and its pod) name.
+pub fn guardian_job(job: &JobId) -> String {
+    format!("guardian-{job}")
+}
+
+/// Per-job network policy name.
+pub fn network_policy(job: &JobId) -> String {
+    format!("netpol-{job}")
+}
+
+/// etcd prefix for everything about a job.
+pub fn etcd_job_prefix(job: &JobId) -> String {
+    format!("jobs/{job}/")
+}
+
+/// etcd prefix for per-learner statuses.
+pub fn etcd_learners_prefix(job: &JobId) -> String {
+    format!("jobs/{job}/learners/")
+}
+
+/// etcd key for one learner's status.
+pub fn etcd_learner(job: &JobId, ordinal: u32) -> String {
+    format!("jobs/{job}/learners/{ordinal}")
+}
+
+/// etcd key for aggregate training progress.
+pub fn etcd_progress(job: &JobId) -> String {
+    format!("jobs/{job}/progress")
+}
+
+/// etcd key for cumulative learner restarts.
+pub fn etcd_restarts(job: &JobId) -> String {
+    format!("jobs/{job}/restarts")
+}
+
+/// etcd key coordinating the store-results phase (`"go"` / `"done"`).
+pub fn etcd_store(job: &JobId) -> String {
+    format!("jobs/{job}/store")
+}
+
+/// etcd key marking training data availability.
+pub fn etcd_data(job: &JobId) -> String {
+    format!("jobs/{job}/data")
+}
+
+/// etcd key for the measured throughput (written by the controller from
+/// the learners' final reports).
+pub fn etcd_throughput(job: &JobId) -> String {
+    format!("jobs/{job}/throughput")
+}
+
+/// NFS: the job spec the Guardian drops for learners & helpers.
+pub const NFS_JOBSPEC: &str = "control/jobspec.json";
+/// NFS: marker that the training data is staged.
+pub const NFS_DATA_LOADED: &str = "data/loaded";
+/// NFS: controller tells store-results to begin.
+pub const NFS_STORE_GO: &str = "control/store-go";
+/// NFS: store-results reports completion.
+pub const NFS_STORE_DONE: &str = "control/store-done";
+
+/// NFS: a learner's status file.
+pub fn nfs_learner_status(ordinal: u32) -> String {
+    format!("learner-{ordinal}/status")
+}
+
+/// NFS: a learner's exit-status file ("exit status redirected to a file",
+/// §III-e).
+pub fn nfs_learner_exit(ordinal: u32) -> String {
+    format!("learner-{ordinal}/exit-status")
+}
+
+/// NFS: a learner's restart counter.
+pub fn nfs_learner_restarts(ordinal: u32) -> String {
+    format!("learner-{ordinal}/restarts")
+}
+
+/// NFS: a learner's training log.
+pub fn nfs_learner_log(ordinal: u32) -> String {
+    format!("learner-{ordinal}/train.log")
+}
+
+/// NFS: a learner's measured-throughput report.
+pub fn nfs_learner_throughput(ordinal: u32) -> String {
+    format!("learner-{ordinal}/images-per-sec")
+}
+
+/// Object store: uploaded log for a learner (in the results bucket).
+pub fn obj_log(job: &JobId, ordinal: u32) -> String {
+    format!("logs/{job}/learner-{ordinal}.log")
+}
+
+/// Object store: checkpoint metadata (iteration number, text).
+pub fn obj_ckpt_meta(job: &JobId) -> String {
+    format!("ckpt/{job}/meta")
+}
+
+/// Object store: checkpoint weights (synthetic bytes).
+pub fn obj_ckpt_data(job: &JobId) -> String {
+    format!("ckpt/{job}/data")
+}
+
+/// Object store: final trained model.
+pub fn obj_result_model(job: &JobId) -> String {
+    format!("results/{job}/model")
+}
+
+/// The key of the staged training-data object within the data bucket.
+pub fn obj_dataset(prefix: &str) -> String {
+    format!("{prefix}data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_embed_the_job_id() {
+        let j = JobId::new("job-7");
+        for name in [
+            volume(&j),
+            helper_deployment(&j),
+            helper_pod(&j),
+            learner_set(&j),
+            learner_pod(&j, 2),
+            guardian_job(&j),
+            network_policy(&j),
+            etcd_job_prefix(&j),
+            etcd_learner(&j, 0),
+            etcd_progress(&j),
+            etcd_store(&j),
+            obj_log(&j, 1),
+            obj_ckpt_meta(&j),
+            obj_result_model(&j),
+        ] {
+            assert!(name.contains("job-7"), "{name}");
+        }
+    }
+
+    #[test]
+    fn learner_keys_are_under_the_learners_prefix() {
+        let j = JobId::new("x");
+        assert!(etcd_learner(&j, 3).starts_with(&etcd_learners_prefix(&j)));
+        assert!(etcd_learners_prefix(&j).starts_with(&etcd_job_prefix(&j)));
+        assert!(etcd_progress(&j).starts_with(&etcd_job_prefix(&j)));
+    }
+
+    #[test]
+    fn helper_pod_is_first_replica_of_its_deployment() {
+        let j = JobId::new("y");
+        assert_eq!(helper_pod(&j), format!("{}-0", helper_deployment(&j)));
+        assert_eq!(learner_pod(&j, 4), format!("{}-4", learner_set(&j)));
+    }
+
+    #[test]
+    fn dataset_key() {
+        assert_eq!(obj_dataset("imagenet/"), "imagenet/data");
+        assert_eq!(obj_dataset(""), "data");
+    }
+}

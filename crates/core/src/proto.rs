@@ -1,0 +1,126 @@
+//! The platform's RPC protocol (the GRPC surface of §III-c).
+
+use dlaas_net::RpcLayer;
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobId, JobStatus};
+use crate::manifest::TrainingManifest;
+
+/// Requests to the DLaaS API service (client-facing) and between core
+/// services (API → LCM).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreRequest {
+    /// Submit a training job.
+    Submit {
+        /// Tenant API key.
+        api_key: String,
+        /// The job manifest.
+        manifest: TrainingManifest,
+    },
+    /// Read a job's status.
+    GetStatus {
+        /// Tenant API key.
+        api_key: String,
+        /// The job.
+        job: JobId,
+    },
+    /// List the tenant's jobs.
+    ListJobs {
+        /// Tenant API key.
+        api_key: String,
+    },
+    /// Terminate a job.
+    Kill {
+        /// Tenant API key.
+        api_key: String,
+        /// The job.
+        job: JobId,
+    },
+    /// Fetch a learner's training log.
+    GetLogs {
+        /// Tenant API key.
+        api_key: String,
+        /// The job.
+        job: JobId,
+        /// Learner ordinal.
+        learner: u32,
+    },
+    /// API → LCM: deploy an accepted job.
+    DeployJob {
+        /// The job.
+        job: JobId,
+    },
+    /// API → LCM: stop and tear down a job.
+    StopJob {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// Point-in-time view of a job returned by `GetStatus`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// The job id.
+    pub job: JobId,
+    /// User-assigned name.
+    pub name: String,
+    /// Current lifecycle status.
+    pub status: JobStatus,
+    /// `(status, simulated-microseconds)` transition history — the
+    /// timestamped updates users rely on "for job profiling and
+    /// debugging" (§II).
+    pub history: Vec<(JobStatus, u64)>,
+    /// Last reported global training iteration.
+    pub iteration: u64,
+    /// Total learner restarts observed (users "expect to be notified when
+    /// DL jobs are restarted", §II).
+    pub learner_restarts: u64,
+    /// Measured training throughput, when the job has completed.
+    pub images_per_sec: Option<f64>,
+    /// Last known per-learner phases `(ordinal, phase string)`, mirrored
+    /// from etcd by the Guardian while the job runs.
+    pub learners: Vec<(u32, String)>,
+}
+
+/// Responses from the DLaaS services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreResponse {
+    /// Job accepted and durably recorded.
+    Submitted {
+        /// Assigned id.
+        job: JobId,
+    },
+    /// Status snapshot.
+    Status(JobInfo),
+    /// The tenant's job ids.
+    Jobs(Vec<JobId>),
+    /// Log lines.
+    Logs(Vec<String>),
+    /// Generic success.
+    Ok,
+}
+
+/// The RPC layer carrying platform traffic.
+pub type CoreRpc = RpcLayer<CoreRequest, CoreResponse>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_info_serde_roundtrip() {
+        let info = JobInfo {
+            job: JobId::new("j1"),
+            name: "train".into(),
+            status: JobStatus::Processing,
+            history: vec![(JobStatus::Pending, 0), (JobStatus::Processing, 100)],
+            iteration: 42,
+            learner_restarts: 1,
+            images_per_sec: Some(52.0),
+            learners: vec![(0, "PROCESSING iter=42".into())],
+        };
+        let s = serde_json::to_string(&info).unwrap();
+        let back: JobInfo = serde_json::from_str(&s).unwrap();
+        assert_eq!(info, back);
+    }
+}

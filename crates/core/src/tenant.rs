@@ -1,0 +1,67 @@
+//! Multi-tenancy: tenants, API keys and GPU quotas.
+//!
+//! DLaaS is multi-tenant: the API service "handles all the incoming API
+//! requests including load balancing, metering, and access management"
+//! (§III-c). Tenants are stored in the metadata store so every API
+//! replica — including freshly restarted ones — sees the same registry.
+
+use dlaas_docstore::{obj, Value};
+use serde::{Deserialize, Serialize};
+
+/// One tenant of the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Tenant id (organization).
+    pub id: String,
+    /// Secret used on every API call.
+    pub api_key: String,
+    /// Maximum GPUs the tenant may hold concurrently (0 = unlimited).
+    pub max_gpus: u32,
+}
+
+impl Tenant {
+    /// Creates a tenant.
+    pub fn new(id: impl Into<String>, api_key: impl Into<String>, max_gpus: u32) -> Self {
+        Tenant {
+            id: id.into(),
+            api_key: api_key.into(),
+            max_gpus,
+        }
+    }
+
+    /// The document stored in the tenants collection.
+    pub fn to_document(&self) -> Value {
+        obj! {
+            "_id" => self.id.clone(),
+            "api_key" => self.api_key.clone(),
+            "max_gpus" => self.max_gpus,
+        }
+    }
+
+    /// Parses a stored tenant document, if well-formed.
+    pub fn from_document(doc: &Value) -> Option<Tenant> {
+        Some(Tenant {
+            id: doc.path("_id")?.as_str()?.to_owned(),
+            api_key: doc.path("api_key")?.as_str()?.to_owned(),
+            max_gpus: doc.path("max_gpus")?.as_i64()? as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_roundtrip() {
+        let t = Tenant::new("acme", "key-123", 16);
+        let doc = t.to_document();
+        assert_eq!(Tenant::from_document(&doc), Some(t));
+    }
+
+    #[test]
+    fn malformed_document_rejected() {
+        assert_eq!(Tenant::from_document(&obj! {"_id" => "x"}), None);
+        assert_eq!(Tenant::from_document(&Value::Null), None);
+    }
+}

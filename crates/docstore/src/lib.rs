@@ -1,0 +1,43 @@
+//! # dlaas-docstore — journaled document store (the MongoDB stand-in)
+//!
+//! DLaaS keeps all job metadata in MongoDB: *"When a job deployment request
+//! arrives, the API layer stores all the metadata in MongoDB before
+//! acknowledging the request. This ensures that submitted jobs are never
+//! lost."* (paper §III-c). This crate reproduces the pieces of MongoDB
+//! that guarantee relies on:
+//!
+//! * [`Value`] / [`obj!`] — JSON/BSON-like documents,
+//! * [`Filter`] / [`Update`] — queries and mutations over dotted paths,
+//! * [`DocStore`] — collections with secondary indexes and a write-ahead
+//!   [`Journal`]; [`DocStore::recover`] rebuilds state after a crash,
+//! * [`MongoServer`] — the store as an RPC service with modelled
+//!   journal-write/read latencies and crash/recover.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlaas_docstore::{obj, DocStore, Filter, Update};
+//!
+//! let mut db = DocStore::new();
+//! db.insert("jobs", obj! { "_id" => "j1", "status" => "PENDING" })?;
+//!
+//! // Crash: everything in memory is gone, the journal survives.
+//! let journal = db.journal().clone();
+//! drop(db);
+//!
+//! let recovered = DocStore::recover(journal);
+//! assert!(recovered.find_one("jobs", &Filter::eq("_id", "j1")).is_some());
+//! # Ok::<(), dlaas_docstore::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod query;
+mod server;
+mod store;
+mod value;
+
+pub use query::{Filter, Update};
+pub use server::{mongo_addr, MongoRequest, MongoResponse, MongoRpc, MongoServer, MongoTimings};
+pub use store::{DocStore, Journal, JournalOp, StoreError};
+pub use value::Value;

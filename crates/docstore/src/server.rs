@@ -1,0 +1,434 @@
+//! The document store as a network service (the "MongoDB pod").
+//!
+//! A single-primary server over the RPC layer with a modelled per-op disk
+//! latency. Crash/restart reproduces MongoDB's journaled recovery: the
+//! in-memory store dies with the process; the journal survives and the
+//! restarted server replays it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_net::{Addr, Responder, RpcLayer};
+use dlaas_sim::{Sim, SimDuration};
+
+use crate::query::{Filter, Update};
+use crate::store::{DocStore, Journal};
+use crate::value::Value;
+
+/// Requests understood by the document-store server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MongoRequest {
+    /// Insert a document.
+    InsertOne {
+        /// Target collection.
+        coll: String,
+        /// The document (object root).
+        doc: Value,
+    },
+    /// Return the first matching document.
+    FindOne {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+    },
+    /// Return all matching documents.
+    Find {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+    },
+    /// Update the first matching document.
+    UpdateOne {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+        /// Mutation.
+        update: Update,
+    },
+    /// Update every matching document.
+    UpdateMany {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+        /// Mutation.
+        update: Update,
+    },
+    /// Delete the first matching document.
+    DeleteOne {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+    },
+    /// Delete every matching document.
+    DeleteMany {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+    },
+    /// Count matching documents.
+    Count {
+        /// Target collection.
+        coll: String,
+        /// Predicate.
+        filter: Filter,
+    },
+    /// Create a secondary index.
+    CreateIndex {
+        /// Target collection.
+        coll: String,
+        /// Dotted path to index.
+        path: String,
+    },
+}
+
+/// Responses from the document-store server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MongoResponse {
+    /// Insert succeeded with this id.
+    Inserted {
+        /// Assigned or provided `_id`.
+        id: String,
+    },
+    /// Zero-or-one document.
+    Doc(Option<Value>),
+    /// All matching documents.
+    Docs(Vec<Value>),
+    /// Number of documents updated.
+    Updated(usize),
+    /// Number of documents deleted.
+    Deleted(usize),
+    /// Count result.
+    Count(usize),
+    /// Index created / generic success.
+    Ok,
+}
+
+/// RPC layer type used by the document store.
+pub type MongoRpc = RpcLayer<MongoRequest, MongoResponse>;
+
+/// Well-known address of the metadata store service.
+pub fn mongo_addr() -> Addr {
+    Addr::new("mongodb")
+}
+
+/// Modelled service times (journaled write vs cached read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MongoTimings {
+    /// Latency added to mutations (journal fsync).
+    pub write: SimDuration,
+    /// Latency added to queries.
+    pub read: SimDuration,
+}
+
+impl Default for MongoTimings {
+    fn default() -> Self {
+        MongoTimings {
+            write: SimDuration::from_micros(1_500),
+            read: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// The MongoDB stand-in service.
+pub struct MongoServer {
+    store: Rc<RefCell<DocStore>>,
+    rpc: MongoRpc,
+    addr: Addr,
+    timings: MongoTimings,
+    up: Rc<RefCell<bool>>,
+}
+
+impl std::fmt::Debug for MongoServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MongoServer")
+            .field("addr", &self.addr)
+            .field("up", &*self.up.borrow())
+            .finish()
+    }
+}
+
+impl MongoServer {
+    /// Starts a fresh server (empty store, new journal) at [`mongo_addr`].
+    pub fn new(rpc: MongoRpc) -> Rc<Self> {
+        Self::with_store(rpc, DocStore::new(), MongoTimings::default())
+    }
+
+    /// Starts a server over an existing store (used for recovery).
+    pub fn with_store(rpc: MongoRpc, store: DocStore, timings: MongoTimings) -> Rc<Self> {
+        let server = Rc::new(MongoServer {
+            store: Rc::new(RefCell::new(store)),
+            rpc,
+            addr: mongo_addr(),
+            timings,
+            up: Rc::new(RefCell::new(true)),
+        });
+        server.serve();
+        server
+    }
+
+    fn serve(self: &Rc<Self>) {
+        let me = Rc::downgrade(self);
+        self.rpc.serve(self.addr.clone(), move |sim, req, responder| {
+            if let Some(server) = me.upgrade() {
+                if *server.up.borrow() {
+                    server.handle(sim, req, responder);
+                }
+                // A crashed server drops the request: the client times out.
+            }
+        });
+    }
+
+    /// The journal — survives crashes; feed it to [`MongoServer::recover`].
+    pub fn journal(&self) -> Journal {
+        self.store.borrow().journal().clone()
+    }
+
+    /// Crash: stop serving and drop in-memory state. The journal survives.
+    pub fn crash(&self) {
+        *self.up.borrow_mut() = false;
+        // Dropping volatile state is modelled by replacing the store with
+        // an empty husk; the journal (disk) is extracted first by whoever
+        // orchestrates recovery via `journal()`.
+    }
+
+    /// Builds a recovered server from a journal (call after [`MongoServer::crash`]).
+    pub fn recover(rpc: MongoRpc, journal: Journal, timings: MongoTimings) -> Rc<Self> {
+        Self::with_store(rpc, DocStore::recover(journal), timings)
+    }
+
+    /// Direct handle to the store (test/debug aid; bypasses the network).
+    pub fn store(&self) -> &Rc<RefCell<DocStore>> {
+        &self.store
+    }
+
+    fn handle(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        req: MongoRequest,
+        responder: Responder<MongoRequest, MongoResponse>,
+    ) {
+        let is_write = matches!(
+            req,
+            MongoRequest::InsertOne { .. }
+                | MongoRequest::UpdateOne { .. }
+                | MongoRequest::UpdateMany { .. }
+                | MongoRequest::DeleteOne { .. }
+                | MongoRequest::DeleteMany { .. }
+                | MongoRequest::CreateIndex { .. }
+        );
+        let delay = if is_write {
+            self.timings.write
+        } else {
+            self.timings.read
+        };
+        let me = self.clone();
+        sim.schedule_in(delay, move |sim| {
+            if !*me.up.borrow() {
+                return; // crashed while the op was "on disk path"
+            }
+            let mut store = me.store.borrow_mut();
+            let resp = match req {
+                MongoRequest::InsertOne { coll, doc } => match store.insert(&coll, doc) {
+                    Ok(id) => MongoResponse::Inserted { id },
+                    Err(e) => {
+                        drop(store);
+                        responder.err(sim, e.to_string());
+                        return;
+                    }
+                },
+                MongoRequest::FindOne { coll, filter } => {
+                    MongoResponse::Doc(store.find_one(&coll, &filter))
+                }
+                MongoRequest::Find { coll, filter } => {
+                    MongoResponse::Docs(store.find(&coll, &filter))
+                }
+                MongoRequest::UpdateOne { coll, filter, update } => {
+                    MongoResponse::Updated(store.update_one(&coll, &filter, &update) as usize)
+                }
+                MongoRequest::UpdateMany { coll, filter, update } => {
+                    MongoResponse::Updated(store.update_many(&coll, &filter, &update))
+                }
+                MongoRequest::DeleteOne { coll, filter } => {
+                    MongoResponse::Deleted(store.delete_one(&coll, &filter) as usize)
+                }
+                MongoRequest::DeleteMany { coll, filter } => {
+                    MongoResponse::Deleted(store.delete_many(&coll, &filter))
+                }
+                MongoRequest::Count { coll, filter } => {
+                    MongoResponse::Count(store.count(&coll, &filter))
+                }
+                MongoRequest::CreateIndex { coll, path } => {
+                    store.create_index(&coll, &path);
+                    MongoResponse::Ok
+                }
+            };
+            drop(store);
+            responder.ok(sim, resp);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+    use dlaas_net::LatencyModel;
+
+    fn boot() -> (Sim, MongoRpc, Rc<MongoServer>) {
+        let mut sim = Sim::new(1);
+        let rpc: MongoRpc = RpcLayer::new(&mut sim, LatencyModel::local());
+        let server = MongoServer::new(rpc.clone());
+        (sim, rpc, server)
+    }
+
+    fn call(
+        sim: &mut Sim,
+        rpc: &MongoRpc,
+        req: MongoRequest,
+    ) -> Rc<RefCell<Option<Result<MongoResponse, dlaas_net::RpcError>>>> {
+        let out = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        rpc.call(
+            sim,
+            Addr::new("client"),
+            mongo_addr(),
+            req,
+            SimDuration::from_secs(1),
+            move |_, r| *o.borrow_mut() = Some(r),
+        );
+        out
+    }
+
+    #[test]
+    fn insert_and_find_over_rpc() {
+        let (mut sim, rpc, _server) = boot();
+        let ins = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "jobs".into(),
+                doc: obj! { "_id" => "j1", "status" => "PENDING" },
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(
+            ins.borrow().clone().unwrap().unwrap(),
+            MongoResponse::Inserted { id: "j1".into() }
+        );
+
+        let found = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::FindOne {
+                coll: "jobs".into(),
+                filter: Filter::eq("_id", "j1"),
+            },
+        );
+        sim.run_until_idle();
+        let r = found.borrow().clone().unwrap().unwrap();
+        match r {
+            MongoResponse::Doc(Some(doc)) => {
+                assert_eq!(doc.path("status").unwrap().as_str(), Some("PENDING"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_returns_remote_error() {
+        let (mut sim, rpc, _server) = boot();
+        let req = MongoRequest::InsertOne {
+            coll: "jobs".into(),
+            doc: obj! { "_id" => "dup" },
+        };
+        let first = call(&mut sim, &rpc, req.clone());
+        sim.run_until_idle();
+        assert!(first.borrow().clone().unwrap().is_ok());
+        let second = call(&mut sim, &rpc, req);
+        sim.run_until_idle();
+        let r = second.borrow().clone().unwrap();
+        match r {
+            Err(dlaas_net::RpcError::Remote(m)) => assert!(m.contains("duplicate")),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_drops_requests_then_recovery_serves_journaled_data() {
+        let (mut sim, rpc, server) = boot();
+        call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "jobs".into(),
+                doc: obj! { "_id" => "precrash" },
+            },
+        );
+        sim.run_until_idle();
+
+        server.crash();
+        let during = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::Count {
+                coll: "jobs".into(),
+                filter: Filter::True,
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(
+            during.borrow().clone().unwrap(),
+            Err(dlaas_net::RpcError::Timeout),
+            "requests during the crash must time out"
+        );
+
+        let journal = server.journal();
+        let _recovered = MongoServer::recover(rpc.clone(), journal, MongoTimings::default());
+        let after = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::FindOne {
+                coll: "jobs".into(),
+                filter: Filter::eq("_id", "precrash"),
+            },
+        );
+        sim.run_until_idle();
+        let r = after.borrow().clone().unwrap().unwrap();
+        match r {
+            MongoResponse::Doc(Some(_)) => {}
+            other => panic!("journaled insert lost across crash: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_latency_exceeds_read_latency() {
+        let (mut sim, rpc, _server) = boot();
+        call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "c".into(),
+                doc: obj! {"a" => 1},
+            },
+        );
+        sim.run_until_idle();
+        let t_write = sim.now();
+        call(
+            &mut sim,
+            &rpc,
+            MongoRequest::Count {
+                coll: "c".into(),
+                filter: Filter::True,
+            },
+        );
+        sim.run_until_idle();
+        let t_read = sim.now() - t_write;
+        assert!(t_read < t_write.duration_since(dlaas_sim::SimTime::ZERO));
+    }
+}

@@ -1,0 +1,665 @@
+//! The journaled document store.
+//!
+//! DLaaS stores all job metadata in MongoDB and writes it **before**
+//! acknowledging a submission, which is what makes accepted jobs durable
+//! (paper §III-c). [`DocStore`] reproduces the property that matters: every
+//! acknowledged mutation is on the journal ("disk"), and a crash loses only
+//! volatile state — [`DocStore::recover`] rebuilds the collections by
+//! replaying the journal.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+use std::cell::RefCell;
+
+use crate::query::{Filter, Update};
+use crate::value::Value;
+
+/// Errors reported by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Insert with an `_id` that already exists in the collection.
+    DuplicateId(String),
+    /// Document root must be an object.
+    NotAnObject,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::DuplicateId(id) => write!(f, "duplicate _id: {id}"),
+            StoreError::NotAnObject => write!(f, "document root must be an object"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One durable journal record (the "disk" write-ahead log).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// Document inserted into a collection.
+    Insert {
+        /// Collection name.
+        coll: String,
+        /// Document id.
+        id: String,
+        /// Full document.
+        doc: Value,
+    },
+    /// Document replaced (after-image).
+    Replace {
+        /// Collection name.
+        coll: String,
+        /// Document id.
+        id: String,
+        /// Full document after the update.
+        doc: Value,
+    },
+    /// Document removed.
+    Remove {
+        /// Collection name.
+        coll: String,
+        /// Document id.
+        id: String,
+    },
+    /// Secondary index created.
+    Index {
+        /// Collection name.
+        coll: String,
+        /// Indexed dotted path.
+        path: String,
+    },
+}
+
+/// The durable journal, shared between store incarnations (it *is* the
+/// disk). Cloning shares the underlying log.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    ops: Rc<RefCell<Vec<JournalOp>>>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record (a synchronous, durable write).
+    pub fn append(&self, op: JournalOp) {
+        self.ops.borrow_mut().push(op);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ops.borrow().len()
+    }
+
+    /// `true` when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.ops.borrow().is_empty()
+    }
+
+    /// Snapshot of all records (test/debug aid).
+    pub fn snapshot(&self) -> Vec<JournalOp> {
+        self.ops.borrow().clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Collection {
+    docs: BTreeMap<String, Value>,
+    /// path → (value → ids); consulted for `Eq`-pinned filters.
+    indexes: HashMap<String, BTreeMap<String, HashSet<String>>>,
+}
+
+impl Collection {
+    fn index_key(v: &Value) -> String {
+        v.to_string()
+    }
+
+    fn add_to_indexes(&mut self, id: &str, doc: &Value) {
+        for (path, idx) in &mut self.indexes {
+            if let Some(v) = doc.path(path) {
+                idx.entry(Self::index_key(v))
+                    .or_default()
+                    .insert(id.to_owned());
+            }
+        }
+    }
+
+    fn remove_from_indexes(&mut self, id: &str, doc: &Value) {
+        for (path, idx) in &mut self.indexes {
+            if let Some(v) = doc.path(path) {
+                if let Some(set) = idx.get_mut(&Self::index_key(v)) {
+                    set.remove(id);
+                    if set.is_empty() {
+                        idx.remove(&Self::index_key(v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ids of candidate documents for `filter`, using the primary key or
+    /// an index when the filter pins one, otherwise all ids.
+    fn candidates(&self, filter: &Filter) -> Vec<String> {
+        // `_id` is the primary key: an exact pin needs no scan.
+        if let Some(v) = filter.pinned_eq("_id") {
+            return match v.as_str() {
+                Some(id) if self.docs.contains_key(id) => vec![id.to_owned()],
+                _ => Vec::new(),
+            };
+        }
+        for path in self.indexes.keys() {
+            if let Some(v) = filter.pinned_eq(path) {
+                let idx = &self.indexes[path];
+                return idx
+                    .get(&Self::index_key(v))
+                    .map(|set| {
+                        let mut v: Vec<_> = set.iter().cloned().collect();
+                        v.sort();
+                        v
+                    })
+                    .unwrap_or_default();
+            }
+        }
+        self.docs.keys().cloned().collect()
+    }
+}
+
+/// A journaled, single-primary document store (the MongoDB stand-in).
+///
+/// # Examples
+///
+/// ```
+/// use dlaas_docstore::{obj, DocStore, Filter, Update};
+///
+/// let mut db = DocStore::new();
+/// db.insert("jobs", obj! { "_id" => "job-1", "status" => "PENDING" })?;
+/// db.update_one(
+///     "jobs",
+///     &Filter::eq("_id", "job-1"),
+///     &Update::set("status", "PROCESSING"),
+/// );
+/// let doc = db.find_one("jobs", &Filter::eq("status", "PROCESSING")).unwrap();
+/// assert_eq!(doc.path("_id").unwrap().as_str(), Some("job-1"));
+/// # Ok::<(), dlaas_docstore::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct DocStore {
+    collections: HashMap<String, Collection>,
+    journal: Journal,
+    next_auto_id: u64,
+}
+
+impl Default for DocStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocStore {
+    /// An empty store with a fresh journal.
+    pub fn new() -> Self {
+        DocStore {
+            collections: HashMap::new(),
+            journal: Journal::new(),
+            next_auto_id: 0,
+        }
+    }
+
+    /// Rebuilds a store from an existing journal (crash recovery). The
+    /// result is state-equal to the store that wrote the journal.
+    pub fn recover(journal: Journal) -> Self {
+        let mut store = DocStore {
+            collections: HashMap::new(),
+            journal: Journal::new(), // temporarily empty to avoid re-journaling
+            next_auto_id: 0,
+        };
+        let ops = journal.snapshot();
+        for op in &ops {
+            match op {
+                JournalOp::Insert { coll, id, doc } | JournalOp::Replace { coll, id, doc } => {
+                    let c = store.collections.entry(coll.clone()).or_default();
+                    if let Some(old) = c.docs.get(id).cloned() {
+                        c.remove_from_indexes(id, &old);
+                    }
+                    c.docs.insert(id.clone(), doc.clone());
+                    let doc = doc.clone();
+                    c.add_to_indexes(id, &doc);
+                    // Track auto-id high-water mark.
+                    if let Some(n) = id.strip_prefix("auto-").and_then(|s| s.parse::<u64>().ok()) {
+                        store.next_auto_id = store.next_auto_id.max(n + 1);
+                    }
+                }
+                JournalOp::Remove { coll, id } => {
+                    if let Some(c) = store.collections.get_mut(coll) {
+                        if let Some(old) = c.docs.remove(id) {
+                            c.remove_from_indexes(id, &old);
+                        }
+                    }
+                }
+                JournalOp::Index { coll, path } => {
+                    store.build_index(coll, path);
+                }
+            }
+        }
+        store.journal = journal;
+        store
+    }
+
+    /// The journal (share it with a future incarnation to recover).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Creates a secondary index on `path` (idempotent, journaled).
+    pub fn create_index(&mut self, coll: &str, path: &str) {
+        if self
+            .collections
+            .get(coll)
+            .is_some_and(|c| c.indexes.contains_key(path))
+        {
+            return;
+        }
+        self.build_index(coll, path);
+        self.journal.append(JournalOp::Index {
+            coll: coll.to_owned(),
+            path: path.to_owned(),
+        });
+    }
+
+    fn build_index(&mut self, coll: &str, path: &str) {
+        let c = self.collections.entry(coll.to_owned()).or_default();
+        let mut idx: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+        for (id, doc) in &c.docs {
+            if let Some(v) = doc.path(path) {
+                idx.entry(Collection::index_key(v))
+                    .or_default()
+                    .insert(id.clone());
+            }
+        }
+        c.indexes.insert(path.to_owned(), idx);
+    }
+
+    /// Inserts a document, journaling before returning (write concern:
+    /// journaled). Uses the document's `"_id"` string field or assigns
+    /// `auto-N`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotAnObject`] if `doc` is not an object,
+    /// [`StoreError::DuplicateId`] if the id already exists.
+    pub fn insert(&mut self, coll: &str, mut doc: Value) -> Result<String, StoreError> {
+        let obj = match &mut doc {
+            Value::Obj(m) => m,
+            _ => return Err(StoreError::NotAnObject),
+        };
+        let id = match obj.get("_id").and_then(Value::as_str) {
+            Some(s) => s.to_owned(),
+            None => {
+                let id = format!("auto-{}", self.next_auto_id);
+                self.next_auto_id += 1;
+                obj.insert("_id".into(), Value::from(id.clone()));
+                id
+            }
+        };
+        let c = self.collections.entry(coll.to_owned()).or_default();
+        if c.docs.contains_key(&id) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        // Journal first: the write is durable before it is acknowledged.
+        self.journal.append(JournalOp::Insert {
+            coll: coll.to_owned(),
+            id: id.clone(),
+            doc: doc.clone(),
+        });
+        let c = self.collections.get_mut(coll).expect("just created");
+        c.docs.insert(id.clone(), doc.clone());
+        c.add_to_indexes(&id, &doc);
+        Ok(id)
+    }
+
+    /// All documents matching `filter`, in id order.
+    pub fn find(&self, coll: &str, filter: &Filter) -> Vec<Value> {
+        let Some(c) = self.collections.get(coll) else {
+            return Vec::new();
+        };
+        c.candidates(filter)
+            .into_iter()
+            .filter_map(|id| c.docs.get(&id))
+            .filter(|d| filter.matches(d))
+            .cloned()
+            .collect()
+    }
+
+    /// Like [`DocStore::find`], with sorting and a result cap. Documents
+    /// missing the sort path order before all present values (like
+    /// MongoDB's null-first ascending order); ties fall back to id order.
+    pub fn find_sorted(
+        &self,
+        coll: &str,
+        filter: &Filter,
+        sort_path: &str,
+        descending: bool,
+        limit: usize,
+    ) -> Vec<Value> {
+        let mut docs = self.find(coll, filter);
+        docs.sort_by(|a, b| {
+            let ord = match (a.path(sort_path), b.path(sort_path)) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => x.cmp_order(y),
+            };
+            let ord = if descending { ord.reverse() } else { ord };
+            ord.then_with(|| {
+                let ia = a.path("_id").and_then(Value::as_str).unwrap_or("");
+                let ib = b.path("_id").and_then(Value::as_str).unwrap_or("");
+                ia.cmp(ib)
+            })
+        });
+        docs.truncate(limit);
+        docs
+    }
+
+    /// First matching document in id order, if any.
+    pub fn find_one(&self, coll: &str, filter: &Filter) -> Option<Value> {
+        let c = self.collections.get(coll)?;
+        c.candidates(filter)
+            .into_iter()
+            .filter_map(|id| c.docs.get(&id))
+            .find(|d| filter.matches(d))
+            .cloned()
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, coll: &str, filter: &Filter) -> usize {
+        self.find(coll, filter).len()
+    }
+
+    /// Applies `update` to the first matching document. Returns `true` if a
+    /// document was updated.
+    pub fn update_one(&mut self, coll: &str, filter: &Filter, update: &Update) -> bool {
+        self.update_impl(coll, filter, update, true) == 1
+    }
+
+    /// Applies `update` to every matching document. Returns the count.
+    pub fn update_many(&mut self, coll: &str, filter: &Filter, update: &Update) -> usize {
+        self.update_impl(coll, filter, update, false)
+    }
+
+    fn update_impl(&mut self, coll: &str, filter: &Filter, update: &Update, one: bool) -> usize {
+        let Some(c) = self.collections.get_mut(coll) else {
+            return 0;
+        };
+        let ids: Vec<String> = c
+            .candidates(filter)
+            .into_iter()
+            .filter(|id| c.docs.get(id).is_some_and(|d| filter.matches(d)))
+            .collect();
+        let mut n = 0;
+        for id in ids {
+            let old = c.docs.get(&id).expect("listed above").clone();
+            let mut new = old.clone();
+            update.apply(&mut new);
+            if new != old {
+                c.remove_from_indexes(&id, &old);
+                c.docs.insert(id.clone(), new.clone());
+                c.add_to_indexes(&id, &new);
+                self.journal.append(JournalOp::Replace {
+                    coll: coll.to_owned(),
+                    id: id.clone(),
+                    doc: new,
+                });
+            }
+            n += 1;
+            if one {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Removes the first matching document. Returns `true` if one was
+    /// removed.
+    pub fn delete_one(&mut self, coll: &str, filter: &Filter) -> bool {
+        self.delete_impl(coll, filter, true) == 1
+    }
+
+    /// Removes every matching document. Returns the count.
+    pub fn delete_many(&mut self, coll: &str, filter: &Filter) -> usize {
+        self.delete_impl(coll, filter, false)
+    }
+
+    fn delete_impl(&mut self, coll: &str, filter: &Filter, one: bool) -> usize {
+        let Some(c) = self.collections.get_mut(coll) else {
+            return 0;
+        };
+        let ids: Vec<String> = c
+            .candidates(filter)
+            .into_iter()
+            .filter(|id| c.docs.get(id).is_some_and(|d| filter.matches(d)))
+            .collect();
+        let mut n = 0;
+        for id in ids {
+            let old = c.docs.remove(&id).expect("listed above");
+            c.remove_from_indexes(&id, &old);
+            self.journal.append(JournalOp::Remove {
+                coll: coll.to_owned(),
+                id: id.clone(),
+            });
+            n += 1;
+            if one {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Names of all collections that have ever held a document.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.collections.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    fn job(id: &str, status: &str, learners: i64) -> Value {
+        obj! { "_id" => id, "status" => status, "learners" => learners }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut db = DocStore::new();
+        db.insert("jobs", job("a", "PENDING", 1)).unwrap();
+        db.insert("jobs", job("b", "PROCESSING", 4)).unwrap();
+        assert_eq!(db.count("jobs", &Filter::True), 2);
+        let found = db.find_one("jobs", &Filter::eq("status", "PROCESSING")).unwrap();
+        assert_eq!(found.path("_id").unwrap().as_str(), Some("b"));
+        assert!(db.find("nosuch", &Filter::True).is_empty());
+        assert!(db.find_one("jobs", &Filter::eq("status", "FAILED")).is_none());
+    }
+
+    #[test]
+    fn duplicate_id_rejected_and_autoid_assigned() {
+        let mut db = DocStore::new();
+        db.insert("jobs", job("a", "PENDING", 1)).unwrap();
+        assert_eq!(
+            db.insert("jobs", job("a", "PENDING", 1)),
+            Err(StoreError::DuplicateId("a".into()))
+        );
+        assert_eq!(db.insert("jobs", Value::from(3i64)), Err(StoreError::NotAnObject));
+        let id1 = db.insert("jobs", obj! {"x" => 1}).unwrap();
+        let id2 = db.insert("jobs", obj! {"x" => 2}).unwrap();
+        assert_eq!(id1, "auto-0");
+        assert_eq!(id2, "auto-1");
+    }
+
+    #[test]
+    fn update_one_and_many() {
+        let mut db = DocStore::new();
+        for i in 0..5 {
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i)).unwrap();
+        }
+        assert!(db.update_one(
+            "jobs",
+            &Filter::eq("_id", "j2"),
+            &Update::set("status", "PROCESSING"),
+        ));
+        assert_eq!(db.count("jobs", &Filter::eq("status", "PROCESSING")), 1);
+
+        let n = db.update_many(
+            "jobs",
+            &Filter::eq("status", "PENDING"),
+            &Update::set("status", "QUEUED"),
+        );
+        assert_eq!(n, 4);
+        assert_eq!(db.count("jobs", &Filter::eq("status", "QUEUED")), 4);
+        assert!(!db.update_one("jobs", &Filter::eq("_id", "ghost"), &Update::inc("x", 1)));
+    }
+
+    #[test]
+    fn delete_one_and_many() {
+        let mut db = DocStore::new();
+        for i in 0..5 {
+            db.insert("jobs", job(&format!("j{i}"), "DONE", i)).unwrap();
+        }
+        assert!(db.delete_one("jobs", &Filter::eq("_id", "j0")));
+        assert_eq!(db.delete_many("jobs", &Filter::gt("learners", 2)), 2);
+        assert_eq!(db.count("jobs", &Filter::True), 2);
+        assert_eq!(db.delete_many("ghost", &Filter::True), 0);
+    }
+
+    #[test]
+    fn journal_then_ack_ordering() {
+        let mut db = DocStore::new();
+        db.insert("jobs", job("a", "PENDING", 1)).unwrap();
+        // The journal already contains the insert by the time insert() returned.
+        assert_eq!(db.journal().len(), 1);
+        db.update_one("jobs", &Filter::True, &Update::set("status", "X"));
+        assert_eq!(db.journal().len(), 2);
+        // No-op update journals nothing.
+        db.update_one("jobs", &Filter::True, &Update::set("status", "X"));
+        assert_eq!(db.journal().len(), 2);
+    }
+
+    #[test]
+    fn crash_recovery_replays_journal_exactly() {
+        let mut db = DocStore::new();
+        db.create_index("jobs", "status");
+        for i in 0..10 {
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i)).unwrap();
+        }
+        db.update_many(
+            "jobs",
+            &Filter::lt("learners", 3),
+            &Update::set("status", "PROCESSING"),
+        );
+        db.delete_one("jobs", &Filter::eq("_id", "j9"));
+        let auto = db.insert("jobs", obj! {"k" => 1}).unwrap();
+
+        // "Crash": drop the store, keep the journal (the disk).
+        let journal = db.journal().clone();
+        drop(db);
+        let recovered = DocStore::recover(journal);
+
+        assert_eq!(recovered.count("jobs", &Filter::True), 10);
+        assert_eq!(
+            recovered.count("jobs", &Filter::eq("status", "PROCESSING")),
+            3
+        );
+        assert!(recovered.find_one("jobs", &Filter::eq("_id", "j9")).is_none());
+        assert!(recovered.find_one("jobs", &Filter::eq("_id", auto)).is_some());
+
+        // Auto-id continues past the high-water mark after recovery.
+        let mut recovered = recovered;
+        let next = recovered.insert("jobs", obj! {"k" => 2}).unwrap();
+        assert_eq!(next, "auto-1");
+    }
+
+    #[test]
+    fn indexed_queries_match_scan_results() {
+        let mut db = DocStore::new();
+        db.create_index("jobs", "status");
+        for i in 0..20 {
+            let status = if i % 3 == 0 { "A" } else { "B" };
+            db.insert("jobs", job(&format!("j{i:02}"), status, i)).unwrap();
+        }
+        let by_index = db.find("jobs", &Filter::eq("status", "A"));
+        assert_eq!(by_index.len(), 7);
+        // Compound filter still narrows through the index.
+        let compound = db.find(
+            "jobs",
+            &Filter::and(vec![Filter::eq("status", "A"), Filter::gt("learners", 10)]),
+        );
+        assert_eq!(compound.len(), 3);
+        // Index stays correct across updates and deletes.
+        db.update_many(
+            "jobs",
+            &Filter::eq("status", "A"),
+            &Update::set("status", "C"),
+        );
+        assert!(db.find("jobs", &Filter::eq("status", "A")).is_empty());
+        assert_eq!(db.find("jobs", &Filter::eq("status", "C")).len(), 7);
+        db.delete_many("jobs", &Filter::eq("status", "C"));
+        assert!(db.find("jobs", &Filter::eq("status", "C")).is_empty());
+    }
+
+    #[test]
+    fn create_index_is_idempotent_and_survives_recovery() {
+        let mut db = DocStore::new();
+        db.insert("jobs", job("a", "X", 1)).unwrap();
+        db.create_index("jobs", "status");
+        db.create_index("jobs", "status");
+        let journal_len = db.journal().len();
+        let recovered = DocStore::recover(db.journal().clone());
+        assert_eq!(recovered.journal().len(), journal_len);
+        assert_eq!(recovered.find("jobs", &Filter::eq("status", "X")).len(), 1);
+    }
+
+    #[test]
+    fn find_sorted_orders_limits_and_handles_missing_fields() {
+        let mut db = DocStore::new();
+        db.insert("jobs", obj! {"_id" => "a", "n" => 3}).unwrap();
+        db.insert("jobs", obj! {"_id" => "b", "n" => 1}).unwrap();
+        db.insert("jobs", obj! {"_id" => "c", "n" => 2}).unwrap();
+        db.insert("jobs", obj! {"_id" => "d"}).unwrap(); // no "n"
+
+        let asc = db.find_sorted("jobs", &Filter::True, "n", false, 10);
+        let ids: Vec<&str> = asc
+            .iter()
+            .map(|d| d.path("_id").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(ids, vec!["d", "b", "c", "a"], "nulls first ascending");
+
+        let desc = db.find_sorted("jobs", &Filter::True, "n", true, 2);
+        let ids: Vec<&str> = desc
+            .iter()
+            .map(|d| d.path("_id").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(ids, vec!["a", "c"], "descending + limit");
+
+        // Ties fall back to id order deterministically.
+        db.insert("jobs", obj! {"_id" => "e", "n" => 2}).unwrap();
+        let tied = db.find_sorted("jobs", &Filter::gt("n", 1), "n", false, 10);
+        let ids: Vec<&str> = tied
+            .iter()
+            .map(|d| d.path("_id").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(ids, vec!["c", "e", "a"]);
+    }
+
+    #[test]
+    fn collection_names_sorted() {
+        let mut db = DocStore::new();
+        db.insert("zeta", obj! {"a" => 1}).unwrap();
+        db.insert("alpha", obj! {"a" => 1}).unwrap();
+        assert_eq!(db.collection_names(), vec!["alpha", "zeta"]);
+    }
+}

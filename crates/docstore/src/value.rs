@@ -1,0 +1,331 @@
+//! Dynamically-typed document values (a BSON/JSON-like model).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value stored in a document.
+///
+/// # Examples
+///
+/// ```
+/// use dlaas_docstore::{obj, Value};
+///
+/// let v = obj! {
+///     "name" => "train-1",
+///     "learners" => 4,
+///     "gpu" => obj! { "kind" => "K80", "per_learner" => 2 },
+/// };
+/// assert_eq!(v.path("gpu.kind").and_then(Value::as_str), Some("K80"));
+/// assert_eq!(v.path("learners").and_then(Value::as_i64), Some(4));
+/// assert_eq!(v.path("missing"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+#[derive(Default)]
+pub enum Value {
+    /// Absent/null.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Value>),
+    /// String-keyed map with deterministic (sorted) iteration order.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float, if numeric (integers convert losslessly).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Navigates a dotted path (`"a.b.c"`) through nested objects.
+    pub fn path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.as_obj()?.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Mutable navigation of a dotted path, creating intermediate objects.
+    /// Returns `None` when a non-object intermediate blocks the path.
+    pub fn path_mut_or_create(&mut self, path: &str) -> Option<&mut Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            match cur {
+                Value::Obj(m) => {
+                    cur = m.entry(seg.to_owned()).or_insert(Value::Null);
+                    if cur.is_null() {
+                        *cur = Value::Obj(BTreeMap::new());
+                        // Re-created as object; but if this is the final
+                        // segment the caller will overwrite it anyway.
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Total ordering used by comparisons and indexes. Numeric types
+    /// compare by value; mixed non-numeric types compare by type rank.
+    pub fn cmp_order(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.partial_cmp(b).unwrap_or(Equal),
+            (I64(a), F64(b)) => (*a as f64).partial_cmp(b).unwrap_or(Equal),
+            (F64(a), I64(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Arr(a), Arr(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.cmp_order(y);
+                    if o != Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Obj(a), Obj(b)) => {
+                let mut ai = a.iter();
+                let mut bi = b.iter();
+                loop {
+                    match (ai.next(), bi.next()) {
+                        (None, None) => return Equal,
+                        (None, Some(_)) => return Less,
+                        (Some(_), None) => return Greater,
+                        (Some((ka, va)), Some((kb, vb))) => {
+                            let o = ka.cmp(kb).then_with(|| va.cmp_order(vb));
+                            if o != Equal {
+                                return o;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::F64(_) => 2,
+            Value::Str(_) => 3,
+            Value::Arr(_) => 4,
+            Value::Obj(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match serde_json::to_string(self) {
+            Ok(s) => f.write_str(&s),
+            Err(_) => f.write_str("<unserializable>"),
+        }
+    }
+}
+
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::I64(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::I64(i as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::I64(i as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::I64(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::I64(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::F64(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Builds a [`Value::Obj`] from `"key" => value` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use dlaas_docstore::obj;
+///
+/// let doc = obj! { "a" => 1, "b" => "two" };
+/// assert_eq!(doc.path("b").unwrap().as_str(), Some("two"));
+/// ```
+#[macro_export]
+macro_rules! obj {
+    () => { $crate::Value::Obj(std::collections::BTreeMap::new()) };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut m = std::collections::BTreeMap::new();
+        $( m.insert(String::from($k), $crate::Value::from($v)); )+
+        $crate::Value::Obj(m)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(vec![1i64, 2]).as_arr().unwrap().len(), 2);
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+        assert!(obj! {}.as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn path_navigation() {
+        let v = obj! { "a" => obj!{ "b" => obj!{ "c" => 7 } } };
+        assert_eq!(v.path("a.b.c").unwrap().as_i64(), Some(7));
+        assert!(v.path("a.x").is_none());
+        assert!(v.path("a.b.c.d").is_none());
+    }
+
+    #[test]
+    fn path_mut_creates_intermediates() {
+        let mut v = obj! {};
+        *v.path_mut_or_create("x.y").unwrap() = Value::from(5i64);
+        assert_eq!(v.path("x.y").unwrap().as_i64(), Some(5));
+        // A scalar blocks deeper creation.
+        let mut v = obj! { "s" => 1 };
+        assert!(v.path_mut_or_create("s.deep").is_none());
+    }
+
+    #[test]
+    fn ordering_numeric_cross_type() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::from(1i64).cmp_order(&Value::from(1.0)), Equal);
+        assert_eq!(Value::from(1i64).cmp_order(&Value::from(2.0)), Less);
+        assert_eq!(Value::from("b").cmp_order(&Value::from("a")), Greater);
+        assert_eq!(
+            Value::from(vec![1i64, 2]).cmp_order(&Value::from(vec![1i64, 2, 3])),
+            Less
+        );
+        assert_eq!(Value::Null.cmp_order(&Value::from(false)), Less);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = obj! { "n" => 1, "s" => "x", "a" => vec![1i64,2], "o" => obj!{"k" => true} };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn display_is_json() {
+        assert_eq!(Value::from(5i64).to_string(), "5");
+        assert_eq!(obj! {"a" => 1}.to_string(), r#"{"a":1}"#);
+    }
+}

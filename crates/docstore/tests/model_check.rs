@@ -1,0 +1,133 @@
+//! Property-based model checking: the document store against a naive
+//! in-memory model, under random operation sequences — including crash
+//! points, where the store is rebuilt from its journal and must equal
+//! the model exactly.
+
+use std::collections::BTreeMap;
+
+use dlaas_docstore::{obj, DocStore, Filter, Update, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: u8, n: i64, status: u8 },
+    UpdateStatus { n_lt: i64, status: u8 },
+    DeleteById { id: u8 },
+    DeleteByStatus { status: u8 },
+    CreateIndex,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..40u8, -50..50i64, 0..4u8).prop_map(|(id, n, status)| Op::Insert { id, n, status }),
+        3 => (-50..50i64, 0..4u8).prop_map(|(n_lt, status)| Op::UpdateStatus { n_lt, status }),
+        2 => (0..40u8).prop_map(|id| Op::DeleteById { id }),
+        1 => (0..4u8).prop_map(|status| Op::DeleteByStatus { status }),
+        1 => Just(Op::CreateIndex),
+        1 => Just(Op::Crash),
+    ]
+}
+
+fn status_name(s: u8) -> String {
+    format!("S{s}")
+}
+
+/// The naive model: id -> (n, status).
+type Model = BTreeMap<String, (i64, String)>;
+
+fn check_equal(store: &DocStore, model: &Model) {
+    let docs = store.find("c", &Filter::True);
+    assert_eq!(docs.len(), model.len(), "cardinality mismatch");
+    for doc in docs {
+        let id = doc.path("_id").unwrap().as_str().unwrap();
+        let n = doc.path("n").unwrap().as_i64().unwrap();
+        let status = doc.path("status").unwrap().as_str().unwrap();
+        let (mn, ms) = model.get(id).unwrap_or_else(|| panic!("ghost doc {id}"));
+        assert_eq!((n, status), (*mn, ms.as_str()), "mismatch for {id}");
+    }
+    // Query equivalence for every status value.
+    for s in 0..4u8 {
+        let by_store = store.count("c", &Filter::eq("status", status_name(s)));
+        let by_model = model.values().filter(|(_, st)| *st == status_name(s)).count();
+        assert_eq!(by_store, by_model, "status query mismatch for S{s}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_naive_model_across_crashes(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut store = DocStore::new();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { id, n, status } => {
+                    let id = format!("d{id}");
+                    let doc = obj! { "_id" => id.clone(), "n" => n, "status" => status_name(status) };
+                    let r = store.insert("c", doc);
+                    if model.contains_key(&id) {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(id, (n, status_name(status)));
+                    }
+                }
+                Op::UpdateStatus { n_lt, status } => {
+                    let count = store.update_many(
+                        "c",
+                        &Filter::lt("n", n_lt),
+                        &Update::set("status", status_name(status)),
+                    );
+                    let mut model_count = 0;
+                    for (n, st) in model.values_mut() {
+                        if *n < n_lt {
+                            *st = status_name(status);
+                            model_count += 1;
+                        }
+                    }
+                    prop_assert_eq!(count, model_count);
+                }
+                Op::DeleteById { id } => {
+                    let id = format!("d{id}");
+                    let deleted = store.delete_one("c", &Filter::eq("_id", id.as_str()));
+                    prop_assert_eq!(deleted, model.remove(&id).is_some());
+                }
+                Op::DeleteByStatus { status } => {
+                    let n = store.delete_many("c", &Filter::eq("status", status_name(status)));
+                    let before = model.len();
+                    model.retain(|_, (_, st)| *st != status_name(status));
+                    prop_assert_eq!(n, before - model.len());
+                }
+                Op::CreateIndex => {
+                    store.create_index("c", "status");
+                }
+                Op::Crash => {
+                    let journal = store.journal().clone();
+                    store = DocStore::recover(journal);
+                }
+            }
+            check_equal(&store, &model);
+        }
+
+        // Final crash: recovery must still match.
+        let recovered = DocStore::recover(store.journal().clone());
+        check_equal(&recovered, &model);
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in any::<i64>(), b in any::<i64>()) {
+        use std::cmp::Ordering;
+        let va = Value::from(a);
+        let vb = Value::from(b);
+        prop_assert_eq!(va.cmp_order(&vb), a.cmp(&b));
+        // Antisymmetry with floats in the mix.
+        let fa = Value::from(a as f64);
+        let cmp1 = va.cmp_order(&fa);
+        let cmp2 = fa.cmp_order(&va);
+        prop_assert_eq!(cmp1, cmp2.reverse());
+        prop_assert_ne!(va.cmp_order(&Value::Null), Ordering::Less);
+    }
+}

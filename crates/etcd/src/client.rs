@@ -1,0 +1,347 @@
+//! The etcd client: leader discovery, retries, and watch dispatch.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dlaas_net::{Addr, RpcError};
+use dlaas_raft::NodeId;
+use dlaas_sim::{Sim, SimDuration};
+
+use crate::kv::{KvEvent, Revision};
+use crate::proto::{etcd_addr, EtcdError, EtcdRequest, EtcdResponse, WatchNotify};
+use crate::server::{EtcdRpc, WatchNet};
+
+/// Per-attempt RPC deadline.
+const RPC_TIMEOUT: SimDuration = SimDuration::from_millis(500);
+/// Delay between retries (leader elections take ~hundreds of ms).
+const RETRY_BACKOFF: SimDuration = SimDuration::from_millis(100);
+/// Total attempts before reporting `Unavailable`.
+const MAX_ATTEMPTS: u32 = 20;
+
+type WatchCb = Rc<dyn Fn(&mut Sim, &KvEvent)>;
+
+struct ClientState {
+    leader_hint: Option<NodeId>,
+    rr_cursor: u32,
+    watches: HashMap<u64, WatchCb>,
+    watch_meta: HashMap<u64, String>, // id -> prefix, for re-registration
+    next_watch_id: u64,
+}
+
+/// Handle used by DLaaS components to talk to etcd. Cloning shares the
+/// handle (same address, same watch table).
+///
+/// All operations are asynchronous: the callback fires when the operation
+/// completes or the retry budget is exhausted. Writes are linearizable
+/// (they commit through Raft); reads are linearizable (ReadIndex).
+#[derive(Clone)]
+pub struct EtcdClient {
+    addr: Addr,
+    rpc: EtcdRpc,
+    cluster_size: u32,
+    state: Rc<RefCell<ClientState>>,
+}
+
+impl std::fmt::Debug for EtcdClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtcdClient")
+            .field("addr", &self.addr)
+            .field("watches", &self.state.borrow().watches.len())
+            .finish()
+    }
+}
+
+impl EtcdClient {
+    /// Creates a client named `addr` against a cluster of `cluster_size`
+    /// servers reachable at [`etcd_addr`] addresses.
+    pub fn new(addr: String, rpc: EtcdRpc, watch_net: WatchNet, cluster_size: u32) -> Self {
+        let client = EtcdClient {
+            addr: Addr::new(format!("etcdc/{addr}")),
+            rpc,
+            cluster_size,
+            state: Rc::new(RefCell::new(ClientState {
+                leader_hint: None,
+                rr_cursor: 0,
+                watches: HashMap::new(),
+                watch_meta: HashMap::new(),
+                next_watch_id: 0,
+            })),
+        };
+        // Receive watch notifications at our address.
+        let st = client.state.clone();
+        watch_net.register(client.addr.clone(), move |sim, env| {
+            let WatchNotify { watch_id, events } = env.msg;
+            let cb = st.borrow().watches.get(&watch_id).cloned();
+            if let Some(cb) = cb {
+                for ev in &events {
+                    cb(sim, ev);
+                }
+            }
+        });
+        client
+    }
+
+    /// This client's network address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    fn pick_server(&self) -> NodeId {
+        let mut s = self.state.borrow_mut();
+        if let Some(l) = s.leader_hint {
+            return l;
+        }
+        let id = s.rr_cursor % self.cluster_size;
+        s.rr_cursor += 1;
+        id
+    }
+
+    fn request(
+        &self,
+        sim: &mut Sim,
+        req: EtcdRequest,
+        attempts_left: u32,
+        done: impl FnOnce(&mut Sim, Result<EtcdResponse, EtcdError>) + 'static,
+    ) {
+        if attempts_left == 0 {
+            done(sim, Err(EtcdError::Unavailable));
+            return;
+        }
+        let target = self.pick_server();
+        let me = self.clone();
+        self.rpc.call(
+            sim,
+            self.addr.clone(),
+            etcd_addr(target),
+            req.clone(),
+            RPC_TIMEOUT,
+            move |sim, result| match result {
+                Ok(EtcdResponse::NotLeader { hint }) => {
+                    {
+                        let mut s = me.state.borrow_mut();
+                        s.leader_hint = hint.filter(|h| *h != target);
+                    }
+                    let me2 = me.clone();
+                    sim.schedule_in(RETRY_BACKOFF, move |sim| {
+                        me2.request(sim, req, attempts_left - 1, done);
+                    });
+                }
+                Ok(resp) => {
+                    me.state.borrow_mut().leader_hint = Some(target);
+                    done(sim, Ok(resp));
+                }
+                Err(RpcError::Timeout) | Err(RpcError::NoEndpoint(_)) => {
+                    me.state.borrow_mut().leader_hint = None;
+                    let me2 = me.clone();
+                    sim.schedule_in(RETRY_BACKOFF, move |sim| {
+                        me2.request(sim, req, attempts_left - 1, done);
+                    });
+                }
+                Err(RpcError::Remote(m)) => done(sim, Err(EtcdError::Failed(m))),
+            },
+        );
+    }
+
+    /// Sets `key` to `value`; the callback receives the commit revision.
+    pub fn put(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        value: impl Into<String>,
+        done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::Put {
+            key: key.into(),
+            value: value.into(),
+        };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(sim, r.map(expect_revision));
+        });
+    }
+
+    /// Linearizable read of `key`.
+    pub fn get(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        done: impl FnOnce(&mut Sim, Result<Option<String>, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::Get { key: key.into() };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(
+                sim,
+                r.map(|resp| match resp {
+                    EtcdResponse::Value { value, .. } => value,
+                    other => panic!("unexpected response to Get: {other:?}"),
+                }),
+            );
+        });
+    }
+
+    /// Linearizable read of every key under `prefix`.
+    pub fn get_prefix(
+        &self,
+        sim: &mut Sim,
+        prefix: impl Into<String>,
+        done: impl FnOnce(&mut Sim, Result<Vec<(String, String)>, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::GetPrefix {
+            prefix: prefix.into(),
+        };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(
+                sim,
+                r.map(|resp| match resp {
+                    EtcdResponse::Values { pairs, .. } => pairs,
+                    other => panic!("unexpected response to GetPrefix: {other:?}"),
+                }),
+            );
+        });
+    }
+
+    /// Removes `key`.
+    pub fn delete(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::Delete { key: key.into() };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(sim, r.map(expect_revision));
+        });
+    }
+
+    /// Removes every key under `prefix`.
+    pub fn delete_prefix(
+        &self,
+        sim: &mut Sim,
+        prefix: impl Into<String>,
+        done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::DeletePrefix {
+            prefix: prefix.into(),
+        };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(sim, r.map(expect_revision));
+        });
+    }
+
+    /// Compare-and-swap; callback receives whether the swap applied.
+    pub fn cas(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        expect: Option<String>,
+        value: Option<String>,
+        done: impl FnOnce(&mut Sim, Result<bool, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::Cas {
+            key: key.into(),
+            expect,
+            value,
+        };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(
+                sim,
+                r.map(|resp| match resp {
+                    EtcdResponse::CasResult { succeeded, .. } => succeeded,
+                    other => panic!("unexpected response to Cas: {other:?}"),
+                }),
+            );
+        });
+    }
+
+    /// Registers a prefix watch on every cluster node (so notifications
+    /// survive any single server crash) and dispatches events to
+    /// `on_event`. Delivery is at-least-once: with `n` servers alive each
+    /// event arrives up to `n` times, so handlers must be idempotent —
+    /// DLaaS status updates are (they are keyed puts).
+    ///
+    /// Returns the watch id, usable with [`EtcdClient::unwatch`].
+    pub fn watch_prefix(
+        &self,
+        sim: &mut Sim,
+        prefix: impl Into<String>,
+        on_event: impl Fn(&mut Sim, &KvEvent) + 'static,
+    ) -> u64 {
+        let prefix = prefix.into();
+        let watch_id = {
+            let mut s = self.state.borrow_mut();
+            s.next_watch_id += 1;
+            let id = s.next_watch_id;
+            s.watches.insert(id, Rc::new(on_event));
+            s.watch_meta.insert(id, prefix.clone());
+            id
+        };
+        self.register_watch_everywhere(sim, watch_id, prefix);
+        watch_id
+    }
+
+    fn register_watch_everywhere(&self, sim: &mut Sim, watch_id: u64, prefix: String) {
+        for server in 0..self.cluster_size {
+            let req = EtcdRequest::WatchCreate {
+                prefix: prefix.clone(),
+                watcher: self.addr.clone(),
+                watch_id,
+            };
+            // Fire-and-forget with a long per-server retry budget; a down
+            // server gets the registration again via `rewatch`.
+            self.rpc.call(
+                sim,
+                self.addr.clone(),
+                etcd_addr(server),
+                req,
+                RPC_TIMEOUT,
+                |_sim, _result| {},
+            );
+        }
+    }
+
+    /// Re-registers all watches on all servers. Call after a known etcd
+    /// node restart (a restarted node loses its watch registry); cheap and
+    /// idempotent-safe to call periodically.
+    pub fn rewatch(&self, sim: &mut Sim) {
+        let metas: Vec<(u64, String)> = self
+            .state
+            .borrow()
+            .watch_meta
+            .iter()
+            .map(|(id, p)| (*id, p.clone()))
+            .collect();
+        for (id, prefix) in metas {
+            self.register_watch_everywhere(sim, id, prefix);
+        }
+    }
+
+    /// Cancels a watch locally and on all servers.
+    pub fn unwatch(&self, sim: &mut Sim, watch_id: u64) {
+        {
+            let mut s = self.state.borrow_mut();
+            s.watches.remove(&watch_id);
+            s.watch_meta.remove(&watch_id);
+        }
+        for server in 0..self.cluster_size {
+            let req = EtcdRequest::WatchCancel {
+                watch_id,
+                watcher: self.addr.clone(),
+            };
+            self.rpc.call(
+                sim,
+                self.addr.clone(),
+                etcd_addr(server),
+                req,
+                RPC_TIMEOUT,
+                |_sim, _result| {},
+            );
+        }
+    }
+}
+
+fn expect_revision(resp: EtcdResponse) -> Revision {
+    match resp {
+        EtcdResponse::Ok { revision } => revision,
+        other => panic!("unexpected response to mutation: {other:?}"),
+    }
+}

@@ -1,0 +1,306 @@
+//! The etcd server: one per Raft node.
+//!
+//! Serves client requests over RPC, proposing mutations through its Raft
+//! node and serving reads via ReadIndex. The server's volatile core (KV
+//! store, watch registry, pending proposals) is rebuilt from the Raft log
+//! on restart — exactly the recovery model of real etcd.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dlaas_net::{Addr, Net, Responder, RpcLayer};
+use dlaas_raft::{NodeId, Raft};
+use dlaas_sim::Sim;
+
+use crate::kv::{KvCommand, KvOp, KvState};
+use crate::proto::{etcd_addr, EtcdRequest, EtcdResponse, WatchNotify};
+
+/// RPC layer type used by etcd.
+pub type EtcdRpc = RpcLayer<EtcdRequest, EtcdResponse>;
+/// One-way channel type for watch notifications.
+pub type WatchNet = Net<WatchNotify>;
+
+struct WatchReg {
+    watch_id: u64,
+    prefix: String,
+    watcher: Addr,
+}
+
+/// Volatile per-server state, dropped wholesale on crash.
+pub struct ServerCore {
+    kv: KvState,
+    watches: Vec<WatchReg>,
+    pending: HashMap<u64, Responder<EtcdRequest, EtcdResponse>>,
+    next_req_id: u64,
+    /// Server incarnation, bumped on restart; stale pendings die with it.
+    incarnation: u64,
+}
+
+impl std::fmt::Debug for ServerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCore")
+            .field("keys", &self.kv.len())
+            .field("watches", &self.watches.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl ServerCore {
+    /// A fresh core for the given incarnation (crate-internal: used by the
+    /// cluster harness when booting or restarting a node).
+    pub(crate) fn fresh(incarnation: u64) -> Self {
+        Self::new(incarnation)
+    }
+
+    fn new(incarnation: u64) -> Self {
+        ServerCore {
+            kv: KvState::new(),
+            watches: Vec::new(),
+            pending: HashMap::new(),
+            // req_ids are namespaced by incarnation so a restarted server
+            // never collides with commands it proposed before crashing.
+            next_req_id: incarnation << 32,
+            incarnation,
+        }
+    }
+}
+
+/// One etcd server bound to one Raft node.
+pub struct EtcdServer {
+    id: NodeId,
+    raft: Raft<KvCommand>,
+    core: Rc<RefCell<ServerCore>>,
+    rpc: EtcdRpc,
+}
+
+impl std::fmt::Debug for EtcdServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtcdServer")
+            .field("id", &self.id)
+            .field("core", &*self.core.borrow())
+            .finish()
+    }
+}
+
+impl EtcdServer {
+    /// Wires a server around an existing Raft node and starts serving.
+    pub fn new(
+        id: NodeId,
+        raft: Raft<KvCommand>,
+        core: Rc<RefCell<ServerCore>>,
+        rpc: EtcdRpc,
+    ) -> Rc<Self> {
+        let server = Rc::new(EtcdServer { id, raft, core, rpc });
+        server.start_serving();
+        server
+    }
+
+    /// Builds the Raft snapshot hooks for this server's core: `take`
+    /// serializes the KV store (it is exactly the applied state), and
+    /// `restore` replaces it wholesale — used both for leader-shipped
+    /// InstallSnapshot and for recovery from a compacted on-disk log.
+    pub fn make_snapshot_hooks(core: Rc<RefCell<ServerCore>>) -> dlaas_raft::SnapshotHooks {
+        let take_core = core.clone();
+        dlaas_raft::SnapshotHooks {
+            take: Box::new(move || {
+                serde_json::to_vec(&take_core.borrow().kv).expect("kv state serializes")
+            }),
+            restore: Box::new(move |_sim, _idx, data| {
+                let kv: KvState =
+                    serde_json::from_slice(data).expect("snapshot deserializes");
+                core.borrow_mut().kv = kv;
+            }),
+        }
+    }
+
+    /// Builds the Raft apply callback for this server's core: applies each
+    /// committed command to the KV store, fans out watch events, and
+    /// answers the pending client RPC when this server proposed the command.
+    pub fn make_apply(
+        core: Rc<RefCell<ServerCore>>,
+        watch_net: WatchNet,
+        self_addr: Addr,
+    ) -> dlaas_raft::ApplyFn<KvCommand> {
+        Box::new(move |sim, _idx, cmd| {
+            let (outcome, notifications, responder) = {
+                let mut c = core.borrow_mut();
+                let outcome = c.kv.apply(cmd);
+                let mut notifications = Vec::new();
+                for w in &c.watches {
+                    let events: Vec<_> = outcome
+                        .events
+                        .iter()
+                        .filter(|e| e.key().starts_with(&w.prefix))
+                        .cloned()
+                        .collect();
+                    if !events.is_empty() {
+                        notifications.push((
+                            w.watcher.clone(),
+                            WatchNotify {
+                                watch_id: w.watch_id,
+                                events,
+                            },
+                        ));
+                    }
+                }
+                let responder = c.pending.remove(&cmd.req_id);
+                (outcome, notifications, responder)
+            };
+            for (watcher, notify) in notifications {
+                watch_net.send(sim, self_addr.clone(), watcher, notify);
+            }
+            if let Some(r) = responder {
+                let resp = match cmd.op {
+                    KvOp::Cas { .. } => EtcdResponse::CasResult {
+                        succeeded: outcome.succeeded,
+                        revision: outcome.revision,
+                    },
+                    _ => EtcdResponse::Ok {
+                        revision: outcome.revision,
+                    },
+                };
+                r.ok(sim, resp);
+            }
+        })
+    }
+
+    fn start_serving(self: &Rc<Self>) {
+        let me = Rc::downgrade(self);
+        self.rpc.serve(etcd_addr(self.id), move |sim, req, responder| {
+            if let Some(server) = me.upgrade() {
+                server.handle(sim, req, responder);
+            }
+        });
+    }
+
+    /// Re-registers the RPC handler (after restart).
+    pub fn resume(self: &Rc<Self>) {
+        self.start_serving();
+    }
+
+    /// This server's Raft handle.
+    pub fn raft(&self) -> &Raft<KvCommand> {
+        &self.raft
+    }
+
+    /// The volatile core (for the cluster harness to reset on restart).
+    pub fn core(&self) -> &Rc<RefCell<ServerCore>> {
+        &self.core
+    }
+
+    /// Direct read-only access to this replica's KV state (test/debug aid;
+    /// not linearizable).
+    pub fn kv_snapshot(&self) -> KvState {
+        self.core.borrow().kv.clone()
+    }
+
+    fn handle(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        req: EtcdRequest,
+        responder: Responder<EtcdRequest, EtcdResponse>,
+    ) {
+        match req {
+            EtcdRequest::Put { key, value } => {
+                self.propose(sim, KvOp::Put { key, value }, responder)
+            }
+            EtcdRequest::Delete { key } => self.propose(sim, KvOp::Delete { key }, responder),
+            EtcdRequest::DeletePrefix { prefix } => {
+                self.propose(sim, KvOp::DeletePrefix { prefix }, responder)
+            }
+            EtcdRequest::Cas { key, expect, value } => {
+                self.propose(sim, KvOp::Cas { key, expect, value }, responder)
+            }
+            EtcdRequest::Get { key } => {
+                self.linearizable_read(sim, responder, move |kv| EtcdResponse::Value {
+                    value: kv.get(&key).map(|v| v.value.clone()),
+                    revision: kv.revision(),
+                });
+            }
+            EtcdRequest::GetPrefix { prefix } => {
+                self.linearizable_read(sim, responder, move |kv| EtcdResponse::Values {
+                    pairs: kv.get_prefix(&prefix),
+                    revision: kv.revision(),
+                });
+            }
+            EtcdRequest::WatchCreate {
+                prefix,
+                watcher,
+                watch_id,
+            } => {
+                self.core.borrow_mut().watches.push(WatchReg {
+                    watch_id,
+                    prefix,
+                    watcher,
+                });
+                responder.ok(sim, EtcdResponse::WatchAck);
+            }
+            EtcdRequest::WatchCancel { watch_id, watcher } => {
+                self.core
+                    .borrow_mut()
+                    .watches
+                    .retain(|w| !(w.watch_id == watch_id && w.watcher == watcher));
+                responder.ok(sim, EtcdResponse::WatchAck);
+            }
+        }
+    }
+
+    /// Serves a linearizable read: rejects fast on followers, otherwise
+    /// answers from the local KV once ReadIndex confirms leadership and
+    /// application has caught up.
+    fn linearizable_read(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        responder: Responder<EtcdRequest, EtcdResponse>,
+        read: impl FnOnce(&KvState) -> EtcdResponse + 'static,
+    ) {
+        if self.raft.role() != dlaas_raft::Role::Leader {
+            responder.ok(
+                sim,
+                EtcdResponse::NotLeader {
+                    hint: self.raft.leader_hint(),
+                },
+            );
+            return;
+        }
+        let core = self.core.clone();
+        let incarnation = core.borrow().incarnation;
+        // The Err arm is unreachable after the role check above within one
+        // event; if a step-down races in, the read fails via `ok = false`.
+        let _ = self.raft.read_index(sim, move |sim, ok| {
+            let resp = {
+                let c = core.borrow();
+                if !ok || c.incarnation != incarnation {
+                    EtcdResponse::NotLeader { hint: None }
+                } else {
+                    read(&c.kv)
+                }
+            };
+            responder.ok(sim, resp);
+        });
+    }
+
+    fn propose(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        op: KvOp,
+        responder: Responder<EtcdRequest, EtcdResponse>,
+    ) {
+        let req_id = {
+            let mut c = self.core.borrow_mut();
+            c.next_req_id += 1;
+            c.next_req_id
+        };
+        match self.raft.propose(sim, KvCommand { req_id, op }) {
+            Ok(_) => {
+                self.core.borrow_mut().pending.insert(req_id, responder);
+            }
+            Err(nl) => {
+                responder.ok(sim, EtcdResponse::NotLeader { hint: nl.hint });
+            }
+        }
+    }
+}
+

@@ -1,0 +1,434 @@
+//! # dlaas-faults — fault injection & recovery measurement
+//!
+//! The paper produced its Fig. 4 by "manually crashing various components
+//! (using the kubectl tool of K8S) and measuring time taken for the
+//! component to restart". This crate is that experiment, scripted:
+//!
+//! * [`FaultAction`] / [`FaultPlan`] — deterministic schedules of pod and
+//!   node faults applied to a [`Kube`] cluster,
+//! * [`measure_recovery`] — a stopwatch from fault to a recovery
+//!   predicate becoming true,
+//! * [`ChaosMonkey`] — probabilistic recurring faults against pods
+//!   matching a label selector (for soak/property tests),
+//! * [`RecoveryStats`] — min/mean/max aggregation across trials.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlaas_faults::measure_recovery;
+//! use dlaas_kube::{BehaviorRegistry, ContainerSpec, ImageRef, Kube, KubeConfig, NodeSpec,
+//!                  PodPhase, PodSpec};
+//! use dlaas_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(1);
+//! let registry = BehaviorRegistry::new();
+//! registry.register_noop("pause");
+//! let kube = Kube::new(&mut sim, KubeConfig::default(), registry);
+//! kube.add_node(NodeSpec::cpu("n1", 8000, 32768));
+//! kube.create_deployment(&mut sim, "api", 1,
+//!     PodSpec::new("api", ContainerSpec::new("m", ImageRef::microservice("api"), "pause")));
+//! sim.run_for(SimDuration::from_secs(10));
+//!
+//! let k = kube.clone();
+//! let k2 = kube.clone();
+//! let recovery = measure_recovery(
+//!     &mut sim,
+//!     move |sim| { k.delete_pod(sim, "api-0"); },
+//!     move |sim| k2.pod_ready(sim, "api-0"),
+//!     SimDuration::from_secs(60),
+//! ).expect("pod must recover");
+//! assert!(recovery < SimDuration::from_secs(10));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use dlaas_kube::{Kube, Labels, PodPhase};
+use dlaas_sim::{Sim, SimDuration, SimRng, SimTime, TimerHandle};
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Crash a pod's processes (kubelet restarts it in place).
+    CrashPod(String),
+    /// Delete a pod (`kubectl delete pod`; owner recreates it).
+    DeletePod(String),
+    /// Crash a node (owned pods are rescheduled elsewhere).
+    CrashNode(String),
+    /// Bring a crashed node back.
+    RestartNode(String),
+}
+
+impl FaultAction {
+    /// Applies the fault to the cluster. Returns `false` when the target
+    /// did not exist or was not in a crashable state.
+    pub fn apply(&self, sim: &mut Sim, kube: &Kube) -> bool {
+        match self {
+            FaultAction::CrashPod(p) => kube.crash_pod(sim, p),
+            FaultAction::DeletePod(p) => kube.delete_pod(sim, p),
+            FaultAction::CrashNode(n) => kube.crash_node(sim, n),
+            FaultAction::RestartNode(n) => kube.restart_node(sim, n),
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::CrashPod(p) => write!(f, "crash pod {p}"),
+            FaultAction::DeletePod(p) => write!(f, "delete pod {p}"),
+            FaultAction::CrashNode(n) => write!(f, "crash node {n}"),
+            FaultAction::RestartNode(n) => write!(f, "restart node {n}"),
+        }
+    }
+}
+
+/// A deterministic schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault at an absolute simulated time.
+    pub fn at(mut self, t: SimTime, action: FaultAction) -> Self {
+        self.entries.push((t, action));
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Arms every fault on the simulation against `kube`. Faults whose
+    /// time is already past fire immediately.
+    pub fn arm(self, sim: &mut Sim, kube: &Kube) {
+        for (t, action) in self.entries {
+            let kube = kube.clone();
+            let at = t.max(sim.now());
+            sim.schedule_at(at, move |sim| {
+                sim.record("faults", format!("injecting: {action}"));
+                action.apply(sim, &kube);
+            });
+        }
+    }
+}
+
+/// Injects `fault`, then runs the simulation until `recovered` returns
+/// `true`, and reports the elapsed simulated time. Returns `None` when the
+/// deadline passes first.
+pub fn measure_recovery(
+    sim: &mut Sim,
+    fault: impl FnOnce(&mut Sim),
+    mut recovered: impl FnMut(&Sim) -> bool,
+    timeout: SimDuration,
+) -> Option<SimDuration> {
+    let start = sim.now();
+    let deadline = start + timeout;
+    fault(sim);
+    loop {
+        if recovered(sim) {
+            return Some(sim.now() - start);
+        }
+        match sim.peek_time() {
+            Some(t) if t <= deadline => {
+                sim.step();
+            }
+            _ => {
+                // Quiet period: some recovery conditions (e.g. readiness)
+                // are time thresholds rather than events — tick the clock
+                // forward until the deadline.
+                if sim.now() >= deadline {
+                    return None;
+                }
+                let next = (sim.now() + SimDuration::from_millis(50)).min(deadline);
+                sim.run_until(next);
+            }
+        }
+    }
+}
+
+/// Aggregates recovery times across trials.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    samples: Vec<SimDuration>,
+}
+
+impl RecoveryStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            let total: u64 = self.samples.iter().map(|d| d.as_micros()).sum();
+            Some(SimDuration::from_micros(total / self.samples.len() as u64))
+        }
+    }
+
+    /// Formats as `"min-max s"` the way the paper's Fig. 4 reports ranges.
+    pub fn range_secs(&self) -> String {
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => format!("{:.1}-{:.1}s", lo.as_secs_f64(), hi.as_secs_f64()),
+            _ => "n/a".to_owned(),
+        }
+    }
+}
+
+/// Recurring probabilistic pod crashes against a label selector.
+#[derive(Debug)]
+pub struct ChaosMonkey {
+    handle: TimerHandle,
+}
+
+impl ChaosMonkey {
+    /// Every `period`, with probability `p`, crashes one random Running
+    /// pod matching `selector`.
+    pub fn unleash(
+        sim: &mut Sim,
+        kube: &Kube,
+        selector: Labels,
+        period: SimDuration,
+        p: f64,
+    ) -> Self {
+        let kube = kube.clone();
+        let mut rng: SimRng = sim.rng().fork("chaos-monkey");
+        let handle = dlaas_sim::every(sim, period, move |sim, _n| {
+            if !rng.chance(p) {
+                return true;
+            }
+            let candidates: Vec<String> = kube
+                .pods_matching(&selector)
+                .into_iter()
+                .filter(|p| kube.pod_phase(p) == Some(PodPhase::Running))
+                .collect();
+            if let Some(victim) = rng.choose(&candidates).cloned() {
+                sim.record("chaos-monkey", format!("crashing {victim}"));
+                kube.crash_pod(sim, &victim);
+            }
+            true
+        });
+        ChaosMonkey { handle }
+    }
+
+    /// Stops the chaos.
+    pub fn stop(&self) {
+        self.handle.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlaas_kube::{
+        labels, BehaviorRegistry, ContainerSpec, ImageRef, KubeConfig, NodeSpec, PodSpec,
+    };
+
+    fn boot(seed: u64) -> (Sim, Kube) {
+        let mut sim = Sim::new(seed);
+        sim.trace_mut().set_enabled(false);
+        let registry = BehaviorRegistry::new();
+        registry.register_noop("pause");
+        let kube = Kube::new(&mut sim, KubeConfig::default(), registry);
+        kube.add_node(NodeSpec::cpu("n1", 16000, 65536));
+        kube.add_node(NodeSpec::cpu("n2", 16000, 65536));
+        (sim, kube)
+    }
+
+    fn pod(name: &str) -> PodSpec {
+        PodSpec::new(
+            name,
+            ContainerSpec::new("m", ImageRef::microservice("svc"), "pause"),
+        )
+        .with_labels(labels! {"app" => "svc"})
+    }
+
+    #[test]
+    fn plan_arms_and_fires_in_order() {
+        let (mut sim, kube) = boot(1);
+        kube.create_deployment(&mut sim, "svc", 2, pod("svc"));
+        sim.run_for(SimDuration::from_secs(10));
+
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(15), FaultAction::CrashPod("svc-0".into()))
+            .at(SimTime::from_secs(20), FaultAction::DeletePod("svc-1".into()));
+        assert_eq!(plan.len(), 2);
+        plan.arm(&mut sim, &kube);
+
+        sim.run_until(SimTime::from_secs(16));
+        assert_eq!(kube.pod_restarts("svc-0"), Some(1));
+        sim.run_for(SimDuration::from_secs(60));
+        // Both recovered by their respective mechanisms.
+        assert!(kube.pod_ready(&sim, "svc-0"));
+        assert!(kube.pod_ready(&sim, "svc-1"));
+    }
+
+    #[test]
+    fn past_faults_fire_immediately() {
+        let (mut sim, kube) = boot(2);
+        kube.create_deployment(&mut sim, "svc", 1, pod("svc"));
+        sim.run_for(SimDuration::from_secs(10));
+        FaultPlan::new()
+            .at(SimTime::ZERO, FaultAction::CrashPod("svc-0".into()))
+            .arm(&mut sim, &kube);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(kube.pod_restarts("svc-0"), Some(1));
+    }
+
+    #[test]
+    fn apply_reports_missing_targets() {
+        let (mut sim, kube) = boot(3);
+        assert!(!FaultAction::CrashPod("ghost".into()).apply(&mut sim, &kube));
+        assert!(!FaultAction::DeletePod("ghost".into()).apply(&mut sim, &kube));
+        assert!(!FaultAction::CrashNode("ghost".into()).apply(&mut sim, &kube));
+        assert!(!FaultAction::RestartNode("ghost".into()).apply(&mut sim, &kube));
+        assert!(FaultAction::CrashNode("n1".into()).apply(&mut sim, &kube));
+        assert!(FaultAction::RestartNode("n1".into()).apply(&mut sim, &kube));
+    }
+
+    #[test]
+    fn measure_recovery_returns_elapsed() {
+        let (mut sim, kube) = boot(4);
+        kube.create_deployment(&mut sim, "svc", 1, pod("svc"));
+        sim.run_for(SimDuration::from_secs(10));
+        let k = kube.clone();
+        let k2 = kube.clone();
+        let r = measure_recovery(
+            &mut sim,
+            move |sim| {
+                k.delete_pod(sim, "svc-0");
+            },
+            move |sim| k2.pod_ready(sim, "svc-0"),
+            SimDuration::from_secs(60),
+        )
+        .unwrap();
+        assert!(r > SimDuration::from_millis(500));
+        assert!(r < SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn measure_recovery_times_out() {
+        let (mut sim, kube) = boot(5);
+        kube.create_pod(
+            &mut sim,
+            pod("solo").with_restart_policy(dlaas_kube::RestartPolicy::Never),
+        );
+        sim.run_for(SimDuration::from_secs(10));
+        let k = kube.clone();
+        let k2 = kube.clone();
+        let r = measure_recovery(
+            &mut sim,
+            move |sim| {
+                k.crash_pod(sim, "solo");
+            },
+            move |sim| k2.pod_ready(sim, "solo"),
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(r, None, "Never-restart pod cannot recover");
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut st = RecoveryStats::new();
+        assert!(st.is_empty());
+        assert_eq!(st.mean(), None);
+        st.push(SimDuration::from_secs(3));
+        st.push(SimDuration::from_secs(5));
+        st.push(SimDuration::from_secs(4));
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.min(), Some(SimDuration::from_secs(3)));
+        assert_eq!(st.max(), Some(SimDuration::from_secs(5)));
+        assert_eq!(st.mean(), Some(SimDuration::from_secs(4)));
+        assert_eq!(st.range_secs(), "3.0-5.0s");
+        assert_eq!(RecoveryStats::new().range_secs(), "n/a");
+    }
+
+    #[test]
+    fn chaos_monkey_crashes_and_cluster_recovers() {
+        let (mut sim, kube) = boot(6);
+        kube.create_deployment(&mut sim, "svc", 3, pod("svc"));
+        sim.run_for(SimDuration::from_secs(10));
+
+        let monkey = ChaosMonkey::unleash(
+            &mut sim,
+            &kube,
+            labels! {"app" => "svc"},
+            SimDuration::from_secs(10),
+            0.7,
+        );
+        sim.run_for(SimDuration::from_secs(120));
+        monkey.stop();
+        let total_restarts: u32 = (0..3)
+            .map(|i| kube.pod_restarts(&format!("svc-{i}")).unwrap_or(0))
+            .sum();
+        assert!(total_restarts > 0, "monkey must have struck at least once");
+
+        // After the monkey stops everything converges back to Running.
+        sim.run_for(SimDuration::from_secs(600));
+        for i in 0..3 {
+            assert!(kube.pod_ready(&sim, &format!("svc-{i}")), "svc-{i} not recovered");
+        }
+    }
+
+    #[test]
+    fn chaos_monkey_determinism() {
+        fn run(seed: u64) -> u32 {
+            let (mut sim, kube) = boot(seed);
+            kube.create_deployment(&mut sim, "svc", 3, pod("svc"));
+            sim.run_for(SimDuration::from_secs(10));
+            let _m = ChaosMonkey::unleash(
+                &mut sim,
+                &kube,
+                labels! {"app" => "svc"},
+                SimDuration::from_secs(5),
+                0.5,
+            );
+            sim.run_for(SimDuration::from_secs(200));
+            (0..3)
+                .map(|i| kube.pod_restarts(&format!("svc-{i}")).unwrap_or(0))
+                .sum()
+        }
+        assert_eq!(run(9), run(9));
+    }
+}

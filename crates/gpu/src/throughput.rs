@@ -1,0 +1,379 @@
+//! The analytic training-throughput model.
+//!
+//! Calibrated to published single-GPU throughputs (TensorFlow
+//! tf_cnn_benchmarks and jcjohnson/cnn-benchmarks, the suites cited by the
+//! paper), then extended from first principles:
+//!
+//! * **multi-GPU scaling** — ring allreduce: `2(n-1)/n · gradient_bytes`
+//!   per step over the intra-node interconnect, partially overlapped with
+//!   backprop (per-framework overlap factor),
+//! * **multi-learner scaling** — the same exchange over the cluster
+//!   network (1 GbE in the paper's testbed),
+//! * **input pipeline** — images stream from the object store over the
+//!   node NIC; throughput is capped by `link_bw / bytes_per_image`,
+//! * **containerization & platform overhead** — a small multiplicative
+//!   penalty for the container runtime plus a CPU-steal term for the
+//!   helper containers sharing the node (this is what Fig. 2 measures),
+//! * **SXM2 clock advantage** — DGX-1 parts run higher clocks; the
+//!   benefit is model-dependent (compute-dense models gain most).
+
+use crate::devices::{GpuKind, Interconnect};
+use crate::models::{DlModel, Framework};
+
+/// Containerized execution costs ~0.8% (cgroup/NAT/volume plumbing).
+pub const CONTAINER_FACTOR: f64 = 0.992;
+
+/// Input-pipeline efficiency when streaming (decode/prefetch overlap).
+const STREAM_EFFICIENCY: f64 = 0.95;
+
+/// A training job's hardware/software shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// The neural network being trained.
+    pub model: DlModel,
+    /// The DL framework running it.
+    pub framework: Framework,
+    /// GPU model used by every learner.
+    pub gpu: GpuKind,
+    /// GPUs per learner process.
+    pub gpus_per_learner: u32,
+    /// Number of learner processes (distributed training when > 1).
+    pub learners: u32,
+    /// Link between GPUs inside one learner's node.
+    pub intra_interconnect: Interconnect,
+    /// Link between learners (cluster network).
+    pub inter_interconnect: Interconnect,
+    /// Per-GPU minibatch.
+    pub batch_per_gpu: u32,
+}
+
+impl TrainingConfig {
+    /// A single-learner configuration with the model's default batch and
+    /// the GPU's native interconnect.
+    pub fn new(model: DlModel, framework: Framework, gpu: GpuKind, gpus: u32) -> Self {
+        TrainingConfig {
+            model,
+            framework,
+            gpu,
+            gpus_per_learner: gpus,
+            learners: 1,
+            intra_interconnect: gpu.native_interconnect(),
+            inter_interconnect: Interconnect::Ethernet1G,
+            batch_per_gpu: model.batch_per_gpu(),
+        }
+    }
+
+    /// Same configuration distributed across `learners` learner processes.
+    pub fn distributed(mut self, learners: u32) -> Self {
+        self.learners = learners;
+        self
+    }
+
+    /// Total GPUs across all learners.
+    pub fn total_gpus(&self) -> u32 {
+        self.gpus_per_learner * self.learners
+    }
+
+    /// Global minibatch (all GPUs, all learners).
+    pub fn global_batch(&self) -> u32 {
+        self.batch_per_gpu * self.total_gpus()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gpus_per_learner == 0 {
+            return Err("gpus_per_learner must be positive".into());
+        }
+        if self.learners == 0 {
+            return Err("learners must be positive".into());
+        }
+        if self.batch_per_gpu == 0 {
+            return Err("batch_per_gpu must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Where and how the job runs (bare metal vs inside the platform).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecEnv {
+    /// Learner runs in a container (DLaaS) rather than on bare metal.
+    pub containerized: bool,
+    /// Fraction of node compute stolen by co-located platform processes
+    /// (helper containers, log collection, status updates).
+    pub platform_steal: f64,
+    /// NIC bandwidth available for streaming training data, bytes/sec
+    /// (`None` = data is node-local, no streaming cap).
+    pub input_bytes_per_sec: Option<f64>,
+}
+
+impl ExecEnv {
+    /// Bare-metal execution with node-local data (the paper's baseline).
+    pub fn bare_metal() -> Self {
+        ExecEnv {
+            containerized: false,
+            platform_steal: 0.0,
+            input_bytes_per_sec: None,
+        }
+    }
+
+    /// Bare metal, streaming training data over a link (the Fig. 2
+    /// baseline streams from IBM COS over 1 GbE like the platform does).
+    pub fn bare_metal_streaming(bytes_per_sec: f64) -> Self {
+        ExecEnv {
+            containerized: false,
+            platform_steal: 0.0,
+            input_bytes_per_sec: Some(bytes_per_sec),
+        }
+    }
+
+    /// Inside DLaaS: containerized, sharing the node with helpers, and
+    /// streaming data over the given link.
+    pub fn dlaas(bytes_per_sec: f64, platform_steal: f64) -> Self {
+        ExecEnv {
+            containerized: true,
+            platform_steal,
+            input_bytes_per_sec: Some(bytes_per_sec),
+        }
+    }
+}
+
+/// Calibrated single-GPU TensorFlow throughput (images/sec).
+fn base_throughput(gpu: GpuKind, model: DlModel) -> f64 {
+    // PCIe parts calibrated directly; SXM2 = PCIe sibling × clock benefit.
+    match (gpu, model) {
+        (GpuKind::K80, DlModel::Vgg16) => 21.0,
+        (GpuKind::K80, DlModel::Resnet50) => 52.0,
+        (GpuKind::K80, DlModel::InceptionV3) => 30.0,
+        (GpuKind::P100Pcie, DlModel::Vgg16) => 133.0,
+        (GpuKind::P100Pcie, DlModel::Resnet50) => 205.0,
+        (GpuKind::P100Pcie, DlModel::InceptionV3) => 130.0,
+        (GpuKind::V100Pcie, DlModel::Vgg16) => 255.0,
+        (GpuKind::V100Pcie, DlModel::Resnet50) => 360.0,
+        (GpuKind::V100Pcie, DlModel::InceptionV3) => 220.0,
+        (GpuKind::P100Sxm2, m) => base_throughput(GpuKind::P100Pcie, m) * sxm2_factor(m),
+        (GpuKind::V100Sxm2, m) => base_throughput(GpuKind::V100Pcie, m) * sxm2_factor(m),
+    }
+}
+
+/// Throughput benefit of the SXM2 clocks, by model. Compute-dense models
+/// (VGG) track the clock delta; branchy/memory-bound models (Inception)
+/// benefit less.
+fn sxm2_factor(model: DlModel) -> f64 {
+    match model {
+        DlModel::Vgg16 => 1.065,
+        DlModel::Resnet50 => 1.060,
+        DlModel::InceptionV3 => 1.025,
+    }
+}
+
+/// Sustained training throughput in images/sec for `cfg` under `env`.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`TrainingConfig::validate`].
+pub fn images_per_sec(cfg: &TrainingConfig, env: &ExecEnv) -> f64 {
+    cfg.validate().expect("invalid training config");
+
+    let single = base_throughput(cfg.gpu, cfg.model) * cfg.framework.efficiency();
+
+    // --- intra-learner scaling (ring allreduce over n GPUs) -------------
+    let n = cfg.gpus_per_learner as f64;
+    let compute_secs = cfg.batch_per_gpu as f64 / single;
+    let overlap = cfg.framework.comm_overlap();
+    let intra_comm = if cfg.gpus_per_learner > 1 {
+        let bytes = 2.0 * (n - 1.0) / n * cfg.model.gradient_bytes() as f64;
+        let t = bytes / cfg.intra_interconnect.bytes_per_sec()
+            + cfg.intra_interconnect.latency_secs() * 2.0 * (n - 1.0);
+        t * (1.0 - overlap)
+    } else {
+        0.0
+    };
+
+    // --- inter-learner scaling (allreduce over m learners) --------------
+    let m = cfg.learners as f64;
+    let inter_comm = if cfg.learners > 1 {
+        let bytes = 2.0 * (m - 1.0) / m * cfg.model.gradient_bytes() as f64;
+        let t = bytes / cfg.inter_interconnect.bytes_per_sec()
+            + cfg.inter_interconnect.latency_secs() * 2.0 * (m - 1.0);
+        t * (1.0 - overlap)
+    } else {
+        0.0
+    };
+
+    let step_secs = compute_secs + intra_comm + inter_comm;
+    let mut rate = cfg.global_batch() as f64 / step_secs;
+
+    // --- environment penalties ------------------------------------------
+    if env.containerized {
+        rate *= CONTAINER_FACTOR;
+    }
+    rate *= (1.0 - env.platform_steal).max(0.0);
+
+    // --- input pipeline cap ----------------------------------------------
+    if let Some(bw) = env.input_bytes_per_sec {
+        // Each learner streams through its own NIC.
+        let per_learner_cap = bw * STREAM_EFFICIENCY / cfg.model.bytes_per_image() as f64;
+        let cap = per_learner_cap * m;
+        rate = rate.min(cap);
+    }
+
+    rate
+}
+
+/// Wall-clock seconds for `iterations` training steps.
+pub fn step_time_secs(cfg: &TrainingConfig, env: &ExecEnv) -> f64 {
+    cfg.global_batch() as f64 / images_per_sec(cfg, env)
+}
+
+/// Checkpoint size: fp32 weights plus optimizer state (~2× weights for
+/// momentum + variance), as uploaded to the object store.
+pub fn checkpoint_bytes(model: DlModel) -> u64 {
+    model.gradient_bytes() * 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(model: DlModel, gpu: GpuKind, gpus: u32) -> TrainingConfig {
+        TrainingConfig::new(model, Framework::TensorFlow, gpu, gpus)
+    }
+
+    #[test]
+    fn single_gpu_matches_calibration() {
+        let r = images_per_sec(&tf(DlModel::Resnet50, GpuKind::K80, 1), &ExecEnv::bare_metal());
+        assert!((r - 52.0).abs() < 0.5, "{r}");
+        let v = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Pcie, 1), &ExecEnv::bare_metal());
+        assert!((v - 133.0).abs() < 1.0, "{v}");
+    }
+
+    #[test]
+    fn scaling_is_sublinear_but_positive() {
+        for gpus in 2..=4 {
+            let r1 = images_per_sec(&tf(DlModel::Vgg16, GpuKind::K80, 1), &ExecEnv::bare_metal());
+            let rn = images_per_sec(&tf(DlModel::Vgg16, GpuKind::K80, gpus), &ExecEnv::bare_metal());
+            assert!(rn > r1 * (gpus as f64) * 0.6, "gpus={gpus}: {rn} vs {r1}");
+            assert!(rn < r1 * gpus as f64, "gpus={gpus}: super-linear scaling");
+        }
+    }
+
+    #[test]
+    fn vgg_scales_worst_due_to_gradient_size() {
+        let eff = |m: DlModel| {
+            let r1 = images_per_sec(&tf(m, GpuKind::P100Pcie, 1), &ExecEnv::bare_metal());
+            let r2 = images_per_sec(&tf(m, GpuKind::P100Pcie, 2), &ExecEnv::bare_metal());
+            r2 / (2.0 * r1)
+        };
+        assert!(eff(DlModel::Vgg16) < eff(DlModel::Resnet50));
+        assert!(eff(DlModel::Vgg16) < eff(DlModel::InceptionV3));
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_and_gap_grows_with_gpus() {
+        let gap = |gpus: u32| {
+            let pcie = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Pcie, gpus), &ExecEnv::bare_metal());
+            let dgx = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Sxm2, gpus), &ExecEnv::bare_metal());
+            (dgx - pcie) / dgx
+        };
+        assert!(gap(1) > 0.0);
+        assert!(gap(2) > gap(1), "NVLink advantage must grow with GPU count");
+        assert!(gap(2) < 0.20, "gap stays modest (paper: ≤ ~15%)");
+    }
+
+    #[test]
+    fn container_and_steal_penalties_apply() {
+        let cfg = tf(DlModel::Resnet50, GpuKind::K80, 1);
+        let bare = images_per_sec(&cfg, &ExecEnv::bare_metal());
+        let contained = images_per_sec(
+            &cfg,
+            &ExecEnv {
+                containerized: true,
+                platform_steal: 0.01,
+                input_bytes_per_sec: None,
+            },
+        );
+        let ratio = contained / bare;
+        assert!((0.975..0.995).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn slow_input_link_caps_throughput() {
+        let cfg = tf(DlModel::Resnet50, GpuKind::P100Pcie, 4);
+        let unlimited = images_per_sec(&cfg, &ExecEnv::bare_metal());
+        // 10 MB/s: ~93 images/sec max.
+        let starved = images_per_sec(&cfg, &ExecEnv::bare_metal_streaming(10e6));
+        assert!(starved < unlimited / 4.0);
+        assert!(starved < 95.0);
+    }
+
+    #[test]
+    fn one_gbe_does_not_bottleneck_the_papers_k80_cells() {
+        // The paper's Fig. 2 setup: K80 learners streaming over 1GbE. The
+        // small observed overheads imply streaming was not the bottleneck.
+        for model in DlModel::all() {
+            for gpus in 1..=4 {
+                let cfg = tf(model, GpuKind::K80, gpus);
+                let local = images_per_sec(&cfg, &ExecEnv::bare_metal());
+                let streamed = images_per_sec(&cfg, &ExecEnv::bare_metal_streaming(0.117e9));
+                assert!(
+                    (local - streamed).abs() / local < 0.01,
+                    "{model} x{gpus}: streaming changed throughput"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_learners_pay_cluster_network_cost() {
+        let single = tf(DlModel::Resnet50, GpuKind::P100Pcie, 1);
+        let distributed = tf(DlModel::Resnet50, GpuKind::P100Pcie, 1).distributed(4);
+        let r1 = images_per_sec(&single, &ExecEnv::bare_metal());
+        let r4 = images_per_sec(&distributed, &ExecEnv::bare_metal());
+        assert!(r4 > r1, "more learners must still help");
+        assert!(
+            r4 < 4.0 * r1 * 0.8,
+            "1GbE allreduce must hurt scaling noticeably: {r4} vs {r1}"
+        );
+        assert_eq!(distributed.total_gpus(), 4);
+        assert_eq!(distributed.global_batch(), 4 * 64);
+    }
+
+    #[test]
+    fn step_time_is_batch_over_rate() {
+        let cfg = tf(DlModel::Vgg16, GpuKind::K80, 2);
+        let env = ExecEnv::bare_metal();
+        let t = step_time_secs(&cfg, &env);
+        let r = images_per_sec(&cfg, &env);
+        assert!((t * r - cfg.global_batch() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoint_sizes() {
+        assert_eq!(checkpoint_bytes(DlModel::Vgg16), 138_357_544 * 12);
+        assert!(checkpoint_bytes(DlModel::Vgg16) > 4 * checkpoint_bytes(DlModel::Resnet50) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid training config")]
+    fn zero_gpus_panics() {
+        let mut cfg = tf(DlModel::Vgg16, GpuKind::K80, 1);
+        cfg.gpus_per_learner = 0;
+        images_per_sec(&cfg, &ExecEnv::bare_metal());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut cfg = tf(DlModel::Vgg16, GpuKind::K80, 1);
+        cfg.learners = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = tf(DlModel::Vgg16, GpuKind::K80, 1);
+        cfg.batch_per_gpu = 0;
+        assert!(cfg.validate().is_err());
+        assert!(tf(DlModel::Vgg16, GpuKind::K80, 1).validate().is_ok());
+    }
+}

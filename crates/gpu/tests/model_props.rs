@@ -1,0 +1,166 @@
+//! Property tests of the performance model: physical sanity must hold
+//! over the whole configuration space, not just the calibrated points.
+
+use dlaas_gpu::{
+    checkpoint_bytes, images_per_sec, DlModel, ExecEnv, Framework, GpuKind, Interconnect,
+    TrainingConfig,
+};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = DlModel> {
+    prop_oneof![
+        Just(DlModel::Vgg16),
+        Just(DlModel::Resnet50),
+        Just(DlModel::InceptionV3)
+    ]
+}
+
+fn any_framework() -> impl Strategy<Value = Framework> {
+    prop_oneof![
+        Just(Framework::Caffe),
+        Just(Framework::TensorFlow),
+        Just(Framework::Torch),
+        Just(Framework::Horovod)
+    ]
+}
+
+fn any_gpu() -> impl Strategy<Value = GpuKind> {
+    prop_oneof![
+        Just(GpuKind::K80),
+        Just(GpuKind::P100Pcie),
+        Just(GpuKind::P100Sxm2),
+        Just(GpuKind::V100Pcie),
+        Just(GpuKind::V100Sxm2)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn throughput_is_finite_and_positive(
+        model in any_model(),
+        framework in any_framework(),
+        gpu in any_gpu(),
+        gpus in 1..8u32,
+        learners in 1..8u32,
+    ) {
+        let cfg = TrainingConfig::new(model, framework, gpu, gpus).distributed(learners);
+        let rate = images_per_sec(&cfg, &ExecEnv::bare_metal());
+        prop_assert!(rate.is_finite() && rate > 0.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_but_scaling_is_sublinear(
+        model in any_model(),
+        framework in any_framework(),
+        gpu in any_gpu(),
+        gpus in 1..6u32,
+    ) {
+        let base = images_per_sec(
+            &TrainingConfig::new(model, framework, gpu, gpus),
+            &ExecEnv::bare_metal(),
+        );
+        let more = images_per_sec(
+            &TrainingConfig::new(model, framework, gpu, gpus + 1),
+            &ExecEnv::bare_metal(),
+        );
+        prop_assert!(more > base, "adding a GPU must help: {base} -> {more}");
+        let ideal = base / gpus as f64 * (gpus + 1) as f64;
+        prop_assert!(more <= ideal * 1.0001, "super-linear scaling: {more} > {ideal}");
+    }
+
+    #[test]
+    fn platform_environment_only_costs(
+        model in any_model(),
+        framework in any_framework(),
+        gpu in any_gpu(),
+        gpus in 1..5u32,
+        steal in 0.0f64..0.05,
+    ) {
+        let cfg = TrainingConfig::new(model, framework, gpu, gpus);
+        let bare = images_per_sec(&cfg, &ExecEnv::bare_metal());
+        let dlaas = images_per_sec(&cfg, &ExecEnv::dlaas(0.117e9, steal));
+        prop_assert!(dlaas <= bare, "the platform can never be free");
+        // The platform rate is exactly the penalized compute rate, capped
+        // by the streaming pipe: min(cap, bare · container · (1 − steal)).
+        let stream_cap = 0.117e9 * 0.95 / model.bytes_per_image() as f64;
+        let expected = (bare * dlaas_gpu::CONTAINER_FACTOR * (1.0 - steal)).min(stream_cap);
+        prop_assert!(
+            (dlaas - expected).abs() / expected < 1e-9,
+            "dlaas = {dlaas}, expected {expected}"
+        );
+        if bare < stream_cap {
+            // Not input-bound: overhead stays modest (Fig. 2's claim).
+            prop_assert!(
+                dlaas >= bare * 0.85,
+                "platform overhead must stay modest when not input-bound: {}",
+                (bare - dlaas) / bare
+            );
+        }
+    }
+
+    #[test]
+    fn faster_interconnect_never_hurts(
+        model in any_model(),
+        framework in any_framework(),
+        learners in 2..8u32,
+    ) {
+        let rate_for = |fabric: Interconnect| {
+            let mut cfg = TrainingConfig::new(model, framework, GpuKind::P100Pcie, 1)
+                .distributed(learners);
+            cfg.inter_interconnect = fabric;
+            images_per_sec(&cfg, &ExecEnv::bare_metal())
+        };
+        let slow = rate_for(Interconnect::Ethernet1G);
+        let mid = rate_for(Interconnect::Ethernet10G);
+        let fast = rate_for(Interconnect::InfinibandEdr);
+        prop_assert!(slow <= mid && mid <= fast, "{slow} {mid} {fast}");
+    }
+
+    #[test]
+    fn input_cap_binds_exactly_when_below_compute_rate(
+        model in any_model(),
+        gpus in 1..5u32,
+        bw_mb in 1..400u32,
+    ) {
+        let cfg = TrainingConfig::new(model, Framework::TensorFlow, GpuKind::P100Pcie, gpus);
+        let unlimited = images_per_sec(&cfg, &ExecEnv::bare_metal());
+        let bw = bw_mb as f64 * 1e6;
+        let capped = images_per_sec(&cfg, &ExecEnv::bare_metal_streaming(bw));
+        let cap = bw * 0.95 / model.bytes_per_image() as f64;
+        if cap < unlimited {
+            prop_assert!((capped - cap).abs() / cap < 1e-9, "cap must bind: {capped} vs {cap}");
+        } else {
+            prop_assert!((capped - unlimited).abs() / unlimited < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sxm2_parts_always_beat_their_pcie_siblings(
+        model in any_model(),
+        framework in any_framework(),
+        gpus in 1..5u32,
+    ) {
+        for (pcie, sxm2) in [
+            (GpuKind::P100Pcie, GpuKind::P100Sxm2),
+            (GpuKind::V100Pcie, GpuKind::V100Sxm2),
+        ] {
+            let p = images_per_sec(
+                &TrainingConfig::new(model, framework, pcie, gpus),
+                &ExecEnv::bare_metal(),
+            );
+            let s = images_per_sec(
+                &TrainingConfig::new(model, framework, sxm2, gpus),
+                &ExecEnv::bare_metal(),
+            );
+            prop_assert!(s > p, "{sxm2:?} must beat {pcie:?}: {s} vs {p}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_size_scales_with_parameters(model in any_model()) {
+        prop_assert_eq!(checkpoint_bytes(model), model.params() * 4 * 3);
+        prop_assert!(checkpoint_bytes(model) > model.gradient_bytes());
+    }
+}

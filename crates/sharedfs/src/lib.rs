@@ -1,0 +1,424 @@
+//! # dlaas-sharedfs — shared NFS volumes
+//!
+//! DLaaS mounts a shared NFS volume into both the learner pods and the
+//! helper pod of each training job (paper §III-e): the learner redirects
+//! its output and exit status to files; the controller in the helper pod
+//! reads them to detect completion and failures; the log-collector tails
+//! log files from it. Because the volume outlives any single pod, it also
+//! makes status monitoring resilient to controller crashes (§III-f).
+//!
+//! The simulation models an NFS server holding named volumes of
+//! line-oriented files. Operations are synchronous (NFS round-trips are
+//! microseconds against the multi-second timescales of Fig. 4) but byte
+//! and operation counters are kept so the platform-overhead experiment
+//! (Fig. 2) can account for helper/logging I/O.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlaas_sharedfs::NfsServer;
+//!
+//! let nfs = NfsServer::new();
+//! let vol = nfs.create_volume("job-1");
+//!
+//! // Learner side: write progress and an exit file.
+//! let learner = nfs.mount(&vol)?;
+//! learner.append_line("learner-0/train.log", "iter 100 loss 2.3")?;
+//! learner.write_file("learner-0/exit-status", "0")?;
+//!
+//! // Helper/controller side: observe them.
+//! let helper = nfs.mount(&vol)?;
+//! assert_eq!(helper.read_file("learner-0/exit-status")?, "0");
+//! assert_eq!(helper.read_lines_from("learner-0/train.log", 0)?.len(), 1);
+//! # Ok::<(), dlaas_sharedfs::NfsError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a provisioned volume.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VolumeId(String);
+
+impl VolumeId {
+    /// The volume name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Errors from NFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsError {
+    /// The volume does not exist (was never created or was deleted).
+    NoSuchVolume(String),
+    /// The file does not exist within the volume.
+    NoSuchFile(String),
+}
+
+impl fmt::Display for NfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfsError::NoSuchVolume(v) => write!(f, "no such volume: {v}"),
+            NfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {}
+
+/// Per-server I/O counters (feeds the platform-overhead accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NfsStats {
+    /// Read operations served.
+    pub reads: u64,
+    /// Write/append operations served.
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+#[derive(Debug, Default)]
+struct Volume {
+    files: BTreeMap<String, Vec<String>>,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    volumes: BTreeMap<String, Volume>,
+    stats: NfsStats,
+}
+
+/// The NFS server. Cloning shares the server.
+#[derive(Debug, Clone, Default)]
+pub struct NfsServer {
+    state: Rc<RefCell<ServerState>>,
+}
+
+impl NfsServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provisions a volume (idempotent), as the Guardian does with a K8s
+    /// persistent volume claim.
+    pub fn create_volume(&self, name: impl Into<String>) -> VolumeId {
+        let name = name.into();
+        self.state
+            .borrow_mut()
+            .volumes
+            .entry(name.clone())
+            .or_default();
+        VolumeId(name)
+    }
+
+    /// Deletes a volume and everything in it (garbage collection after a
+    /// job completes or is rolled back). Returns `true` if it existed.
+    pub fn delete_volume(&self, id: &VolumeId) -> bool {
+        self.state.borrow_mut().volumes.remove(&id.0).is_some()
+    }
+
+    /// Deletes a volume by name (for garbage collectors that only know the
+    /// naming convention). Returns `true` if it existed.
+    pub fn delete_volume_named(&self, name: &str) -> bool {
+        self.state.borrow_mut().volumes.remove(name).is_some()
+    }
+
+    /// Looks up a volume id by name, if the volume exists.
+    pub fn find_volume(&self, name: &str) -> Option<VolumeId> {
+        if self.state.borrow().volumes.contains_key(name) {
+            Some(VolumeId(name.to_owned()))
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the volume exists.
+    pub fn volume_exists(&self, id: &VolumeId) -> bool {
+        self.state.borrow().volumes.contains_key(&id.0)
+    }
+
+    /// Names of all volumes (diagnostics).
+    pub fn volume_names(&self) -> Vec<String> {
+        self.state.borrow().volumes.keys().cloned().collect()
+    }
+
+    /// Mounts a volume, returning a handle for file operations.
+    ///
+    /// # Errors
+    ///
+    /// [`NfsError::NoSuchVolume`] if it does not exist.
+    pub fn mount(&self, id: &VolumeId) -> Result<Mount, NfsError> {
+        if !self.volume_exists(id) {
+            return Err(NfsError::NoSuchVolume(id.0.clone()));
+        }
+        Ok(Mount {
+            server: self.clone(),
+            volume: id.clone(),
+        })
+    }
+
+    /// I/O counters.
+    pub fn stats(&self) -> NfsStats {
+        self.state.borrow().stats
+    }
+}
+
+/// A mounted volume. All operations fail with [`NfsError::NoSuchVolume`]
+/// if the volume has been deleted since mounting (stale mount).
+#[derive(Debug, Clone)]
+pub struct Mount {
+    server: NfsServer,
+    volume: VolumeId,
+}
+
+impl Mount {
+    /// The mounted volume's id.
+    pub fn volume(&self) -> &VolumeId {
+        &self.volume
+    }
+
+    fn with_volume<T>(
+        &self,
+        f: impl FnOnce(&mut Volume, &mut NfsStats) -> Result<T, NfsError>,
+    ) -> Result<T, NfsError> {
+        let mut s = self.server.state.borrow_mut();
+        let ServerState { volumes, stats } = &mut *s;
+        let vol = volumes
+            .get_mut(&self.volume.0)
+            .ok_or_else(|| NfsError::NoSuchVolume(self.volume.0.clone()))?;
+        f(vol, stats)
+    }
+
+    /// Appends one line to a file, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NfsError::NoSuchVolume`] on a stale mount.
+    pub fn append_line(&self, path: &str, line: impl Into<String>) -> Result<(), NfsError> {
+        let line = line.into();
+        self.with_volume(|vol, stats| {
+            stats.writes += 1;
+            stats.bytes_written += line.len() as u64 + 1;
+            vol.files.entry(path.to_owned()).or_default().push(line);
+            Ok(())
+        })
+    }
+
+    /// Replaces a file's contents with a single string (used for exit
+    /// status and marker files).
+    ///
+    /// # Errors
+    ///
+    /// [`NfsError::NoSuchVolume`] on a stale mount.
+    pub fn write_file(&self, path: &str, contents: impl Into<String>) -> Result<(), NfsError> {
+        let contents = contents.into();
+        self.with_volume(|vol, stats| {
+            stats.writes += 1;
+            stats.bytes_written += contents.len() as u64;
+            vol.files.insert(path.to_owned(), vec![contents]);
+            Ok(())
+        })
+    }
+
+    /// Reads a whole single-string file (first line).
+    ///
+    /// # Errors
+    ///
+    /// [`NfsError::NoSuchFile`] if absent; [`NfsError::NoSuchVolume`] on a
+    /// stale mount.
+    pub fn read_file(&self, path: &str) -> Result<String, NfsError> {
+        self.with_volume(|vol, stats| {
+            let f = vol
+                .files
+                .get(path)
+                .ok_or_else(|| NfsError::NoSuchFile(path.to_owned()))?;
+            stats.reads += 1;
+            let contents = f.first().cloned().unwrap_or_default();
+            stats.bytes_read += contents.len() as u64;
+            Ok(contents)
+        })
+    }
+
+    /// Reads lines starting at `offset` (for log tailing). Returns an empty
+    /// vector when the file exists but has no new lines.
+    ///
+    /// # Errors
+    ///
+    /// [`NfsError::NoSuchFile`] if absent; [`NfsError::NoSuchVolume`] on a
+    /// stale mount.
+    pub fn read_lines_from(&self, path: &str, offset: usize) -> Result<Vec<String>, NfsError> {
+        self.with_volume(|vol, stats| {
+            let f = vol
+                .files
+                .get(path)
+                .ok_or_else(|| NfsError::NoSuchFile(path.to_owned()))?;
+            stats.reads += 1;
+            let lines: Vec<String> = f.iter().skip(offset).cloned().collect();
+            stats.bytes_read += lines.iter().map(|l| l.len() as u64 + 1).sum::<u64>();
+            Ok(lines)
+        })
+    }
+
+    /// Number of lines currently in a file (0 if absent).
+    pub fn line_count(&self, path: &str) -> usize {
+        self.with_volume(|vol, _| Ok(vol.files.get(path).map_or(0, |f| f.len())))
+            .unwrap_or(0)
+    }
+
+    /// `true` if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.with_volume(|vol, _| Ok(vol.files.contains_key(path)))
+            .unwrap_or(false)
+    }
+
+    /// Removes a file. Returns `true` if it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.with_volume(|vol, _| Ok(vol.files.remove(path).is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Paths under `prefix`, in order (directory listing).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.with_volume(|vol, _| {
+            Ok(vol
+                .files
+                .range(prefix.to_owned()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, _)| k.clone())
+                .collect())
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_lifecycle() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("job-1");
+        assert!(nfs.volume_exists(&vol));
+        assert_eq!(vol.as_str(), "job-1");
+        // Idempotent create keeps contents.
+        let m = nfs.mount(&vol).unwrap();
+        m.write_file("x", "1").unwrap();
+        let vol2 = nfs.create_volume("job-1");
+        assert!(nfs.mount(&vol2).unwrap().exists("x"));
+
+        assert!(nfs.delete_volume(&vol));
+        assert!(!nfs.delete_volume(&vol));
+        assert!(!nfs.volume_exists(&vol));
+        assert!(nfs.mount(&vol).is_err());
+    }
+
+    #[test]
+    fn stale_mount_fails_cleanly() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        nfs.delete_volume(&vol);
+        assert_eq!(
+            m.append_line("f", "x"),
+            Err(NfsError::NoSuchVolume("v".into()))
+        );
+        assert!(!m.exists("f"));
+        assert!(m.list("").is_empty());
+        assert_eq!(m.line_count("f"), 0);
+        assert!(!m.remove("f"));
+    }
+
+    #[test]
+    fn append_and_tail() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        for i in 0..5 {
+            m.append_line("log", format!("line {i}")).unwrap();
+        }
+        assert_eq!(m.line_count("log"), 5);
+        let tail = m.read_lines_from("log", 3).unwrap();
+        assert_eq!(tail, vec!["line 3", "line 4"]);
+        assert!(m.read_lines_from("log", 5).unwrap().is_empty());
+        assert_eq!(
+            m.read_lines_from("ghost", 0),
+            Err(NfsError::NoSuchFile("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn write_file_replaces() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        m.write_file("exit", "1").unwrap();
+        m.write_file("exit", "0").unwrap();
+        assert_eq!(m.read_file("exit").unwrap(), "0");
+        assert_eq!(m.read_file("nope"), Err(NfsError::NoSuchFile("nope".into())));
+    }
+
+    #[test]
+    fn two_mounts_share_state() {
+        // The learner/controller pattern: one writes, the other reads.
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("job");
+        let learner = nfs.mount(&vol).unwrap();
+        let controller = nfs.mount(&vol).unwrap();
+        learner.write_file("learner-0/exit-status", "137").unwrap();
+        assert_eq!(controller.read_file("learner-0/exit-status").unwrap(), "137");
+    }
+
+    #[test]
+    fn listing_by_prefix() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        m.write_file("learner-0/exit", "0").unwrap();
+        m.write_file("learner-1/exit", "0").unwrap();
+        m.write_file("logs/a", "x").unwrap();
+        assert_eq!(m.list("learner-").len(), 2);
+        assert_eq!(m.list(""), vec!["learner-0/exit", "learner-1/exit", "logs/a"]);
+    }
+
+    #[test]
+    fn remove_file() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        m.write_file("f", "x").unwrap();
+        assert!(m.remove("f"));
+        assert!(!m.remove("f"));
+        assert!(!m.exists("f"));
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        m.append_line("log", "12345").unwrap(); // 6 bytes with newline
+        m.write_file("exit", "0").unwrap(); // 1 byte
+        let _ = m.read_file("exit").unwrap();
+        let _ = m.read_lines_from("log", 0).unwrap();
+        let st = nfs.stats();
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.bytes_written, 7);
+        assert_eq!(st.bytes_read, 7);
+    }
+}

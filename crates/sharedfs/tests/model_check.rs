@@ -1,0 +1,146 @@
+//! Property-based model checking of the NFS service against a naive map
+//! of volumes → files → lines, under random op sequences including
+//! volume deletion (stale mounts) and recreation.
+
+use std::collections::BTreeMap;
+
+use dlaas_sharedfs::{NfsError, NfsServer};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateVolume(u8),
+    DeleteVolume(u8),
+    Append { vol: u8, file: u8, line: u16 },
+    WriteFile { vol: u8, file: u8, content: u16 },
+    Remove { vol: u8, file: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0..4u8).prop_map(Op::CreateVolume),
+        1 => (0..4u8).prop_map(Op::DeleteVolume),
+        5 => (0..4u8, 0..6u8, any::<u16>()).prop_map(|(vol, file, line)| Op::Append { vol, file, line }),
+        3 => (0..4u8, 0..6u8, any::<u16>()).prop_map(|(vol, file, content)| Op::WriteFile { vol, file, content }),
+        1 => (0..4u8, 0..6u8).prop_map(|(vol, file)| Op::Remove { vol, file }),
+    ]
+}
+
+type Model = BTreeMap<String, BTreeMap<String, Vec<String>>>;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    #[test]
+    fn nfs_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let nfs = NfsServer::new();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::CreateVolume(v) => {
+                    let name = format!("v{v}");
+                    nfs.create_volume(&name);
+                    model.entry(name).or_default();
+                }
+                Op::DeleteVolume(v) => {
+                    let name = format!("v{v}");
+                    let existed_model = model.remove(&name).is_some();
+                    let existed_real = nfs.delete_volume_named(&name);
+                    prop_assert_eq!(existed_real, existed_model);
+                }
+                Op::Append { vol, file, line } => {
+                    let vname = format!("v{vol}");
+                    let fname = format!("f{file}");
+                    let text = format!("line-{line}");
+                    let result = nfs
+                        .find_volume(&vname)
+                        .and_then(|id| nfs.mount(&id).ok())
+                        .map(|m| m.append_line(&fname, text.clone()));
+                    match model.get_mut(&vname) {
+                        Some(files) => {
+                            prop_assert_eq!(result, Some(Ok(())));
+                            files.entry(fname).or_default().push(text);
+                        }
+                        None => prop_assert!(result.is_none(), "append to missing volume"),
+                    }
+                }
+                Op::WriteFile { vol, file, content } => {
+                    let vname = format!("v{vol}");
+                    let fname = format!("f{file}");
+                    let text = format!("content-{content}");
+                    let result = nfs
+                        .find_volume(&vname)
+                        .and_then(|id| nfs.mount(&id).ok())
+                        .map(|m| m.write_file(&fname, text.clone()));
+                    match model.get_mut(&vname) {
+                        Some(files) => {
+                            prop_assert_eq!(result, Some(Ok(())));
+                            files.insert(fname, vec![text]);
+                        }
+                        None => prop_assert!(result.is_none()),
+                    }
+                }
+                Op::Remove { vol, file } => {
+                    let vname = format!("v{vol}");
+                    let fname = format!("f{file}");
+                    let removed_real = nfs
+                        .find_volume(&vname)
+                        .and_then(|id| nfs.mount(&id).ok())
+                        .map(|m| m.remove(&fname))
+                        .unwrap_or(false);
+                    let removed_model = model
+                        .get_mut(&vname)
+                        .map(|files| files.remove(&fname).is_some())
+                        .unwrap_or(false);
+                    prop_assert_eq!(removed_real, removed_model);
+                }
+            }
+
+            // Full-state equivalence after every op.
+            for (vname, files) in &model {
+                let id = nfs.find_volume(vname);
+                prop_assert!(id.is_some(), "volume {} missing", vname);
+                let mount = nfs.mount(&id.unwrap()).unwrap();
+                let listed = mount.list("");
+                let expect: Vec<&String> = files.keys().collect();
+                prop_assert_eq!(listed.len(), expect.len(), "file count in {}", vname);
+                for (fname, lines) in files {
+                    prop_assert_eq!(
+                        &mount.read_lines_from(fname, 0).unwrap(),
+                        lines,
+                        "contents of {}/{}", vname, fname
+                    );
+                    prop_assert_eq!(mount.line_count(fname), lines.len());
+                    // Tail reads agree with slicing the model.
+                    if lines.len() > 1 {
+                        let off = lines.len() / 2;
+                        prop_assert_eq!(
+                            mount.read_lines_from(fname, off).unwrap(),
+                            lines[off..].to_vec()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_mounts_always_fail_closed(v in 0..4u8, file in 0..6u8) {
+        let nfs = NfsServer::new();
+        let id = nfs.create_volume(format!("v{v}"));
+        let fname = format!("f{file}");
+        let mount = nfs.mount(&id).unwrap();
+        mount.write_file(&fname, "x").unwrap();
+        nfs.delete_volume(&id);
+        // Every op on the stale mount fails or reports absence — never
+        // resurrects data.
+        let append = mount.append_line("f", "y");
+        prop_assert!(matches!(append, Err(NfsError::NoSuchVolume(_))));
+        let read = mount.read_file(&fname);
+        prop_assert!(matches!(read, Err(NfsError::NoSuchVolume(_))));
+        prop_assert!(!mount.exists(&fname));
+        prop_assert!(mount.list("").is_empty());
+        prop_assert!(!nfs.volume_exists(&id));
+    }
+}

@@ -1,0 +1,492 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Sim`] owns the clock, the pending-event queue, the root RNG, and the
+//! trace log. Components schedule closures to run at future instants;
+//! running an event may schedule further events. Ties are broken by
+//! scheduling order, so a given seed always produces the same execution.
+//!
+//! # Re-entrancy convention
+//!
+//! Components in this workspace live in `Rc<RefCell<...>>` cells and their
+//! callbacks receive `&mut Sim`. To avoid `RefCell` double-borrows, a
+//! component that needs to call back into itself (or into its caller)
+//! schedules the call with [`Sim::defer`] instead of invoking it inline.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::{SimDuration, SimRng, SimTime, Trace};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    run: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulation world: clock, event queue, RNG and trace.
+///
+/// # Examples
+///
+/// ```
+/// use dlaas_sim::{Sim, SimDuration, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(42);
+/// let fired = Rc::new(Cell::new(false));
+/// let f = fired.clone();
+/// sim.schedule_in(SimDuration::from_secs(5), move |sim| {
+///     assert_eq!(sim.now(), SimTime::from_secs(5));
+///     f.set(true);
+/// });
+/// sim.run_until_idle();
+/// assert!(fired.get());
+/// ```
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    seq: u64,
+    next_id: u64,
+    cancelled: HashSet<EventId>,
+    rng: SimRng,
+    trace: Trace,
+    executed: u64,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a world at time zero with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_id: 0,
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            trace: Trace::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mutable access to the root RNG.
+    ///
+    /// Components should generally [`SimRng::fork`] their own stream once at
+    /// construction instead of drawing from the root on every call.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace log (to enable echo, clear, ...).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Emits a trace record at the current time.
+    pub fn record(&mut self, component: impl Into<String>, message: impl Into<String>) {
+        let now = self.now;
+        self.trace.record(now, component, message);
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled-but-unpopped).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            id,
+            run: Box::new(f),
+        });
+        id
+    }
+
+    /// Schedules `f` to run after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Schedules `f` to run at the current time, after all already-queued
+    /// work for this instant. Use to break `RefCell` borrow chains.
+    pub fn defer(&mut self, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet run
+    /// or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Runs the next pending event, advancing the clock to its instant.
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs events until the queue is empty. Returns the number of events
+    /// executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 200 million events as a runaway-loop backstop.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let start = self.executed;
+        while self.step() {
+            assert!(
+                self.executed - start < 200_000_000,
+                "runaway simulation: >200M events without idling"
+            );
+        }
+        self.executed - start
+    }
+
+    /// Runs events with timestamps `<= deadline`, then advances the clock to
+    /// exactly `deadline`. Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.executed;
+        while let Some(next_at) = self.peek_time() {
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+        self.executed - start
+    }
+
+    /// Runs events for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until `pred` returns `true` (checked after every event) or the
+    /// queue empties. Returns `true` if the predicate was satisfied.
+    pub fn run_until_pred(&mut self, mut pred: impl FnMut(&Sim) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while self.step() {
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Timestamp of the next non-cancelled pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.queue.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let ev = self.queue.pop().expect("peeked");
+                self.cancelled.remove(&ev.id);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+}
+
+/// A repeating timer: reschedules itself every `period` until cancelled via
+/// the returned handle.
+///
+/// The callback receives the tick count (starting at 1) and may return
+/// `false` to stop the timer from inside.
+pub fn every(
+    sim: &mut Sim,
+    period: SimDuration,
+    f: impl FnMut(&mut Sim, u64) -> bool + 'static,
+) -> TimerHandle {
+    assert!(!period.is_zero(), "timer period must be positive");
+    let handle = TimerHandle::new();
+    tick(sim, period, f, handle.clone(), 1);
+    handle
+}
+
+fn tick(
+    sim: &mut Sim,
+    period: SimDuration,
+    mut f: impl FnMut(&mut Sim, u64) -> bool + 'static,
+    handle: TimerHandle,
+    n: u64,
+) {
+    sim.schedule_in(period, move |sim| {
+        if handle.is_cancelled() {
+            return;
+        }
+        if f(sim, n) {
+            tick(sim, period, f, handle, n + 1);
+        }
+    });
+}
+
+/// Cancellation handle for [`every`].
+#[derive(Debug, Clone, Default)]
+pub struct TimerHandle {
+    cancelled: std::rc::Rc<std::cell::Cell<bool>>,
+}
+
+impl TimerHandle {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stops the timer; pending ticks become no-ops.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// `true` once [`TimerHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let order = order.clone();
+            sim.schedule_in(SimDuration::from_millis(delay), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let order = order.clone();
+            sim.schedule_in(SimDuration::from_millis(5), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(std::cell::Cell::new(false));
+        let f = fired.clone();
+        let id = sim.schedule_in(SimDuration::from_secs(1), move |_| f.set(true));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run_until_idle();
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn nested_scheduling_runs_same_instant_in_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = order.clone();
+        sim.schedule_in(SimDuration::from_secs(1), move |sim| {
+            o.borrow_mut().push(1);
+            let o2 = o.clone();
+            sim.defer(move |_| o2.borrow_mut().push(3));
+            o.borrow_mut().push(2);
+        });
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(1);
+        let count = Rc::new(std::cell::Cell::new(0u32));
+        for s in 1..=10u64 {
+            let c = count.clone();
+            sim.schedule_in(SimDuration::from_secs(s), move |_| c.set(c.get() + 1));
+        }
+        let executed = sim.run_until(SimTime::from_secs(4));
+        assert_eq!(executed, 4);
+        assert_eq!(count.get(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        sim.run_until_idle();
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_to_deadline_with_empty_queue() {
+        let mut sim = Sim::new(1);
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn run_until_pred_stops_early() {
+        let mut sim = Sim::new(1);
+        let count = Rc::new(std::cell::Cell::new(0u32));
+        for s in 1..=10u64 {
+            let c = count.clone();
+            sim.schedule_in(SimDuration::from_secs(s), move |_| c.set(c.get() + 1));
+        }
+        let c = count.clone();
+        let hit = sim.run_until_pred(move |_| c.get() >= 3);
+        assert!(hit);
+        assert_eq!(count.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(SimDuration::from_secs(5), |_| {});
+        sim.run_until_idle();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn repeating_timer_ticks_until_cancelled() {
+        let mut sim = Sim::new(1);
+        let ticks = Rc::new(std::cell::Cell::new(0u64));
+        let t = ticks.clone();
+        let handle = every(&mut sim, SimDuration::from_secs(1), move |_, n| {
+            t.set(n);
+            true
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(ticks.get(), 5);
+        handle.cancel();
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(ticks.get(), 5);
+    }
+
+    #[test]
+    fn repeating_timer_stops_when_callback_returns_false() {
+        let mut sim = Sim::new(1);
+        let ticks = Rc::new(std::cell::Cell::new(0u64));
+        let t = ticks.clone();
+        every(&mut sim, SimDuration::from_secs(1), move |_, n| {
+            t.set(n);
+            n < 3
+        });
+        sim.run_until_idle();
+        assert_eq!(ticks.get(), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..50 {
+                let delay = SimDuration::from_micros(sim.rng().range_u64(1, 1_000_000));
+                let out = out.clone();
+                sim.schedule_in(delay, move |sim| {
+                    out.borrow_mut().push(sim.now().as_micros());
+                });
+            }
+            sim.run_until_idle();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn trace_records_through_sim() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(SimDuration::from_secs(2), |sim| {
+            sim.record("test", "hello");
+        });
+        sim.run_until_idle();
+        let ev = sim.trace().first_containing("hello").unwrap();
+        assert_eq!(ev.time, SimTime::from_secs(2));
+        assert_eq!(ev.component, "test");
+    }
+}

@@ -1,0 +1,151 @@
+//! Structured trace log for simulation runs.
+//!
+//! Components emit `(time, component, message)` records through
+//! [`crate::Sim::trace`]. Tests assert on traces; experiment harnesses dump
+//! them for debugging. Tracing is cheap and can be disabled wholesale.
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time the record was emitted.
+    pub time: SimTime,
+    /// Emitting component (e.g. `"kube"`, `"guardian/job-3"`).
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.component, self.message)
+    }
+}
+
+/// An append-only trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    echo: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, non-echoing trace buffer.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+            echo: false,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// When `true`, records are also printed to stdout as they are emitted
+    /// (useful when debugging a failing scenario).
+    pub fn set_echo(&mut self, echo: bool) {
+        self.echo = echo;
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, component: impl Into<String>, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            time,
+            component: component.into(),
+            message: message.into(),
+        };
+        if self.echo {
+            println!("{ev}");
+        }
+        self.events.push(ev);
+    }
+
+    /// All records in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no records have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records whose component matches `component` exactly.
+    pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// Records whose message contains `needle`.
+    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.message.contains(needle))
+    }
+
+    /// First record whose message contains `needle`, if any.
+    pub fn first_containing(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), "kube", "pod scheduled");
+        t.record(SimTime::from_secs(2), "api", "job accepted");
+        t.record(SimTime::from_secs(3), "kube", "pod running");
+
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.by_component("kube").count(), 2);
+        assert_eq!(t.containing("pod").count(), 2);
+        assert_eq!(
+            t.first_containing("accepted").unwrap().time,
+            SimTime::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, "x", "y");
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, "x", "y");
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let ev = TraceEvent {
+            time: SimTime::from_millis(1500),
+            component: "lcm".into(),
+            message: "deploying".into(),
+        };
+        assert_eq!(format!("{ev}"), "[1.500s] lcm: deploying");
+    }
+}

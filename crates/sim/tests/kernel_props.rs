@@ -1,0 +1,157 @@
+//! Property tests of the event kernel — the bedrock every other crate's
+//! determinism claims stand on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum KernelOp {
+    /// Schedule an event after this many microseconds carrying a tag.
+    Schedule { delay_us: u32, tag: u16 },
+    /// Schedule then immediately cancel.
+    ScheduleCancelled { delay_us: u32, tag: u16 },
+    /// An event that schedules a child event when it fires.
+    ScheduleNested { delay_us: u32, child_us: u32, tag: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = KernelOp> {
+    prop_oneof![
+        4 => (0..1_000_000u32, any::<u16>())
+            .prop_map(|(delay_us, tag)| KernelOp::Schedule { delay_us, tag }),
+        1 => (0..1_000_000u32, any::<u16>())
+            .prop_map(|(delay_us, tag)| KernelOp::ScheduleCancelled { delay_us, tag }),
+        2 => (0..1_000_000u32, 0..100_000u32, any::<u16>())
+            .prop_map(|(delay_us, child_us, tag)| KernelOp::ScheduleNested {
+                delay_us,
+                child_us,
+                tag
+            }),
+    ]
+}
+
+/// Runs a schedule and returns the `(fire_time_us, tag)` trace.
+fn execute(ops: &[KernelOp]) -> Vec<(u64, u16)> {
+    let mut sim = Sim::new(0);
+    let fired: Rc<RefCell<Vec<(u64, u16)>>> = Rc::new(RefCell::new(Vec::new()));
+    for op in ops {
+        match *op {
+            KernelOp::Schedule { delay_us, tag } => {
+                let f = fired.clone();
+                sim.schedule_in(SimDuration::from_micros(delay_us as u64), move |sim| {
+                    f.borrow_mut().push((sim.now().as_micros(), tag));
+                });
+            }
+            KernelOp::ScheduleCancelled { delay_us, tag } => {
+                let f = fired.clone();
+                let id = sim.schedule_in(SimDuration::from_micros(delay_us as u64), move |sim| {
+                    f.borrow_mut().push((sim.now().as_micros(), tag));
+                });
+                assert!(sim.cancel(id));
+            }
+            KernelOp::ScheduleNested {
+                delay_us,
+                child_us,
+                tag,
+            } => {
+                let f = fired.clone();
+                sim.schedule_in(SimDuration::from_micros(delay_us as u64), move |sim| {
+                    f.borrow_mut().push((sim.now().as_micros(), tag));
+                    let f2 = f.clone();
+                    sim.schedule_in(SimDuration::from_micros(child_us as u64), move |sim| {
+                        f2.borrow_mut().push((sim.now().as_micros(), tag ^ 0xffff));
+                    });
+                });
+            }
+        }
+    }
+    sim.run_until_idle();
+    let v = fired.borrow().clone();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn replay_is_bit_identical(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        prop_assert_eq!(execute(&ops), execute(&ops));
+    }
+
+    #[test]
+    fn time_never_goes_backwards_and_counts_balance(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let trace = execute(&ops);
+        for w in trace.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {trace:?}");
+        }
+        // Exactly the non-cancelled events fire (nested ones fire twice).
+        let expected: usize = ops
+            .iter()
+            .map(|op| match op {
+                KernelOp::Schedule { .. } => 1,
+                KernelOp::ScheduleCancelled { .. } => 0,
+                KernelOp::ScheduleNested { .. } => 2,
+            })
+            .sum();
+        prop_assert_eq!(trace.len(), expected);
+    }
+
+    #[test]
+    fn run_until_is_equivalent_to_free_running(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        chunk_us in 1_000..500_000u64,
+    ) {
+        // Stepping the clock in arbitrary chunks must produce the same
+        // trace as running to idle in one go.
+        let free = execute(&ops);
+
+        let mut sim = Sim::new(0);
+        let fired: Rc<RefCell<Vec<(u64, u16)>>> = Rc::new(RefCell::new(Vec::new()));
+        for op in &ops {
+            match *op {
+                KernelOp::Schedule { delay_us, tag } => {
+                    let f = fired.clone();
+                    sim.schedule_in(SimDuration::from_micros(delay_us as u64), move |sim| {
+                        f.borrow_mut().push((sim.now().as_micros(), tag));
+                    });
+                }
+                KernelOp::ScheduleCancelled { delay_us, tag } => {
+                    let f = fired.clone();
+                    let id = sim.schedule_in(
+                        SimDuration::from_micros(delay_us as u64),
+                        move |sim| {
+                            f.borrow_mut().push((sim.now().as_micros(), tag));
+                        },
+                    );
+                    sim.cancel(id);
+                }
+                KernelOp::ScheduleNested { delay_us, child_us, tag } => {
+                    let f = fired.clone();
+                    sim.schedule_in(SimDuration::from_micros(delay_us as u64), move |sim| {
+                        f.borrow_mut().push((sim.now().as_micros(), tag));
+                        let f2 = f.clone();
+                        sim.schedule_in(
+                            SimDuration::from_micros(child_us as u64),
+                            move |sim| {
+                                f2.borrow_mut().push((sim.now().as_micros(), tag ^ 0xffff));
+                            },
+                        );
+                    });
+                }
+            }
+        }
+        let mut deadline = SimTime::ZERO;
+        // 1.2M us covers delay (≤1M) + nested child (≤100k) comfortably.
+        while deadline < SimTime::from_micros(1_200_000) {
+            deadline = deadline + SimDuration::from_micros(chunk_us);
+            sim.run_until(deadline);
+        }
+        sim.run_until_idle();
+        let chunked = fired.borrow().clone();
+        prop_assert_eq!(free, chunked);
+    }
+}

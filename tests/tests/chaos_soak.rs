@@ -1,0 +1,165 @@
+//! Chaos soak integration: sustained random faults across every layer
+//! while jobs run. The platform's §II guarantees must hold throughout:
+//! acknowledged jobs complete, statuses never move backwards, and the
+//! cluster converges once the chaos stops.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_core::JobStatus;
+use dlaas_faults::ChaosMonkey;
+use dlaas_integration::{boot, manifest, submit_blocking};
+use dlaas_kube::labels;
+use dlaas_sim::SimDuration;
+
+#[test]
+fn jobs_survive_platform_wide_chaos_monkey() {
+    let (mut sim, platform) = boot(200);
+    let client = platform.client("soak", dlaas_integration::KEY);
+
+    let monkey = ChaosMonkey::unleash(
+        &mut sim,
+        platform.kube(),
+        labels! {}, // everything is fair game
+        SimDuration::from_secs(25),
+        0.6,
+    );
+
+    let mut jobs = Vec::new();
+    let mut last_rank: Vec<u8> = Vec::new();
+    for i in 0..3 {
+        let mut m = manifest(&format!("soak-{i}"), 700);
+        m.checkpoint_every = 200;
+        jobs.push(submit_blocking(&mut sim, &client, m));
+        last_rank.push(0);
+        sim.run_for(SimDuration::from_secs(30));
+    }
+
+    // Sample statuses during the rampage: monotone lifecycle, always.
+    for _ in 0..40 {
+        sim.run_for(SimDuration::from_secs(30));
+        for (i, job) in jobs.iter().enumerate() {
+            if let Some(s) = platform.job_status(job) {
+                assert!(
+                    s.rank() >= last_rank[i],
+                    "status of {job} went backwards under chaos"
+                );
+                last_rank[i] = s.rank();
+            }
+        }
+    }
+
+    monkey.stop();
+    for job in &jobs {
+        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(24));
+        assert_eq!(end, Some(JobStatus::Completed), "{job} lost under chaos");
+    }
+
+    // Convergence: core services healthy again.
+    sim.run_for(SimDuration::from_mins(10));
+    assert!(platform.ready(&sim));
+}
+
+#[test]
+fn simultaneous_mongo_and_lcm_crash_is_survivable() {
+    let (mut sim, platform) = boot(201);
+    let client = platform.client("double", dlaas_integration::KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("double-fault", 500));
+
+    // Both the metadata store and the LCM die at once, right after the ACK.
+    platform.crash_mongo(&mut sim, Some(SimDuration::from_secs(5)));
+    platform.kube().crash_pod(&mut sim, "dlaas-lcm-0");
+
+    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    assert_eq!(end, Some(JobStatus::Completed));
+}
+
+#[test]
+fn etcd_minority_partition_heals_transparently() {
+    let (mut sim, platform) = boot(202);
+    let client = platform.client("part", dlaas_integration::KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("partition", 900));
+    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+
+    // Partition one etcd node away from its peers for a while.
+    let etcd = platform.etcd().clone();
+    etcd.raft().net().partition(vec![
+        vec![dlaas_raft::raft_addr(0)],
+        vec![dlaas_raft::raft_addr(1), dlaas_raft::raft_addr(2)],
+    ]);
+    sim.run_for(SimDuration::from_mins(3));
+    etcd.raft().net().heal();
+
+    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    assert_eq!(end, Some(JobStatus::Completed));
+}
+
+#[test]
+fn repeated_component_crash_cycles_do_not_wedge_the_platform() {
+    let (mut sim, platform) = boot(203);
+    let client = platform.client("cycle", dlaas_integration::KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("cycler", 2_000));
+    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+
+    // Crash API-0, LCM, the helper, and an etcd follower, over and over.
+    for round in 0..4 {
+        platform.kube().crash_pod(&mut sim, "dlaas-api-0");
+        platform.kube().crash_pod(&mut sim, "dlaas-lcm-0");
+        platform
+            .kube()
+            .crash_pod(&mut sim, &dlaas_core::paths::helper_pod(&job));
+        let leader = platform.etcd().leader_id();
+        if let Some(l) = leader {
+            let follower = (0..3).find(|i| Some(*i) != Some(l)).unwrap();
+            platform.etcd().crash(&mut sim, follower);
+            sim.run_for(SimDuration::from_secs(30));
+            platform.etcd().restart(&mut sim, follower);
+        }
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(
+            platform.job_status(&job).is_some(),
+            "metadata lost in round {round}"
+        );
+    }
+
+    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    assert_eq!(end, Some(JobStatus::Completed));
+}
+
+#[test]
+fn status_history_timestamps_survive_chaos() {
+    let (mut sim, platform) = boot(204);
+    let client = platform.client("ts", dlaas_integration::KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("timestamps", 400));
+    // A couple of mid-flight crashes.
+    sim.run_for(SimDuration::from_secs(60));
+    platform.kube().crash_pod(&mut sim, &dlaas_core::paths::guardian_job(&job));
+    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    assert_eq!(end, Some(JobStatus::Completed));
+
+    let info = platform.job_info(&job).unwrap();
+    // Every lifecycle stage present exactly once, timestamps monotone —
+    // the §II "accurate status updates with timestamps" contract.
+    let statuses: Vec<_> = info.history.iter().map(|(s, _)| *s).collect();
+    assert_eq!(
+        statuses,
+        vec![
+            JobStatus::Pending,
+            JobStatus::Deploying,
+            JobStatus::Processing,
+            JobStatus::Storing,
+            JobStatus::Completed
+        ]
+    );
+    for w in info.history.windows(2) {
+        assert!(w[0].1 <= w[1].1);
+    }
+
+    let got: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.status(&mut sim, job.clone(), move |_s, r| {
+        *g.borrow_mut() = Some(r.unwrap().learner_restarts);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+    assert!(got.borrow().is_some(), "API view still served after chaos");
+}

@@ -1,0 +1,71 @@
+//! Whole-platform determinism: the same seed must produce bit-identical
+//! histories across the full stack — including under chaos — because
+//! every dependability experiment in this repository depends on replay.
+
+use dlaas_core::JobStatus;
+use dlaas_faults::ChaosMonkey;
+use dlaas_integration::{boot, manifest, submit_blocking};
+use dlaas_kube::labels;
+use dlaas_sim::SimDuration;
+
+/// A condensed fingerprint of one run.
+fn run_fingerprint(seed: u64, chaos: bool) -> String {
+    let (mut sim, platform) = boot(seed);
+    let client = platform.client("det", dlaas_integration::KEY);
+    let monkey = chaos.then(|| {
+        ChaosMonkey::unleash(
+            &mut sim,
+            platform.kube(),
+            labels! {},
+            SimDuration::from_secs(40),
+            0.5,
+        )
+    });
+    let mut jobs = Vec::new();
+    for i in 0..2 {
+        let mut m = manifest(&format!("det-{i}"), 500);
+        m.checkpoint_every = 150;
+        jobs.push(submit_blocking(&mut sim, &client, m));
+        sim.run_for(SimDuration::from_secs(60));
+    }
+    for job in &jobs {
+        platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(12));
+    }
+    if let Some(m) = monkey {
+        m.stop();
+    }
+    sim.run_for(SimDuration::from_mins(5));
+
+    let mut out = String::new();
+    for job in &jobs {
+        let info = platform.job_info(job).expect("job recorded");
+        out.push_str(&format!(
+            "{}:{}:{}:{:?}:",
+            job, info.status, info.learner_restarts, info.images_per_sec
+        ));
+        for (s, t) in &info.history {
+            out.push_str(&format!("{s}@{t},"));
+        }
+        out.push(';');
+    }
+    // The kube event stream is part of the fingerprint too.
+    for ev in platform.kube().events() {
+        out.push_str(&format!("{}|{}|{};", ev.time, ev.object, ev.reason));
+    }
+    out
+}
+
+#[test]
+fn same_seed_same_history_quiet() {
+    assert_eq!(run_fingerprint(900, false), run_fingerprint(900, false));
+}
+
+#[test]
+fn same_seed_same_history_under_chaos() {
+    assert_eq!(run_fingerprint(901, true), run_fingerprint(901, true));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    assert_ne!(run_fingerprint(902, true), run_fingerprint(903, true));
+}
