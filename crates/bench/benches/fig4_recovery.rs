@@ -9,8 +9,9 @@ use dlaas_bench::fig4::{self, Component};
 use dlaas_bench::harness::print_table;
 
 fn regenerate_table() {
-    let results = fig4::run_all(2018, 3);
-    let rows: Vec<Vec<String>> = results
+    let run = fig4::run_all(2018, 3);
+    let rows: Vec<Vec<String>> = run
+        .results
         .iter()
         .map(|r| {
             vec![

@@ -85,8 +85,11 @@ fn bench_docstore(c: &mut Criterion) {
             3 => "COMPLETED",
             _ => "FAILED",
         };
-        db.insert("jobs", obj! {"_id" => format!("j{i}"), "status" => status, "n" => i as i64})
-            .unwrap();
+        db.insert(
+            "jobs",
+            obj! {"_id" => format!("j{i}"), "status" => status, "n" => i as i64},
+        )
+        .unwrap();
     }
     c.bench_function("docstore/indexed_find_10k_docs", |b| {
         b.iter(|| black_box(db.find("jobs", &Filter::eq("status", "PROCESSING")).len()));

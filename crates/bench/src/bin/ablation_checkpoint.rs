@@ -22,6 +22,8 @@ struct Outcome {
     wall_secs: f64,
     lost_iters: u64,
     restarts: u64,
+    ckpt_writes: u64,
+    stall_p95: Option<f64>,
 }
 
 fn run_one(seed: u64, interval: u64) -> Outcome {
@@ -49,7 +51,12 @@ fn run_one(seed: u64, interval: u64) -> Outcome {
     let job = got.borrow().clone().unwrap();
     let t0 = sim.now();
 
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     // Crash the learner half-way through the expected training time.
     sim.run_for(SimDuration::from_mins(40));
     let progress_at_crash = platform.job_info(&job).map(|i| i.iteration).unwrap_or(0);
@@ -58,16 +65,26 @@ fn run_one(seed: u64, interval: u64) -> Outcome {
         .read_text("bench-results", &paths::obj_ckpt_meta(&job))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    platform.kube().crash_pod(&mut sim, &paths::learner_pod(&job, 0));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::learner_pod(&job, 0));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(12),
+    );
     let info = platform.job_info(&job).unwrap();
+    let m = platform.metrics();
     Outcome {
         interval,
         completed: end == Some(JobStatus::Completed),
         wall_secs: (sim.now() - t0).as_secs_f64(),
         lost_iters: progress_at_crash.saturating_sub(ckpt_iter),
         restarts: info.learner_restarts,
+        ckpt_writes: m.counter_total(dlaas_core::metrics::CHECKPOINT_WRITES),
+        stall_p95: m.quantile(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, &[], 0.95),
     }
 }
 
@@ -92,12 +109,24 @@ fn main() {
                 format!("{:.0}s", o.wall_secs),
                 o.lost_iters.to_string(),
                 o.restarts.to_string(),
+                o.ckpt_writes.to_string(),
+                o.stall_p95
+                    .map(|s| format!("{s:.1}s"))
+                    .unwrap_or_else(|| "n/a".into()),
             ]
         })
         .collect();
     print_table(
         "Ablation — checkpoint interval vs work lost to a learner crash (4000 iters)",
-        &["ckpt every", "outcome", "total time", "iters lost at crash", "restarts"],
+        &[
+            "ckpt every",
+            "outcome",
+            "total time",
+            "iters lost at crash",
+            "restarts",
+            "ckpt writes",
+            "stall p95",
+        ],
         &rows,
     );
     println!("\nno checkpoints ⇒ the crash loses all progress; tighter intervals bound the loss\nat the cost of checkpoint-upload stalls during healthy training.");

@@ -58,7 +58,12 @@ fn main() {
         .collect();
     print_table(
         "Sensitivity — DLaaS overhead vs helper interference (jitter off, ResNet-50/TF/1xK80)",
-        &["helper steal", "DLaaS img/s", "measured overhead", "container+steal model"],
+        &[
+            "helper steal",
+            "DLaaS img/s",
+            "measured overhead",
+            "container+steal model",
+        ],
         &rows,
     );
     println!("\nwith noise removed, measured overhead equals the container+steal model —\nFig. 2's scatter is run-to-run measurement noise on top of this floor.");

@@ -11,10 +11,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dlaas_bench::harness::BENCH_KEY;
 use dlaas_bench::harness::print_table;
-use dlaas_core::{paths, CoreConfig, DlaasPlatform, GpuNodeSpec, JobId, JobStatus,
-                 PlatformConfig, Tenant, TrainingManifest};
+use dlaas_bench::harness::BENCH_KEY;
+use dlaas_core::{
+    paths, CoreConfig, DlaasPlatform, GpuNodeSpec, JobId, JobStatus, PlatformConfig, Tenant,
+    TrainingManifest,
+};
 use dlaas_gpu::{DlModel, Framework, GpuKind};
 use dlaas_kube::PodPhase;
 use dlaas_sim::{Sim, SimDuration};
@@ -23,7 +25,9 @@ struct Outcome {
     limit: u32,
     crashes_injected: u32,
     status: JobStatus,
-    attempts: i64,
+    attempts: u64,
+    rollbacks: u64,
+    gave_up: bool,
     wall_secs: f64,
 }
 
@@ -71,7 +75,12 @@ fn run_one(seed: u64, limit: u32, crashes: u32) -> Outcome {
     // Crash the Guardian during its first `crashes` deployment attempts.
     let mut injected = 0;
     while injected < crashes {
-        let s = platform.wait_for_status(&mut sim, &job, JobStatus::Deploying, SimDuration::from_mins(10));
+        let s = platform.wait_for_status(
+            &mut sim,
+            &job,
+            JobStatus::Deploying,
+            SimDuration::from_mins(10),
+        );
         if s.is_some_and(|s| s.is_terminal()) {
             break; // gave up before we could inject them all
         }
@@ -85,17 +94,22 @@ fn run_one(seed: u64, limit: u32, crashes: u32) -> Outcome {
     }
 
     let end = platform
-        .wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12))
+        .wait_for_status(
+            &mut sim,
+            &job,
+            JobStatus::Completed,
+            SimDuration::from_hours(12),
+        )
         .unwrap_or(JobStatus::Failed);
-    let attempts = platform
-        .job_document(&job)
-        .and_then(|d| d.path("attempts").and_then(dlaas_docstore::Value::as_i64))
-        .unwrap_or(0);
+    // The attempt/rollback story comes from the platform's own metrics.
+    let m = platform.metrics();
     Outcome {
         limit,
         crashes_injected: injected,
         status: end,
-        attempts,
+        attempts: m.counter_total(dlaas_core::metrics::GUARDIAN_DEPLOY_ATTEMPTS),
+        rollbacks: m.counter_total(dlaas_core::metrics::GUARDIAN_ROLLBACKS),
+        gave_up: m.counter_total(dlaas_core::metrics::GUARDIAN_GAVE_UP) > 0,
         wall_secs: (sim.now() - t0).as_secs_f64(),
     }
 }
@@ -105,7 +119,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2018);
-    eprintln!("injecting 2 guardian crashes during deploy; sweeping the retry limit (seed {seed})…");
+    eprintln!(
+        "injecting 2 guardian crashes during deploy; sweeping the retry limit (seed {seed})…"
+    );
     let rows: Vec<Vec<String>> = [1u32, 2, 3, 5]
         .iter()
         .map(|limit| {
@@ -115,13 +131,23 @@ fn main() {
                 o.crashes_injected.to_string(),
                 o.status.to_string(),
                 o.attempts.to_string(),
+                o.rollbacks.to_string(),
+                if o.gave_up { "yes" } else { "no" }.to_owned(),
                 format!("{:.0}s", o.wall_secs),
             ]
         })
         .collect();
     print_table(
         "Ablation — Guardian deploy-retry limit under 2 injected deploy crashes",
-        &["retry limit", "crashes injected", "job outcome", "attempts used", "time to terminal"],
+        &[
+            "retry limit",
+            "crashes injected",
+            "job outcome",
+            "attempts used",
+            "rollbacks",
+            "gave up",
+            "time to terminal",
+        ],
         &rows,
     );
     println!("\nlimits ≤ the fault count fail the job (after full rollback);\nlarger limits ride the faults out and complete it.");

@@ -50,7 +50,12 @@ fn run_one(seed: u64, crash_nodes: u32) -> Outcome {
     sim.run_until_pred(|_| got.borrow().is_some());
     let job = got.borrow().clone().unwrap();
     let t0 = sim.now();
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     // Outage window: crash N replicas for 60 simulated seconds.
     for id in 0..crash_nodes {
@@ -80,12 +85,20 @@ fn run_one(seed: u64, crash_nodes: u32) -> Outcome {
             last_iter = iter;
             last_change = sim.now();
         } else {
-            max_staleness = max_staleness
-                .max(sim.now().saturating_duration_since(last_change).as_secs_f64());
+            max_staleness = max_staleness.max(
+                sim.now()
+                    .saturating_duration_since(last_change)
+                    .as_secs_f64(),
+            );
         }
     }
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(12),
+    );
     Outcome {
         crashed: crash_nodes,
         completed: end == Some(JobStatus::Completed),
@@ -114,7 +127,12 @@ fn main() {
         .collect();
     print_table(
         "Ablation — etcd replicas crashed (60s outage) vs status-path behaviour",
-        &["replicas down", "job outcome", "max status staleness", "total time"],
+        &[
+            "replicas down",
+            "job outcome",
+            "max status staleness",
+            "total time",
+        ],
         &rows,
     );
     println!("\nlosing a minority is invisible; losing quorum only *stalls* status\nupdates for the outage — nothing is lost, and the job still completes.");

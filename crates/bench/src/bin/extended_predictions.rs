@@ -8,8 +8,9 @@
 //! Usage: `cargo run --release -p dlaas-bench --bin extended_predictions`
 
 use dlaas_bench::harness::print_table;
-use dlaas_gpu::{images_per_sec, DlModel, ExecEnv, Framework, GpuKind, Interconnect,
-                TrainingConfig};
+use dlaas_gpu::{
+    images_per_sec, DlModel, ExecEnv, Framework, GpuKind, Interconnect, TrainingConfig,
+};
 
 fn main() {
     // 1. The Fig. 3 experiment projected onto V100s.
@@ -31,7 +32,13 @@ fn main() {
     }
     print_table(
         "Prediction — DLaaS (PCIe V100) vs DGX-1V (NVLink V100), TensorFlow",
-        &["Benchmark", "#GPUs", "DGX-1V img/s", "DLaaS img/s", "deficit"],
+        &[
+            "Benchmark",
+            "#GPUs",
+            "DGX-1V img/s",
+            "DLaaS img/s",
+            "deficit",
+        ],
         &rows,
     );
 
@@ -54,7 +61,12 @@ fn main() {
             cfg.inter_interconnect = fabric;
             let rate = images_per_sec(&cfg, &ExecEnv::bare_metal());
             let ideal = images_per_sec(
-                &TrainingConfig::new(DlModel::Resnet50, Framework::TensorFlow, GpuKind::P100Pcie, 1),
+                &TrainingConfig::new(
+                    DlModel::Resnet50,
+                    Framework::TensorFlow,
+                    GpuKind::P100Pcie,
+                    1,
+                ),
                 &ExecEnv::bare_metal(),
             ) * learners as f64;
             rows.push(vec![
@@ -79,7 +91,11 @@ fn main() {
                 TrainingConfig::new(DlModel::Vgg16, fw, GpuKind::P100Pcie, 1).distributed(learners);
             cfg.inter_interconnect = Interconnect::Ethernet10G;
             let rate = images_per_sec(&cfg, &ExecEnv::bare_metal());
-            rows.push(vec![fw.to_string(), learners.to_string(), format!("{rate:.0}")]);
+            rows.push(vec![
+                fw.to_string(),
+                learners.to_string(),
+                format!("{rate:.0}"),
+            ]);
         }
     }
     print_table(

@@ -11,25 +11,44 @@ fn main() {
     let trials: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
 
     eprintln!("crashing every component {trials}x on a live platform (seed {seed})…");
-    let results = fig4::run_all(seed, trials);
+    let run = fig4::run_all(seed, trials);
 
-    let rows: Vec<Vec<String>> = results
+    // Percentiles come from the platform's metrics histograms
+    // (`bench_recovery_seconds{component=…}`), not from the raw samples.
+    let q = |component: &fig4::Component, q: f64| {
+        run.metrics
+            .quantile(
+                fig4::RECOVERY_SECONDS,
+                &[("component", component.label())],
+                q,
+            )
+            .map(|s| format!("{s:.1}s"))
+            .unwrap_or_else(|| "n/a".into())
+    };
+    let rows: Vec<Vec<String>> = run
+        .results
         .iter()
         .map(|r| {
             vec![
                 r.component.to_string(),
                 r.stats.range_secs(),
-                r.stats
-                    .mean()
-                    .map(|d| format!("{:.1}s", d.as_secs_f64()))
-                    .unwrap_or_else(|| "n/a".into()),
+                q(&r.component, 0.50),
+                q(&r.component, 0.95),
+                q(&r.component, 0.99),
                 r.component.paper_range().to_owned(),
             ]
         })
         .collect();
     print_table(
         "Fig. 4 — Time to recover from crash failures, by component",
-        &["Component", "measured (min-max)", "mean", "paper"],
+        &[
+            "Component",
+            "measured (min-max)",
+            "p50",
+            "p95",
+            "p99",
+            "paper",
+        ],
         &rows,
     );
 

@@ -18,10 +18,7 @@ fn main() {
     println!("Guardian creation time (submit ACK -> guardian container running)");
     println!("  trials:   {trials}");
     println!("  measured: {}", stats.range_secs());
-    println!(
-        "  mean:     {:.2}s",
-        stats.mean().unwrap().as_secs_f64()
-    );
+    println!("  mean:     {:.2}s", stats.mean().unwrap().as_secs_f64());
     println!("  paper:    < 3s");
     assert!(
         stats.max().unwrap() < dlaas_sim::SimDuration::from_secs(3),

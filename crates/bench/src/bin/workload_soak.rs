@@ -89,6 +89,61 @@ fn main() {
             vec!["learner restarts".into(), restarts.to_string()],
         ],
     );
+
+    // Platform-side view of the same run, straight from dlaas-obs.
+    let m = platform.metrics();
+    let quantile = |name: &str, q: f64| {
+        m.quantile(name, &[], q)
+            .map(|s| format!("{s:.1}s"))
+            .unwrap_or_else(|| "n/a".into())
+    };
+    print_table(
+        "Platform metrics (dlaas-obs)",
+        &["metric", "value"],
+        &[
+            vec![
+                "api submissions".into(),
+                m.counter_total(dlaas_core::metrics::API_SUBMISSIONS)
+                    .to_string(),
+            ],
+            vec![
+                "guardians created".into(),
+                m.counter_total(dlaas_core::metrics::LCM_GUARDIANS_CREATED)
+                    .to_string(),
+            ],
+            vec![
+                "guardian rollbacks".into(),
+                m.counter_total(dlaas_core::metrics::GUARDIAN_ROLLBACKS)
+                    .to_string(),
+            ],
+            vec![
+                "kube pod restarts".into(),
+                m.counter_total("kube_pod_restarts_total").to_string(),
+            ],
+            vec![
+                "checkpoint writes".into(),
+                m.counter_total(dlaas_core::metrics::CHECKPOINT_WRITES)
+                    .to_string(),
+            ],
+            vec![
+                "checkpoint restores".into(),
+                m.counter_total(dlaas_core::metrics::CHECKPOINT_RESTORES)
+                    .to_string(),
+            ],
+            vec![
+                "deploy latency p50".into(),
+                quantile(dlaas_core::metrics::GUARDIAN_DEPLOY_SECONDS, 0.50),
+            ],
+            vec![
+                "deploy latency p95".into(),
+                quantile(dlaas_core::metrics::GUARDIAN_DEPLOY_SECONDS, 0.95),
+            ],
+            vec![
+                "checkpoint stall p95".into(),
+                quantile(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.95),
+            ],
+        ],
+    );
     assert_eq!(other, 0, "no job may be left in limbo after the drain");
     if !chaos {
         assert_eq!(failed, 0, "without chaos nothing should fail");

@@ -82,8 +82,13 @@ pub struct Fig2Result {
 /// streaming its data from the object store exactly as the paper's
 /// baseline did.
 pub fn run_cell(seed: u64, cell: &Fig2Cell, iterations: u64) -> Fig2Result {
-    let manifest =
-        throughput_manifest(cell.model, cell.framework, GpuKind::K80, cell.gpus, iterations);
+    let manifest = throughput_manifest(
+        cell.model,
+        cell.framework,
+        GpuKind::K80,
+        cell.gpus,
+        iterations,
+    );
     let run = measure_dlaas_throughput(seed, manifest);
     let dlaas = run
         .images_per_sec
@@ -107,7 +112,10 @@ pub fn run_cell(seed: u64, cell: &Fig2Cell, iterations: u64) -> Fig2Result {
 
 /// Runs the whole table.
 pub fn run_all(seed: u64, iterations: u64) -> Vec<Fig2Result> {
-    cells().iter().map(|c| run_cell(seed, c, iterations)).collect()
+    cells()
+        .iter()
+        .map(|c| run_cell(seed, c, iterations))
+        .collect()
 }
 
 #[cfg(test)]

@@ -40,12 +40,36 @@ pub struct Fig3Cell {
 /// The six cells of the paper's table.
 pub fn cells() -> Vec<Fig3Cell> {
     vec![
-        Fig3Cell { model: DlModel::InceptionV3, gpus: 1, paper_pct: 3.30 },
-        Fig3Cell { model: DlModel::Resnet50, gpus: 1, paper_pct: 7.07 },
-        Fig3Cell { model: DlModel::Vgg16, gpus: 1, paper_pct: 7.84 },
-        Fig3Cell { model: DlModel::InceptionV3, gpus: 2, paper_pct: 10.06 },
-        Fig3Cell { model: DlModel::Resnet50, gpus: 2, paper_pct: 10.53 },
-        Fig3Cell { model: DlModel::Vgg16, gpus: 2, paper_pct: 13.69 },
+        Fig3Cell {
+            model: DlModel::InceptionV3,
+            gpus: 1,
+            paper_pct: 3.30,
+        },
+        Fig3Cell {
+            model: DlModel::Resnet50,
+            gpus: 1,
+            paper_pct: 7.07,
+        },
+        Fig3Cell {
+            model: DlModel::Vgg16,
+            gpus: 1,
+            paper_pct: 7.84,
+        },
+        Fig3Cell {
+            model: DlModel::InceptionV3,
+            gpus: 2,
+            paper_pct: 10.06,
+        },
+        Fig3Cell {
+            model: DlModel::Resnet50,
+            gpus: 2,
+            paper_pct: 10.53,
+        },
+        Fig3Cell {
+            model: DlModel::Vgg16,
+            gpus: 2,
+            paper_pct: 13.69,
+        },
     ]
 }
 
@@ -95,7 +119,10 @@ pub fn run_cell(seed: u64, cell: &Fig3Cell, iterations: u64) -> Fig3Result {
 
 /// Runs the whole table.
 pub fn run_all(seed: u64, iterations: u64) -> Vec<Fig3Result> {
-    cells().iter().map(|c| run_cell(seed, c, iterations)).collect()
+    cells()
+        .iter()
+        .map(|c| run_cell(seed, c, iterations))
+        .collect()
 }
 
 #[cfg(test)]

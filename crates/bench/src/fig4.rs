@@ -81,7 +81,21 @@ impl Component {
     fn needs_readiness(&self) -> bool {
         matches!(self, Component::Api | Component::Lcm)
     }
+
+    /// Metric label value for this component.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Api => "api",
+            Component::Lcm => "lcm",
+            Component::Guardian => "guardian",
+            Component::Helper => "helper",
+            Component::Learner => "learner",
+        }
+    }
 }
+
+/// Histogram of measured recovery times, labelled by component.
+pub const RECOVERY_SECONDS: &str = "bench_recovery_seconds";
 
 impl std::fmt::Display for Component {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -140,7 +154,12 @@ pub fn rig(seed: u64) -> Fig4Rig {
     });
     sim.run_until_pred(|_| got.borrow().is_some());
     let job = got.borrow().clone().expect("submitted");
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     assert_eq!(s, Some(JobStatus::Processing), "host job must be training");
     Fig4Rig { sim, platform, job }
 }
@@ -154,9 +173,7 @@ pub fn measure_once(rig: &mut Fig4Rig, component: Component) -> Option<SimDurati
     let kube2 = kube.clone();
     let pod2 = pod.clone();
     let recovered = move |sim: &Sim| {
-        let restarted = kube2
-            .pod_started_at(&pod2)
-            .is_some_and(|t| t > fault_at);
+        let restarted = kube2.pod_started_at(&pod2).is_some_and(|t| t > fault_at);
         if !restarted {
             return false;
         }
@@ -174,15 +191,32 @@ pub fn measure_once(rig: &mut Fig4Rig, component: Component) -> Option<SimDurati
         recovered,
         SimDuration::from_secs(120),
     );
+    if let Some(d) = r {
+        rig.sim.metrics().observe_duration_us(
+            RECOVERY_SECONDS,
+            &[("component", component.label())],
+            d.as_micros(),
+        );
+    }
     // Let the platform settle before the next fault.
     rig.sim.run_for(SimDuration::from_secs(30));
     r
 }
 
+/// A full Fig. 4 run: per-component stats plus the metrics registry the
+/// measurements were recorded into (see [`RECOVERY_SECONDS`]).
+#[derive(Debug)]
+pub struct Fig4Run {
+    /// Per-component results, in the paper's row order.
+    pub results: Vec<Fig4Result>,
+    /// The rig's metrics registry; recovery percentiles come from here.
+    pub metrics: dlaas_sim::Registry,
+}
+
 /// Runs `trials` recoveries for every component on one rig.
-pub fn run_all(seed: u64, trials: u32) -> Vec<Fig4Result> {
+pub fn run_all(seed: u64, trials: u32) -> Fig4Run {
     let mut rig = rig(seed);
-    Component::all()
+    let results = Component::all()
         .iter()
         .map(|c| {
             let mut stats = RecoveryStats::new();
@@ -196,7 +230,11 @@ pub fn run_all(seed: u64, trials: u32) -> Vec<Fig4Result> {
                 stats,
             }
         })
-        .collect()
+        .collect();
+    Fig4Run {
+        results,
+        metrics: rig.sim.metrics().clone(),
+    }
 }
 
 /// The §III-d side claim: "Creation of the Guardian is a very quick
@@ -227,9 +265,7 @@ pub fn guardian_creation_time(seed: u64) -> SimDuration {
     let from = sim.now();
     let kube = platform.kube().clone();
     let gpod = paths::guardian_job(&job);
-    sim.run_until_pred(move |_| {
-        kube.pod_phase(&gpod) == Some(dlaas_kube::PodPhase::Running)
-    });
+    sim.run_until_pred(move |_| kube.pod_phase(&gpod) == Some(dlaas_kube::PodPhase::Running));
     sim.now() - from
 }
 

@@ -4,8 +4,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dlaas_core::{DlaasPlatform, GpuNodeSpec, JobId, JobStatus, PlatformConfig, Tenant,
-                 TrainingManifest};
+use dlaas_core::{
+    DlaasPlatform, GpuNodeSpec, JobId, JobStatus, PlatformConfig, Tenant, TrainingManifest,
+};
 use dlaas_gpu::{DlModel, ExecEnv, Framework, GpuKind, Interconnect, TrainingConfig};
 use dlaas_sim::{Sim, SimDuration};
 
@@ -109,7 +110,12 @@ pub fn measure_dlaas_throughput_with(
     let submitted_at = sim.now();
 
     let status = platform
-        .wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12))
+        .wait_for_status(
+            &mut sim,
+            &job,
+            JobStatus::Completed,
+            SimDuration::from_hours(12),
+        )
         .unwrap_or(JobStatus::Failed);
     let info = platform.job_info(&job).expect("job recorded");
     JobRun {
@@ -145,7 +151,8 @@ pub fn bare_metal_images_per_sec(
     };
     let base = dlaas_gpu::images_per_sec(&cfg, &env);
     // An independent measurement has independent noise.
-    let mut rng = dlaas_sim::SimRng::new(seed).fork(&format!("baremetal/{model}/{framework}/{gpu}/{gpus}"));
+    let mut rng =
+        dlaas_sim::SimRng::new(seed).fork(&format!("baremetal/{model}/{framework}/{gpu}/{gpus}"));
     if jitter > 0.0 {
         base * rng.range_f64(1.0 - jitter, 1.0 + jitter)
     } else {
@@ -182,7 +189,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }
@@ -201,17 +211,32 @@ mod tests {
     #[test]
     fn bare_metal_is_deterministic_per_seed() {
         let a = bare_metal_images_per_sec(
-            1, DlModel::Resnet50, Framework::TensorFlow, GpuKind::K80, 1,
-            ExecEnv::bare_metal_streaming(0.117e9), 0.015,
+            1,
+            DlModel::Resnet50,
+            Framework::TensorFlow,
+            GpuKind::K80,
+            1,
+            ExecEnv::bare_metal_streaming(0.117e9),
+            0.015,
         );
         let b = bare_metal_images_per_sec(
-            1, DlModel::Resnet50, Framework::TensorFlow, GpuKind::K80, 1,
-            ExecEnv::bare_metal_streaming(0.117e9), 0.015,
+            1,
+            DlModel::Resnet50,
+            Framework::TensorFlow,
+            GpuKind::K80,
+            1,
+            ExecEnv::bare_metal_streaming(0.117e9),
+            0.015,
         );
         assert_eq!(a, b);
         let c = bare_metal_images_per_sec(
-            2, DlModel::Resnet50, Framework::TensorFlow, GpuKind::K80, 1,
-            ExecEnv::bare_metal_streaming(0.117e9), 0.015,
+            2,
+            DlModel::Resnet50,
+            Framework::TensorFlow,
+            GpuKind::K80,
+            1,
+            ExecEnv::bare_metal_streaming(0.117e9),
+            0.015,
         );
         assert_ne!(a, c);
     }

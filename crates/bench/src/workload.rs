@@ -87,7 +87,9 @@ impl WorkloadReport {
         let mut total = 0.0;
         let mut n = 0u32;
         for s in &self.submitted {
-            let Some(info) = platform.job_info(&s.job) else { continue };
+            let Some(info) = platform.job_info(&s.job) else {
+                continue;
+            };
             if info.status != JobStatus::Completed {
                 continue;
             }
@@ -184,7 +186,7 @@ impl WorkloadGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::BENCH_KEY;
+
     use dlaas_core::Tenant;
 
     #[test]

@@ -79,6 +79,8 @@ fn meter(sim: &mut Sim, meta: &Rc<MetaClient>, req: &CoreRequest) {
         // Internal control-plane traffic is not user-metered.
         CoreRequest::DeployJob { .. } | CoreRequest::StopJob { .. } => return,
     };
+    sim.metrics()
+        .inc(crate::metrics::API_REQUESTS, &[("kind", kind)]);
     let filter = Filter::eq("_id", key.as_str());
     let update = dlaas_docstore::Update::inc(kind, 1);
     let meta2 = meta.clone();
@@ -99,70 +101,103 @@ fn meter(sim: &mut Sim, meta: &Rc<MetaClient>, req: &CoreRequest) {
     });
 }
 
-fn handle(sim: &mut Sim, h: &Handles, meta: &Rc<MetaClient>, ctx: &ProcessCtx, req: CoreRequest, responder: Resp) {
+fn handle(
+    sim: &mut Sim,
+    h: &Handles,
+    meta: &Rc<MetaClient>,
+    ctx: &ProcessCtx,
+    req: CoreRequest,
+    responder: Resp,
+) {
     match req {
         CoreRequest::Submit { api_key, manifest } => {
             submit(sim, h, meta, ctx, api_key, manifest, responder)
         }
-        CoreRequest::GetStatus { api_key, job } => {
-            with_owned_job(sim, meta.clone(), api_key, job, responder, |sim, _h, doc, responder| {
+        CoreRequest::GetStatus { api_key, job } => with_owned_job(
+            sim,
+            meta.clone(),
+            api_key,
+            job,
+            responder,
+            |sim, _h, doc, responder| {
                 responder.ok(sim, CoreResponse::Status(MetaClient::parse_job_info(&doc)));
-            }, h.clone())
-        }
+            },
+            h.clone(),
+        ),
         CoreRequest::ListJobs { api_key } => list_jobs(sim, meta, api_key, responder),
         CoreRequest::Kill { api_key, job } => {
             let h2 = h.clone();
             let from = pod_addr(&ctx.pod);
-            with_owned_job(sim, meta.clone(), api_key, job.clone(), responder, move |sim, h, _doc, responder| {
-                // Forward to the LCM, which owns teardown.
-                let resolver = h.kube.service_resolver(LCM_SERVICE);
-                h.rpc.clone().call_service(
-                    sim,
-                    from,
-                    LCM_SERVICE.into(),
-                    resolver,
-                    CoreRequest::StopJob { job },
-                    h.config.rpc_timeout,
-                    8,
-                    SimDuration::from_millis(400),
-                    move |sim, r| match r {
-                        Ok(_) => responder.ok(sim, CoreResponse::Ok),
-                        Err(e) => responder.err(sim, format!("kill failed: {e}")),
-                    },
-                );
-            }, h2)
+            with_owned_job(
+                sim,
+                meta.clone(),
+                api_key,
+                job.clone(),
+                responder,
+                move |sim, h, _doc, responder| {
+                    // Forward to the LCM, which owns teardown.
+                    let resolver = h.kube.service_resolver(LCM_SERVICE);
+                    h.rpc.clone().call_service(
+                        sim,
+                        from,
+                        LCM_SERVICE.into(),
+                        resolver,
+                        CoreRequest::StopJob { job },
+                        h.config.rpc_timeout,
+                        8,
+                        SimDuration::from_millis(400),
+                        move |sim, r| match r {
+                            Ok(_) => responder.ok(sim, CoreResponse::Ok),
+                            Err(e) => responder.err(sim, format!("kill failed: {e}")),
+                        },
+                    );
+                },
+                h2,
+            )
         }
-        CoreRequest::GetLogs { api_key, job, learner } => {
+        CoreRequest::GetLogs {
+            api_key,
+            job,
+            learner,
+        } => {
             let h2 = h.clone();
-            with_owned_job(sim, meta.clone(), api_key, job.clone(), responder, move |sim, h, doc, responder| {
-                let Some(manifest) = doc
-                    .path("manifest")
-                    .and_then(Value::as_str)
-                    .and_then(|s| TrainingManifest::from_json(s).ok())
-                else {
-                    responder.err(sim, "corrupt job document");
-                    return;
-                };
-                h.objstore.get(
-                    sim,
-                    manifest.results_bucket,
-                    paths::obj_log(&job, learner),
-                    None,
-                    move |sim, r| match r {
-                        Ok(obj) => {
-                            let lines: Vec<String> = obj
-                                .body
-                                .as_text()
-                                .unwrap_or("")
-                                .lines()
-                                .map(str::to_owned)
-                                .collect();
-                            responder.ok(sim, CoreResponse::Logs(lines));
-                        }
-                        Err(_) => responder.err(sim, "no logs collected yet"),
-                    },
-                );
-            }, h2)
+            with_owned_job(
+                sim,
+                meta.clone(),
+                api_key,
+                job.clone(),
+                responder,
+                move |sim, h, doc, responder| {
+                    let Some(manifest) = doc
+                        .path("manifest")
+                        .and_then(Value::as_str)
+                        .and_then(|s| TrainingManifest::from_json(s).ok())
+                    else {
+                        responder.err(sim, "corrupt job document");
+                        return;
+                    };
+                    h.objstore.get(
+                        sim,
+                        manifest.results_bucket,
+                        paths::obj_log(&job, learner),
+                        None,
+                        move |sim, r| match r {
+                            Ok(obj) => {
+                                let lines: Vec<String> = obj
+                                    .body
+                                    .as_text()
+                                    .unwrap_or("")
+                                    .lines()
+                                    .map(str::to_owned)
+                                    .collect();
+                                responder.ok(sim, CoreResponse::Logs(lines));
+                            }
+                            Err(_) => responder.err(sim, "no logs collected yet"),
+                        },
+                    );
+                },
+                h2,
+            )
         }
         // Control-plane requests addressed to the LCM, not us.
         CoreRequest::DeployJob { .. } | CoreRequest::StopJob { .. } => {
@@ -183,52 +218,71 @@ fn with_owned_job(
     h: Handles,
 ) {
     let meta2 = meta.clone();
-    meta.find_one(sim, TENANTS, Filter::eq("api_key", api_key), move |sim, r| {
-        let tenant = match r {
-            Ok(Some(doc)) => match Tenant::from_document(&doc) {
-                Some(t) => t,
-                None => return responder.err(sim, "corrupt tenant document"),
-            },
-            Ok(None) => return responder.err(sim, "unauthorized"),
-            Err(e) => return responder.err(sim, e.to_string()),
-        };
-        let filter = Filter::and(vec![
-            Filter::eq("_id", job.as_str()),
-            Filter::eq("tenant", tenant.id),
-        ]);
-        meta2.find_one(sim, JOBS, filter, move |sim, r| match r {
-            Ok(Some(doc)) => then(sim, h, doc, responder),
-            Ok(None) => responder.err(sim, "job not found"),
-            Err(e) => responder.err(sim, e.to_string()),
-        });
-    });
+    meta.find_one(
+        sim,
+        TENANTS,
+        Filter::eq("api_key", api_key),
+        move |sim, r| {
+            let tenant = match r {
+                Ok(Some(doc)) => match Tenant::from_document(&doc) {
+                    Some(t) => t,
+                    None => return responder.err(sim, "corrupt tenant document"),
+                },
+                Ok(None) => {
+                    sim.metrics().inc(crate::metrics::API_AUTH_FAILURES, &[]);
+                    return responder.err(sim, "unauthorized");
+                }
+                Err(e) => return responder.err(sim, e.to_string()),
+            };
+            let filter = Filter::and(vec![
+                Filter::eq("_id", job.as_str()),
+                Filter::eq("tenant", tenant.id),
+            ]);
+            meta2.find_one(sim, JOBS, filter, move |sim, r| match r {
+                Ok(Some(doc)) => then(sim, h, doc, responder),
+                Ok(None) => responder.err(sim, "job not found"),
+                Err(e) => responder.err(sim, e.to_string()),
+            });
+        },
+    );
 }
 
 fn list_jobs(sim: &mut Sim, meta: &Rc<MetaClient>, api_key: String, responder: Resp) {
     let meta2 = meta.clone();
-    meta.find_one(sim, TENANTS, Filter::eq("api_key", api_key), move |sim, r| {
-        let tenant = match r {
-            Ok(Some(doc)) => match Tenant::from_document(&doc) {
-                Some(t) => t,
-                None => return responder.err(sim, "corrupt tenant document"),
-            },
-            Ok(None) => return responder.err(sim, "unauthorized"),
-            Err(e) => return responder.err(sim, e.to_string()),
-        };
-        meta2.find(sim, JOBS, Filter::eq("tenant", tenant.id), move |sim, r| {
-            match r {
-                Ok(docs) => {
-                    let ids = docs
-                        .iter()
-                        .filter_map(|d| d.path("_id").and_then(Value::as_str))
-                        .map(JobId::new)
-                        .collect();
-                    responder.ok(sim, CoreResponse::Jobs(ids));
+    meta.find_one(
+        sim,
+        TENANTS,
+        Filter::eq("api_key", api_key),
+        move |sim, r| {
+            let tenant = match r {
+                Ok(Some(doc)) => match Tenant::from_document(&doc) {
+                    Some(t) => t,
+                    None => return responder.err(sim, "corrupt tenant document"),
+                },
+                Ok(None) => {
+                    sim.metrics().inc(crate::metrics::API_AUTH_FAILURES, &[]);
+                    return responder.err(sim, "unauthorized");
                 }
-                Err(e) => responder.err(sim, e.to_string()),
-            }
-        });
-    });
+                Err(e) => return responder.err(sim, e.to_string()),
+            };
+            meta2.find(
+                sim,
+                JOBS,
+                Filter::eq("tenant", tenant.id),
+                move |sim, r| match r {
+                    Ok(docs) => {
+                        let ids = docs
+                            .iter()
+                            .filter_map(|d| d.path("_id").and_then(Value::as_str))
+                            .map(JobId::new)
+                            .collect();
+                        responder.ok(sim, CoreResponse::Jobs(ids));
+                    }
+                    Err(e) => responder.err(sim, e.to_string()),
+                },
+            );
+        },
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -242,6 +296,10 @@ fn submit(
     responder: Resp,
 ) {
     if let Err(e) = manifest.validate() {
+        sim.metrics().inc(
+            crate::metrics::API_SUBMISSIONS,
+            &[("outcome", "rejected_invalid")],
+        );
         responder.err(sim, e.to_string());
         return;
     }
@@ -249,70 +307,88 @@ fn submit(
     let meta = meta.clone();
     let from = pod_addr(&ctx.pod);
     let meta2 = meta.clone();
-    meta.find_one(sim, TENANTS, Filter::eq("api_key", api_key), move |sim, r| {
-        let tenant = match r {
-            Ok(Some(doc)) => match Tenant::from_document(&doc) {
-                Some(t) => t,
-                None => return responder.err(sim, "corrupt tenant document"),
-            },
-            Ok(None) => return responder.err(sim, "unauthorized"),
-            Err(e) => return responder.err(sim, e.to_string()),
-        };
-        // Quota: sum GPUs of the tenant's active jobs.
-        let quota_filter = Filter::and(vec![
-            Filter::eq("tenant", tenant.id.clone()),
-            Filter::In("status".into(), active_statuses()),
-        ]);
-        let meta3 = meta2.clone();
-        meta2.find(sim, JOBS, quota_filter, move |sim, r| {
-            let docs = match r {
-                Ok(d) => d,
+    meta.find_one(
+        sim,
+        TENANTS,
+        Filter::eq("api_key", api_key),
+        move |sim, r| {
+            let tenant = match r {
+                Ok(Some(doc)) => match Tenant::from_document(&doc) {
+                    Some(t) => t,
+                    None => return responder.err(sim, "corrupt tenant document"),
+                },
+                Ok(None) => {
+                    sim.metrics().inc(crate::metrics::API_AUTH_FAILURES, &[]);
+                    return responder.err(sim, "unauthorized");
+                }
                 Err(e) => return responder.err(sim, e.to_string()),
             };
-            if tenant.max_gpus > 0 {
-                let in_use: u32 = docs
-                    .iter()
-                    .filter_map(|d| d.path("manifest")?.as_str())
-                    .filter_map(|s| TrainingManifest::from_json(s).ok())
-                    .map(|m| m.total_gpus())
-                    .sum();
-                if in_use + manifest.total_gpus() > tenant.max_gpus {
-                    return responder.err(
-                        sim,
-                        format!(
-                            "quota exceeded: {} GPUs in use, {} requested, limit {}",
-                            in_use,
-                            manifest.total_gpus(),
-                            tenant.max_gpus
-                        ),
-                    );
-                }
-            }
-            // Durably record, then acknowledge, then hand to the LCM.
-            let doc = MetaClient::job_document(&tenant.id, &manifest, sim.now().as_micros());
-            meta3.insert(sim, JOBS, doc, move |sim, r| {
-                let id = match r {
-                    Ok(id) => JobId::new(id),
+            // Quota: sum GPUs of the tenant's active jobs.
+            let quota_filter = Filter::and(vec![
+                Filter::eq("tenant", tenant.id.clone()),
+                Filter::In("status".into(), active_statuses()),
+            ]);
+            let meta3 = meta2.clone();
+            meta2.find(sim, JOBS, quota_filter, move |sim, r| {
+                let docs = match r {
+                    Ok(d) => d,
                     Err(e) => return responder.err(sim, e.to_string()),
                 };
-                sim.record("api", format!("job {id} recorded; acknowledging"));
-                responder.ok(sim, CoreResponse::Submitted { job: id.clone() });
+                if tenant.max_gpus > 0 {
+                    let in_use: u32 = docs
+                        .iter()
+                        .filter_map(|d| d.path("manifest")?.as_str())
+                        .filter_map(|s| TrainingManifest::from_json(s).ok())
+                        .map(|m| m.total_gpus())
+                        .sum();
+                    if in_use + manifest.total_gpus() > tenant.max_gpus {
+                        sim.metrics().inc(
+                            crate::metrics::API_SUBMISSIONS,
+                            &[("outcome", "rejected_quota")],
+                        );
+                        return responder.err(
+                            sim,
+                            format!(
+                                "quota exceeded: {} GPUs in use, {} requested, limit {}",
+                                in_use,
+                                manifest.total_gpus(),
+                                tenant.max_gpus
+                            ),
+                        );
+                    }
+                }
+                // Durably record, then acknowledge, then hand to the LCM.
+                let doc = MetaClient::job_document(&tenant.id, &manifest, sim.now().as_micros());
+                meta3.insert(sim, JOBS, doc, move |sim, r| {
+                    let id = match r {
+                        Ok(id) => JobId::new(id),
+                        Err(e) => {
+                            sim.metrics()
+                                .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "error")]);
+                            return responder.err(sim, e.to_string());
+                        }
+                    };
+                    sim.metrics()
+                        .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "accepted")]);
+                    sim.record("api", format!("job {id} recorded; acknowledging"));
+                    responder.ok(sim, CoreResponse::Submitted { job: id.clone() });
 
-                // Fire-and-forget: the LCM scan is the dependability
-                // backstop if this message (or the LCM) is lost.
-                let resolver = h.kube.service_resolver(LCM_SERVICE);
-                h.rpc.call_service(
-                    sim,
-                    from,
-                    LCM_SERVICE.into(),
-                    resolver,
-                    CoreRequest::DeployJob { job: id },
-                    h.config.rpc_timeout,
-                    10,
-                    SimDuration::from_millis(400),
-                    |_sim, _r| {},
-                );
+                    // Fire-and-forget: the LCM scan is the dependability
+                    // backstop if this message (or the LCM) is lost.
+                    let resolver = h.kube.service_resolver(LCM_SERVICE);
+                    h.rpc.call_service(
+                        sim,
+                        from,
+                        LCM_SERVICE.into(),
+                        resolver,
+                        CoreRequest::DeployJob { job: id },
+                        h.config.rpc_timeout,
+                        10,
+                        SimDuration::from_millis(400),
+                        |_sim, _r| {},
+                    );
+                });
             });
-        });
-    });
+        },
+    );
 }

@@ -42,7 +42,9 @@ pub struct DlaasClient {
 
 impl std::fmt::Debug for DlaasClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DlaasClient").field("addr", &self.addr).finish()
+        f.debug_struct("DlaasClient")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 

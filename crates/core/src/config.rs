@@ -122,24 +122,34 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = CoreConfig::default();
-        c.api_replicas = 0;
+        let c = CoreConfig {
+            api_replicas: 0,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.deploy_max_attempts = 0;
+        let c = CoreConfig {
+            deploy_max_attempts: 0,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.helper_steal = 0.9;
+        let c = CoreConfig {
+            helper_steal: 0.9,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.throughput_jitter = -0.1;
+        let c = CoreConfig {
+            throughput_jitter: -0.1,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.pending_redeploy_after = SimDuration::from_secs(1);
+        let c = CoreConfig {
+            pending_redeploy_after: SimDuration::from_secs(1),
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -17,15 +17,17 @@
 //! Kubernetes (existing resources) and etcd (learner statuses) — that is
 //! exactly what makes the deployment atomic under crashes.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use dlaas_docstore::{Filter, Update, Value};
 use dlaas_etcd::EtcdClient;
 use dlaas_gpu::Framework;
-use dlaas_kube::{labels, Cleanup, ContainerSpec, ImageRef, NetworkPolicy, PodSpec, ProcessCtx,
-                 Resources, RestartPolicy};
+use dlaas_kube::{
+    labels, Cleanup, ContainerSpec, ImageRef, NetworkPolicy, PodSpec, ProcessCtx, Resources,
+    RestartPolicy,
+};
 use dlaas_sim::{Sim, SimDuration};
 
 use crate::handles::Handles;
@@ -64,6 +66,9 @@ struct Guardian {
     etcd: EtcdClient,
     manifest: RefCell<Option<TrainingManifest>>,
     mon: RefCell<MonitorState>,
+    /// Sim-time (µs) the current deployment attempt started, for the
+    /// deploy-to-PROCESSING histogram. `None` while only monitoring.
+    deploy_started_us: Cell<Option<u64>>,
 }
 
 /// Behavior factory for the Guardian container (arg = job id).
@@ -79,6 +84,7 @@ pub fn guardian_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup 
         etcd,
         manifest: RefCell::new(None),
         mon: RefCell::new(MonitorState::default()),
+        deploy_started_us: Cell::new(None),
     });
     g.ctx.record(sim, "guardian up; loading job record");
     g.clone().boot(sim);
@@ -98,84 +104,98 @@ impl Guardian {
     fn boot(self: Rc<Self>, sim: &mut Sim) {
         let me = self.clone();
         let filter = Filter::eq("_id", self.job.as_str());
-        self.meta.clone().find_one(sim, JOBS, filter, move |sim, r| {
-            if !me.alive() {
-                return;
-            }
-            let doc = match r {
-                Ok(Some(d)) => d,
-                Ok(None) => {
-                    // No such job: nothing to guard. Exit non-zero so the
-                    // K8s Job eventually gives up.
-                    me.ctx.record(sim, "job record missing; aborting");
-                    me.ctx.exit(sim, 1);
+        self.meta
+            .clone()
+            .find_one(sim, JOBS, filter, move |sim, r| {
+                if !me.alive() {
                     return;
                 }
-                Err(e) => {
-                    me.ctx.record(sim, format!("metadata store unavailable: {e}"));
-                    me.ctx.exit(sim, 1);
-                    return;
-                }
-            };
-            let status: JobStatus = doc
-                .path("status")
-                .and_then(Value::as_str)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(JobStatus::Failed);
-            let manifest = doc
-                .path("manifest")
-                .and_then(Value::as_str)
-                .and_then(|s| TrainingManifest::from_json(s).ok());
-            let Some(manifest) = manifest else {
-                me.ctx.record(sim, "corrupt manifest; failing job");
-                me.fail_job(sim, "corrupt manifest");
-                return;
-            };
-            *me.manifest.borrow_mut() = Some(manifest);
-
-            if status.is_terminal() {
-                // We restarted after the job ended: just make sure nothing
-                // is left behind.
-                me.ctx.record(sim, "job already terminal; cleaning leftovers");
-                teardown_job(sim, &me.h, &me.job, false);
-                me.ctx.exit(sim, 0);
-                return;
-            }
-
-            let deployed = me.resources_present();
-            if matches!(status, JobStatus::Processing | JobStatus::Storing) && deployed {
-                // Crash during monitoring: resume monitoring only.
-                me.ctx.record(sim, "resuming monitoring of deployed job");
-                me.start_monitoring(sim);
-                return;
-            }
-
-            // Fresh deployment (or retry after a mid-deploy crash).
-            let attempts = doc.path("attempts").and_then(Value::as_i64).unwrap_or(0) as u32 + 1;
-            let max = me.h.config.deploy_max_attempts;
-            if attempts > max {
-                me.ctx
-                    .record(sim, format!("deploy attempt {attempts} exceeds limit {max}; giving up"));
-                me.fail_job(sim, "deployment retries exhausted");
-                return;
-            }
-            let me2 = me.clone();
-            let filter = Filter::eq("_id", me.job.as_str());
-            me.meta.clone().update_one(
-                sim,
-                JOBS,
-                filter,
-                Update::inc("attempts", 1),
-                move |sim, _r| {
-                    if !me2.alive() {
+                let doc = match r {
+                    Ok(Some(d)) => d,
+                    Ok(None) => {
+                        // No such job: nothing to guard. Exit non-zero so the
+                        // K8s Job eventually gives up.
+                        me.ctx.record(sim, "job record missing; aborting");
+                        me.ctx.exit(sim, 1);
                         return;
                     }
-                    me2.ctx
-                        .record(sim, format!("starting deployment attempt {attempts}"));
-                    me2.rollback_then_deploy(sim);
-                },
-            );
-        });
+                    Err(e) => {
+                        me.ctx
+                            .record(sim, format!("metadata store unavailable: {e}"));
+                        me.ctx.exit(sim, 1);
+                        return;
+                    }
+                };
+                let status: JobStatus = doc
+                    .path("status")
+                    .and_then(Value::as_str)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(JobStatus::Failed);
+                let manifest = doc
+                    .path("manifest")
+                    .and_then(Value::as_str)
+                    .and_then(|s| TrainingManifest::from_json(s).ok());
+                let Some(manifest) = manifest else {
+                    me.ctx.record(sim, "corrupt manifest; failing job");
+                    me.fail_job(sim, "corrupt manifest");
+                    return;
+                };
+                *me.manifest.borrow_mut() = Some(manifest);
+
+                if status.is_terminal() {
+                    // We restarted after the job ended: just make sure nothing
+                    // is left behind.
+                    me.ctx
+                        .record(sim, "job already terminal; cleaning leftovers");
+                    teardown_job(sim, &me.h, &me.job, false);
+                    me.ctx.exit(sim, 0);
+                    return;
+                }
+
+                let deployed = me.resources_present();
+                if matches!(status, JobStatus::Processing | JobStatus::Storing) && deployed {
+                    // Crash during monitoring: resume monitoring only.
+                    me.ctx.record(sim, "resuming monitoring of deployed job");
+                    me.start_monitoring(sim);
+                    return;
+                }
+
+                // Fresh deployment (or retry after a mid-deploy crash).
+                let attempts = doc.path("attempts").and_then(Value::as_i64).unwrap_or(0) as u32 + 1;
+                let max = me.h.config.deploy_max_attempts;
+                if attempts > max {
+                    me.ctx.record(
+                        sim,
+                        format!("deploy attempt {attempts} exceeds limit {max}; giving up"),
+                    );
+                    sim.metrics().inc(crate::metrics::GUARDIAN_GAVE_UP, &[]);
+                    me.fail_job(sim, "deployment retries exhausted");
+                    return;
+                }
+                let me2 = me.clone();
+                let filter = Filter::eq("_id", me.job.as_str());
+                me.meta.clone().update_one(
+                    sim,
+                    JOBS,
+                    filter,
+                    Update::inc("attempts", 1),
+                    move |sim, _r| {
+                        if !me2.alive() {
+                            return;
+                        }
+                        me2.ctx
+                            .record(sim, format!("starting deployment attempt {attempts}"));
+                        sim.metrics()
+                            .inc(crate::metrics::GUARDIAN_DEPLOY_ATTEMPTS, &[]);
+                        // The first attempt has nothing to roll back; only
+                        // retries after a mid-deploy crash count.
+                        if attempts > 1 {
+                            sim.metrics().inc(crate::metrics::GUARDIAN_ROLLBACKS, &[]);
+                        }
+                        me2.rollback_then_deploy(sim);
+                    },
+                );
+            });
     }
 
     /// `true` when the job's learner pods exist in the cluster.
@@ -190,6 +210,7 @@ impl Guardian {
     /// Marks the job FAILED, tears everything down and exits cleanly (so
     /// the K8s Job stops retrying us).
     fn fail_job(self: &Rc<Self>, sim: &mut Sim, reason: &str) {
+        sim.metrics().inc(crate::metrics::GUARDIAN_JOBS_FAILED, &[]);
         let me = self.clone();
         let reason = reason.to_owned();
         self.meta
@@ -207,6 +228,7 @@ impl Guardian {
     /// Step 1: delete any partially deployed resources of a previous
     /// attempt, then run the deployment steps.
     fn rollback_then_deploy(self: Rc<Self>, sim: &mut Sim) {
+        self.deploy_started_us.set(Some(sim.now().as_micros()));
         teardown_job(sim, &self.h, &self.job, false);
         let me = self.clone();
         sim.schedule_in(self.step_latency(), move |sim| {
@@ -338,7 +360,8 @@ impl Guardian {
             to_services: vec![],
             exempt_same: Some("job".into()),
         });
-        self.ctx.record(sim, "network policies applied; deployment complete");
+        self.ctx
+            .record(sim, "network policies applied; deployment complete");
         let me = self.clone();
         sim.schedule_in(self.step_latency(), move |sim| {
             if me.alive() {
@@ -388,7 +411,7 @@ impl Guardian {
         {
             let mut mon = self.mon.borrow_mut();
             mon.poll_round += 1;
-            let due = mon.poll_round % 15 == 0;
+            let due = mon.poll_round.is_multiple_of(15);
             drop(mon);
             if due {
                 self.etcd.rewatch(sim);
@@ -430,22 +453,25 @@ impl Guardian {
         // monitoring Guardian must notice and exit.
         let me = self.clone();
         let filter = Filter::eq("_id", self.job.as_str());
-        self.meta.clone().find_one(sim, JOBS, filter, move |sim, r| {
-            if !me.alive() || me.mon.borrow().finished {
-                return;
-            }
-            if let Ok(Some(doc)) = r {
-                let status: Option<JobStatus> = doc
-                    .path("status")
-                    .and_then(Value::as_str)
-                    .and_then(|s| s.parse().ok());
-                if status.is_some_and(|s| s.is_terminal()) {
-                    me.mon.borrow_mut().finished = true;
-                    me.ctx.record(sim, "job reached terminal state externally; exiting");
-                    me.ctx.exit(sim, 0);
+        self.meta
+            .clone()
+            .find_one(sim, JOBS, filter, move |sim, r| {
+                if !me.alive() || me.mon.borrow().finished {
+                    return;
                 }
-            }
-        });
+                if let Ok(Some(doc)) = r {
+                    let status: Option<JobStatus> = doc
+                        .path("status")
+                        .and_then(Value::as_str)
+                        .and_then(|s| s.parse().ok());
+                    if status.is_some_and(|s| s.is_terminal()) {
+                        me.mon.borrow_mut().finished = true;
+                        me.ctx
+                            .record(sim, "job reached terminal state externally; exiting");
+                        me.ctx.exit(sim, 0);
+                    }
+                }
+            });
     }
 
     /// Mirrors progress/restart counters into the metadata store so users
@@ -537,12 +563,24 @@ impl Guardian {
             }
             Act::Processing => {
                 self.ctx.record(sim, "all set: job is PROCESSING");
-                self.meta
-                    .clone()
-                    .advance_status(sim, &self.job, JobStatus::Processing, |_sim, _r| {});
+                if let Some(started_us) = self.deploy_started_us.take() {
+                    let elapsed = sim.now().as_micros().saturating_sub(started_us);
+                    sim.metrics().observe_duration_us(
+                        crate::metrics::GUARDIAN_DEPLOY_SECONDS,
+                        &[],
+                        elapsed,
+                    );
+                }
+                self.meta.clone().advance_status(
+                    sim,
+                    &self.job,
+                    JobStatus::Processing,
+                    |_sim, _r| {},
+                );
             }
             Act::Storing => {
-                self.ctx.record(sim, "learners done; starting result storage");
+                self.ctx
+                    .record(sim, "learners done; starting result storage");
                 let me = self.clone();
                 self.meta.clone().advance_status(
                     sim,
@@ -556,6 +594,8 @@ impl Guardian {
             }
             Act::Complete(throughput) => {
                 self.ctx.record(sim, "results stored; completing job");
+                sim.metrics()
+                    .inc(crate::metrics::GUARDIAN_JOBS_COMPLETED, &[]);
                 let me = self.clone();
                 let filter = Filter::eq("_id", self.job.as_str());
                 let update = Update::set(

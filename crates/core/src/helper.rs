@@ -94,7 +94,10 @@ struct ControllerState {
 /// Behavior factory for the controller container (arg = job id).
 pub fn controller_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
     let job = JobId::new(ctx.arg.clone());
-    let etcd = h.etcd_client(&format!("{}/{}#{}", ctx.pod, ctx.container, ctx.incarnation));
+    let etcd = h.etcd_client(&format!(
+        "{}/{}#{}",
+        ctx.pod, ctx.container, ctx.incarnation
+    ));
     let poll = h.config.controller_poll;
     let max_failures = h.config.learner_max_failures;
     let ctx2 = ctx.clone();
@@ -183,11 +186,21 @@ fn controller_tick(
         let mut st = state.borrow_mut();
         if progress != st.progress_written {
             st.progress_written = progress;
-            etcd.put(sim, paths::etcd_progress(job), progress.to_string(), |_s, _r| {});
+            etcd.put(
+                sim,
+                paths::etcd_progress(job),
+                progress.to_string(),
+                |_s, _r| {},
+            );
         }
         if restarts_total != st.restarts_written {
             st.restarts_written = restarts_total;
-            etcd.put(sim, paths::etcd_restarts(job), restarts_total.to_string(), |_s, _r| {});
+            etcd.put(
+                sim,
+                paths::etcd_restarts(job),
+                restarts_total.to_string(),
+                |_s, _r| {},
+            );
         }
     }
 
@@ -207,7 +220,12 @@ fn controller_tick(
         }
         if have_all {
             state.borrow_mut().throughput_written = true;
-            etcd.put(sim, paths::etcd_throughput(job), format!("{sum}"), |_s, _r| {});
+            etcd.put(
+                sim,
+                paths::etcd_throughput(job),
+                format!("{sum}"),
+                |_s, _r| {},
+            );
         }
     }
 
@@ -285,6 +303,7 @@ fn download_data(
             match r {
                 Ok(_) => {
                     let _ = mount.write_file(paths::NFS_DATA_LOADED, "loaded");
+                    sim.metrics().inc(crate::metrics::DATA_STAGED, &[]);
                     ctx2.record(sim, "training data staged");
                     ctx2.exit(sim, 0);
                 }
@@ -327,7 +346,9 @@ pub fn log_collector_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cle
                 let have = mount.line_count(&path);
                 let done = uploaded.borrow().get(&ord).copied().unwrap_or(0);
                 if have > done {
-                    let Ok(lines) = mount.read_lines_from(&path, 0) else { continue };
+                    let Ok(lines) = mount.read_lines_from(&path, 0) else {
+                        continue;
+                    };
                     uploaded.borrow_mut().insert(ord, have);
                     objstore.put(
                         sim,
@@ -390,6 +411,7 @@ pub fn store_results_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cle
                     match r {
                         Ok(()) => {
                             let _ = mount2.write_file(paths::NFS_STORE_DONE, "done");
+                            sim.metrics().inc(crate::metrics::RESULTS_STORED, &[]);
                             ctx3.record(sim, "results uploaded");
                             ctx3.exit(sim, 0);
                         }

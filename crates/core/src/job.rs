@@ -3,10 +3,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Unique identifier of a training job.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(String);
 
 impl JobId {
@@ -36,7 +34,7 @@ impl From<&str> for JobId {
 /// Externally visible job lifecycle (the statuses users poll; paper §II:
 /// "users expect periodic and accurate status updates (e.g., whether the
 /// job is DEPLOYING, PROCESSING)").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobStatus {
     /// Accepted and durably recorded; awaiting deployment.
     Pending,

@@ -16,8 +16,10 @@
 //! * terminal jobs with leftover cluster resources are garbage-collected.
 
 use dlaas_docstore::{Filter, Value};
-use dlaas_kube::{labels, pod_addr, Cleanup, ContainerSpec, ImageRef, JobStatus as KubeJobStatus,
-                 PodSpec, ProcessCtx, Resources};
+use dlaas_kube::{
+    labels, pod_addr, Cleanup, ContainerSpec, ImageRef, JobStatus as KubeJobStatus, PodSpec,
+    ProcessCtx, Resources,
+};
 use dlaas_sim::{Sim, SimTime};
 
 use crate::handles::Handles;
@@ -47,14 +49,12 @@ pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
             CoreRequest::StopJob { job } => {
                 let h3 = h2.clone();
                 let job2 = job.clone();
-                meta2.advance_status(sim, &job, JobStatus::Killed, move |sim, r| {
-                    match r {
-                        Ok(_) => {
-                            teardown_job(sim, &h3, &job2, true);
-                            responder.ok(sim, CoreResponse::Ok);
-                        }
-                        Err(e) => responder.err(sim, e.to_string()),
+                meta2.advance_status(sim, &job, JobStatus::Killed, move |sim, r| match r {
+                    Ok(_) => {
+                        teardown_job(sim, &h3, &job2, true);
+                        responder.ok(sim, CoreResponse::Ok);
                     }
+                    Err(e) => responder.err(sim, e.to_string()),
                 });
             }
             _ => responder.err(sim, "not an LCM endpoint"),
@@ -89,6 +89,8 @@ pub(crate) fn ensure_guardian(sim: &mut Sim, h: &Handles, job: &JobId) {
         return;
     }
     sim.record("lcm", format!("creating guardian for {job}"));
+    sim.metrics()
+        .inc(crate::metrics::LCM_GUARDIANS_CREATED, &[]);
     let pod = PodSpec::new(
         "unused",
         ContainerSpec::new(
@@ -115,8 +117,10 @@ pub(crate) fn ensure_guardian(sim: &mut Sim, h: &Handles, job: &JobId) {
 /// Results and logs in the object store are deliberately kept.
 pub(crate) fn teardown_job(sim: &mut Sim, h: &Handles, job: &JobId, delete_guardian: bool) {
     sim.record("lcm", format!("tearing down resources of {job}"));
+    sim.metrics().inc(crate::metrics::LCM_TEARDOWNS, &[]);
     h.kube.delete_statefulset(sim, &paths::learner_set(job));
-    h.kube.delete_deployment(sim, &paths::helper_deployment(job));
+    h.kube
+        .delete_deployment(sim, &paths::helper_deployment(job));
     h.kube.remove_network_policy(&paths::network_policy(job));
     if delete_guardian {
         h.kube.delete_job(sim, &paths::guardian_job(job));
@@ -139,12 +143,134 @@ fn deploying_since(doc: &Value) -> Option<SimTime> {
     history
         .iter()
         .rev()
-        .find(|e| {
-            e.path("status").and_then(Value::as_str) == Some("DEPLOYING")
-        })
+        .find(|e| e.path("status").and_then(Value::as_str) == Some("DEPLOYING"))
         .and_then(|e| e.path("t_us"))
         .and_then(Value::as_i64)
         .map(|us| SimTime::from_micros(us as u64))
+}
+
+fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
+    // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
+    let h2 = h.clone();
+    let redeploy_after = h.config.pending_redeploy_after;
+    meta.find(
+        sim,
+        JOBS,
+        Filter::eq("status", JobStatus::Pending.to_string()),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for doc in &docs {
+                let submitted = doc
+                    .path("submitted_us")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0) as u64;
+                let age = sim
+                    .now()
+                    .saturating_duration_since(SimTime::from_micros(submitted));
+                let Some(id) = doc.path("_id").and_then(Value::as_str) else {
+                    continue;
+                };
+                let job = JobId::new(id);
+                if age >= redeploy_after && h2.kube.job_status(&paths::guardian_job(&job)).is_none()
+                {
+                    sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
+                    sim.metrics().inc(crate::metrics::LCM_SCAN_REDEPLOYS, &[]);
+                    ensure_guardian(sim, &h2, &job);
+                }
+            }
+        },
+    );
+
+    // 2. Fail jobs whose Guardian exhausted its K8s backoff limit, and
+    //    jobs stuck in DEPLOYING past the deploy timeout (undeployable:
+    //    e.g. they request hardware the cluster does not have).
+    let h3 = h.clone();
+    let meta2 = meta.clone();
+    let deploy_timeout = h.config.deploy_timeout;
+    let active: Vec<Value> = [
+        JobStatus::Pending,
+        JobStatus::Deploying,
+        JobStatus::Processing,
+        JobStatus::Storing,
+    ]
+    .iter()
+    .map(|s| Value::from(s.to_string()))
+    .collect();
+    meta.find(
+        sim,
+        JOBS,
+        Filter::In("status".into(), active),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for doc in &docs {
+                let Some(id) = doc.path("_id").and_then(Value::as_str) else {
+                    continue;
+                };
+                let job = JobId::new(id);
+                let guardian_gave_up =
+                    h3.kube.job_status(&paths::guardian_job(&job)) == Some(KubeJobStatus::Failed);
+
+                let status: Option<JobStatus> = doc
+                    .path("status")
+                    .and_then(Value::as_str)
+                    .and_then(|s| s.parse().ok());
+                let deploy_stuck = status == Some(JobStatus::Deploying)
+                    && deploying_since(doc).is_some_and(|since| {
+                        sim.now().saturating_duration_since(since) >= deploy_timeout
+                    });
+
+                if guardian_gave_up || deploy_stuck {
+                    let reason = if guardian_gave_up {
+                        "guardian gave up"
+                    } else {
+                        "deploy timeout (resources unschedulable?)"
+                    };
+                    sim.record("lcm", format!("scan: failing {job}: {reason}"));
+                    let reason_label = if guardian_gave_up {
+                        "guardian_gave_up"
+                    } else {
+                        "deploy_timeout"
+                    };
+                    sim.metrics().inc(
+                        crate::metrics::LCM_SCAN_FAILURES,
+                        &[("reason", reason_label)],
+                    );
+                    let h4 = h3.clone();
+                    let job2 = job.clone();
+                    meta2.advance_status(sim, &job, JobStatus::Failed, move |sim, _r| {
+                        teardown_job(sim, &h4, &job2, true);
+                    });
+                }
+            }
+        },
+    );
+
+    // 3. Garbage-collect leftovers of terminal jobs.
+    let h5 = h.clone();
+    let terminal: Vec<Value> = [JobStatus::Completed, JobStatus::Failed, JobStatus::Killed]
+        .iter()
+        .map(|s| Value::from(s.to_string()))
+        .collect();
+    meta.find(
+        sim,
+        JOBS,
+        Filter::In("status".into(), terminal),
+        move |sim, r| {
+            let Ok(docs) = r else { return };
+            for job in job_ids(&docs) {
+                let has_pods = !h5
+                    .kube
+                    .pods_matching(&labels! {"job" => job.as_str()})
+                    .is_empty();
+                let has_volume = h5.nfs.find_volume(&paths::volume(&job)).is_some();
+                if has_pods || has_volume {
+                    sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
+                    sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
+                    teardown_job(sim, &h5, &job, true);
+                }
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -182,111 +308,4 @@ mod tests {
         let ids = job_ids(&docs);
         assert_eq!(ids, vec![JobId::new("a"), JobId::new("b")]);
     }
-}
-
-fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
-    // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
-    let h2 = h.clone();
-    let redeploy_after = h.config.pending_redeploy_after;
-    meta.find(
-        sim,
-        JOBS,
-        Filter::eq("status", JobStatus::Pending.to_string()),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for doc in &docs {
-                let submitted =
-                    doc.path("submitted_us").and_then(Value::as_i64).unwrap_or(0) as u64;
-                let age = sim
-                    .now()
-                    .saturating_duration_since(SimTime::from_micros(submitted));
-                let Some(id) = doc.path("_id").and_then(Value::as_str) else { continue };
-                let job = JobId::new(id);
-                if age >= redeploy_after && h2.kube.job_status(&paths::guardian_job(&job)).is_none()
-                {
-                    sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
-                    ensure_guardian(sim, &h2, &job);
-                }
-            }
-        },
-    );
-
-    // 2. Fail jobs whose Guardian exhausted its K8s backoff limit, and
-    //    jobs stuck in DEPLOYING past the deploy timeout (undeployable:
-    //    e.g. they request hardware the cluster does not have).
-    let h3 = h.clone();
-    let meta2 = meta.clone();
-    let deploy_timeout = h.config.deploy_timeout;
-    let active: Vec<Value> = [
-        JobStatus::Pending,
-        JobStatus::Deploying,
-        JobStatus::Processing,
-        JobStatus::Storing,
-    ]
-    .iter()
-    .map(|s| Value::from(s.to_string()))
-    .collect();
-    meta.find(
-        sim,
-        JOBS,
-        Filter::In("status".into(), active),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for doc in &docs {
-                let Some(id) = doc.path("_id").and_then(Value::as_str) else { continue };
-                let job = JobId::new(id);
-                let guardian_gave_up = h3.kube.job_status(&paths::guardian_job(&job))
-                    == Some(KubeJobStatus::Failed);
-
-                let status: Option<JobStatus> = doc
-                    .path("status")
-                    .and_then(Value::as_str)
-                    .and_then(|s| s.parse().ok());
-                let deploy_stuck = status == Some(JobStatus::Deploying)
-                    && deploying_since(doc).is_some_and(|since| {
-                        sim.now().saturating_duration_since(since) >= deploy_timeout
-                    });
-
-                if guardian_gave_up || deploy_stuck {
-                    let reason = if guardian_gave_up {
-                        "guardian gave up"
-                    } else {
-                        "deploy timeout (resources unschedulable?)"
-                    };
-                    sim.record("lcm", format!("scan: failing {job}: {reason}"));
-                    let h4 = h3.clone();
-                    let job2 = job.clone();
-                    meta2.advance_status(sim, &job, JobStatus::Failed, move |sim, _r| {
-                        teardown_job(sim, &h4, &job2, true);
-                    });
-                }
-            }
-        },
-    );
-
-    // 3. Garbage-collect leftovers of terminal jobs.
-    let h5 = h.clone();
-    let terminal: Vec<Value> = [JobStatus::Completed, JobStatus::Failed, JobStatus::Killed]
-        .iter()
-        .map(|s| Value::from(s.to_string()))
-        .collect();
-    meta.find(
-        sim,
-        JOBS,
-        Filter::In("status".into(), terminal),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for job in job_ids(&docs) {
-                let has_pods = !h5
-                    .kube
-                    .pods_matching(&labels! {"job" => job.as_str()})
-                    .is_empty();
-                let has_volume = h5.nfs.find_volume(&paths::volume(&job)).is_some();
-                if has_pods || has_volume {
-                    sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
-                    teardown_job(sim, &h5, &job, true);
-                }
-            }
-        },
-    );
 }

@@ -121,9 +121,13 @@ fn start(
     mount.remove(&paths::nfs_learner_exit(ordinal));
     let _ = mount.write_file(&paths::nfs_learner_status(ordinal), "DOWNLOADING");
     if starts > 1 {
+        sim.metrics().inc(crate::metrics::LEARNER_RESTARTS, &[]);
         let _ = mount.append_line(
             &paths::nfs_learner_log(ordinal),
-            format!("[restart #{:?}] learner restarted by kubernetes", starts - 1),
+            format!(
+                "[restart #{:?}] learner restarted by kubernetes",
+                starts - 1
+            ),
         );
     }
     ctx.record(sim, format!("learner {ordinal} start #{starts}"));
@@ -231,9 +235,8 @@ impl Learner {
     fn restore_checkpoint(self: Rc<Self>, sim: &mut Sim) {
         if let Some(peer_iter) = self.peer_iteration() {
             if peer_iter > 0 {
-                self.log(format!(
-                    "rejoined via parameter server at iter {peer_iter}"
-                ));
+                sim.metrics().inc(crate::metrics::LEARNER_PS_REJOINS, &[]);
+                self.log(format!("rejoined via parameter server at iter {peer_iter}"));
                 self.begin_training(sim, peer_iter);
                 return;
             }
@@ -254,11 +257,7 @@ impl Learner {
                     return;
                 }
                 let iter: u64 = match r {
-                    Ok(obj) => obj
-                        .body
-                        .as_text()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(0),
+                    Ok(obj) => obj.body.as_text().and_then(|s| s.parse().ok()).unwrap_or(0),
                     Err(_) => 0, // no checkpoint yet
                 };
                 if iter == 0 {
@@ -278,6 +277,7 @@ impl Learner {
                         if !me2.ctx.is_alive() {
                             return;
                         }
+                        sim.metrics().inc(crate::metrics::CHECKPOINT_RESTORES, &[]);
                         me2.log(format!("resumed from checkpoint at iter {iter}"));
                         me2.begin_training(sim, iter);
                     },
@@ -300,7 +300,9 @@ impl Learner {
         self.set_status(format!("PROCESSING iter={start_iter}"));
         self.log(format!(
             "training started at iter {start_iter}: {} on {} x{} ({:.1} img/s job-wide)",
-            self.manifest.model, self.manifest.gpu_kind, self.manifest.gpus_per_learner,
+            self.manifest.model,
+            self.manifest.gpu_kind,
+            self.manifest.gpus_per_learner,
             self.rate_total,
         ));
         self.tick(sim);
@@ -321,7 +323,8 @@ impl Learner {
                 let mut st = me.state.borrow_mut();
                 let steps = report.as_secs_f64() / me.step_secs;
                 st.iter_f += steps;
-                st.images_done += steps * me.manifest.effective_batch() as f64
+                st.images_done += steps
+                    * me.manifest.effective_batch() as f64
                     * me.manifest.gpus_per_learner as f64;
                 let finished = st.iter_f >= me.manifest.iterations as f64;
                 if finished {
@@ -385,8 +388,14 @@ impl Learner {
                         if !me2.ctx.is_alive() {
                             return;
                         }
-                        me2.state.borrow_mut().checkpoint_stall +=
-                            sim.now().saturating_duration_since(stall_from);
+                        let stall = sim.now().saturating_duration_since(stall_from);
+                        sim.metrics().inc(crate::metrics::CHECKPOINT_WRITES, &[]);
+                        sim.metrics().observe_duration_us(
+                            crate::metrics::CHECKPOINT_STALL_SECONDS,
+                            &[],
+                            stall.as_micros(),
+                        );
+                        me2.state.borrow_mut().checkpoint_stall += stall;
                         me2.tick(sim);
                     },
                 );
@@ -417,7 +426,8 @@ impl Learner {
         let _ = self
             .mount
             .write_file(&paths::nfs_learner_exit(self.ordinal), "0");
-        self.ctx.record(sim, format!("learner {} done", self.ordinal));
+        self.ctx
+            .record(sim, format!("learner {} done", self.ordinal));
         self.ctx.exit(sim, 0);
     }
 }

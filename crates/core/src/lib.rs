@@ -60,6 +60,7 @@ mod job;
 mod lcm;
 mod learner;
 mod manifest;
+pub mod metrics;
 mod mongo;
 pub mod paths;
 mod platform;

@@ -5,8 +5,7 @@
 //! results and logs should be stored, learning rate, etc., are specified
 //! using a manifest file." (paper §III-a)
 
-use serde::{Deserialize, Serialize};
-
+use dlaas_docstore::{obj, Value};
 use dlaas_gpu::{DlModel, Framework, GpuKind};
 
 /// Errors found while validating a manifest.
@@ -42,7 +41,7 @@ impl std::error::Error for ManifestError {}
 /// assert_eq!(m.learners, 1);
 /// # Ok::<(), dlaas_core::ManifestError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingManifest {
     /// Human-readable job name.
     pub name: String,
@@ -122,7 +121,11 @@ impl TrainingManifest {
             .model(self.model)
             .gpus(self.gpu_kind, self.gpus_per_learner)
             .learners(self.learners)
-            .data(self.data_bucket.clone(), self.data_prefix.clone(), self.data_bytes)
+            .data(
+                self.data_bucket.clone(),
+                self.data_prefix.clone(),
+                self.data_bytes,
+            )
             .results(self.results_bucket.clone())
             .iterations(self.iterations)
             .checkpoint_every(self.checkpoint_every)
@@ -134,7 +137,23 @@ impl TrainingManifest {
 
     /// Serializes to the JSON the platform stores on the job's volume.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("manifest serializes")
+        obj! {
+            "name" => self.name.clone(),
+            "framework" => self.framework.to_string(),
+            "model" => self.model.to_string(),
+            "gpu_kind" => self.gpu_kind.to_string(),
+            "gpus_per_learner" => self.gpus_per_learner,
+            "learners" => self.learners,
+            "data_bucket" => self.data_bucket.clone(),
+            "data_prefix" => self.data_prefix.clone(),
+            "data_bytes" => self.data_bytes,
+            "results_bucket" => self.results_bucket.clone(),
+            "iterations" => self.iterations,
+            "checkpoint_every" => self.checkpoint_every,
+            "batch_per_gpu" => self.batch_per_gpu,
+            "learning_rate" => self.learning_rate,
+        }
+        .to_json()
     }
 
     /// Parses a stored manifest.
@@ -143,7 +162,42 @@ impl TrainingManifest {
     ///
     /// [`ManifestError`] when the JSON is malformed.
     pub fn from_json(s: &str) -> Result<Self, ManifestError> {
-        serde_json::from_str(s).map_err(|e| ManifestError(e.to_string()))
+        let v = Value::parse_json(s).map_err(|e| ManifestError(e.to_string()))?;
+        let missing = |field: &str| ManifestError(format!("missing or ill-typed field: {field}"));
+        let str_field = |field: &str| -> Result<String, ManifestError> {
+            Ok(v.path(field)
+                .and_then(Value::as_str)
+                .ok_or_else(|| missing(field))?
+                .to_owned())
+        };
+        let int_field = |field: &str| -> Result<i64, ManifestError> {
+            v.path(field)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| missing(field))
+        };
+        Ok(TrainingManifest {
+            name: str_field("name")?,
+            framework: str_field("framework")?
+                .parse()
+                .map_err(|_| missing("framework"))?,
+            model: str_field("model")?.parse().map_err(|_| missing("model"))?,
+            gpu_kind: str_field("gpu_kind")?
+                .parse()
+                .map_err(|_| missing("gpu_kind"))?,
+            gpus_per_learner: int_field("gpus_per_learner")? as u32,
+            learners: int_field("learners")? as u32,
+            data_bucket: str_field("data_bucket")?,
+            data_prefix: str_field("data_prefix")?,
+            data_bytes: int_field("data_bytes")? as u64,
+            results_bucket: str_field("results_bucket")?,
+            iterations: int_field("iterations")? as u64,
+            checkpoint_every: int_field("checkpoint_every")? as u64,
+            batch_per_gpu: int_field("batch_per_gpu")? as u32,
+            learning_rate: v
+                .path("learning_rate")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| missing("learning_rate"))?,
+        })
     }
 }
 
@@ -193,7 +247,12 @@ impl TrainingManifestBuilder {
     }
 
     /// Sets the training-data source.
-    pub fn data(mut self, bucket: impl Into<String>, prefix: impl Into<String>, bytes: u64) -> Self {
+    pub fn data(
+        mut self,
+        bucket: impl Into<String>,
+        prefix: impl Into<String>,
+        bytes: u64,
+    ) -> Self {
         self.data_bucket = bucket.into();
         self.data_prefix = prefix.into();
         self.data_bytes = bytes;
@@ -321,14 +380,17 @@ mod tests {
         assert!(valid().iterations(0).build().is_err());
         assert!(valid().learning_rate(-1.0).build().is_err());
         assert!(valid().learning_rate(f64::NAN).build().is_err());
-        assert!(TrainingManifest::builder("x")
-            .results("r")
-            .build()
-            .is_err(), "missing data bucket");
-        assert!(TrainingManifest::builder("x")
-            .data("d", "", 10)
-            .build()
-            .is_err(), "missing results bucket");
+        assert!(
+            TrainingManifest::builder("x").results("r").build().is_err(),
+            "missing data bucket"
+        );
+        assert!(
+            TrainingManifest::builder("x")
+                .data("d", "", 10)
+                .build()
+                .is_err(),
+            "missing results bucket"
+        );
         assert!(valid().data("d", "", 0).build().is_err(), "zero data bytes");
     }
 

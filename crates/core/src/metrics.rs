@@ -1,0 +1,135 @@
+//! Metric names emitted by the DLaaS control plane.
+//!
+//! All instrumentation goes through the deterministic registry owned by
+//! the simulation kernel ([`dlaas_sim::Sim::metrics`]): one seed produces
+//! one byte-identical exposition. The constants here are the single
+//! source of truth for metric names; [`register`] attaches help text and
+//! histogram buckets so `Registry::expose` renders a self-describing
+//! Prometheus-style page.
+
+use dlaas_obs::{MetricKind, Registry};
+
+/// User API requests served, by request kind (`submit`, `status`, …).
+pub const API_REQUESTS: &str = "dlaas_api_requests_total";
+/// Job submissions by outcome (`accepted`, `rejected_quota`, …).
+pub const API_SUBMISSIONS: &str = "dlaas_api_submissions_total";
+/// Requests that failed authentication (unknown API key).
+pub const API_AUTH_FAILURES: &str = "dlaas_api_auth_failures_total";
+
+/// Applied job status transitions, by target status.
+pub const JOB_TRANSITIONS: &str = "dlaas_job_status_transitions_total";
+
+/// Guardian K8s Jobs created by the LCM (deploy requests + scan).
+pub const LCM_GUARDIANS_CREATED: &str = "dlaas_lcm_guardians_created_total";
+/// Full resource teardowns executed (kill, GC, rollback).
+pub const LCM_TEARDOWNS: &str = "dlaas_lcm_teardowns_total";
+/// Stranded PENDING jobs re-deployed by the backstop scan.
+pub const LCM_SCAN_REDEPLOYS: &str = "dlaas_lcm_scan_redeploys_total";
+/// Jobs the scan declared FAILED, by reason.
+pub const LCM_SCAN_FAILURES: &str = "dlaas_lcm_scan_failures_total";
+/// Terminal jobs whose leftovers the scan garbage-collected.
+pub const LCM_SCAN_GC: &str = "dlaas_lcm_scan_gc_total";
+
+/// Deployment attempts started by Guardians (first try and retries).
+pub const GUARDIAN_DEPLOY_ATTEMPTS: &str = "dlaas_guardian_deploy_attempts_total";
+/// Rollbacks of partially deployed resources before a (re)deploy.
+pub const GUARDIAN_ROLLBACKS: &str = "dlaas_guardian_rollbacks_total";
+/// Guardians that exhausted their deploy-attempt budget.
+pub const GUARDIAN_GAVE_UP: &str = "dlaas_guardian_gave_up_total";
+/// Jobs a Guardian marked FAILED.
+pub const GUARDIAN_JOBS_FAILED: &str = "dlaas_guardian_jobs_failed_total";
+/// Jobs a Guardian completed.
+pub const GUARDIAN_JOBS_COMPLETED: &str = "dlaas_guardian_jobs_completed_total";
+/// Seconds from deployment-attempt start to the job PROCESSING.
+pub const GUARDIAN_DEPLOY_SECONDS: &str = "dlaas_guardian_deploy_seconds";
+
+/// Learner restarts (starts beyond the first, across all jobs).
+pub const LEARNER_RESTARTS: &str = "dlaas_learner_restarts_total";
+/// Learners that rejoined via a peer parameter server after a restart.
+pub const LEARNER_PS_REJOINS: &str = "dlaas_learner_ps_rejoins_total";
+/// Checkpoints uploaded to the object store.
+pub const CHECKPOINT_WRITES: &str = "dlaas_checkpoint_writes_total";
+/// Checkpoints downloaded to resume training after a restart.
+pub const CHECKPOINT_RESTORES: &str = "dlaas_checkpoint_restores_total";
+/// Seconds training stalled per checkpoint upload (§III-g trade-off).
+pub const CHECKPOINT_STALL_SECONDS: &str = "dlaas_checkpoint_stall_seconds";
+
+/// Training datasets staged onto a job volume by load-data.
+pub const DATA_STAGED: &str = "dlaas_data_staged_total";
+/// Trained models uploaded by store-results.
+pub const RESULTS_STORED: &str = "dlaas_results_stored_total";
+
+/// Describes every control-plane metric in `registry` (help text and,
+/// for histograms, bucket bounds). Purely cosmetic for counters — series
+/// are created on first use either way — but keeps the exposition page
+/// self-describing.
+pub fn register(registry: &Registry) {
+    use MetricKind::{Counter, Histogram};
+    let c = |name, help| registry.describe(name, Counter, help);
+    c(API_REQUESTS, "user API requests served, by kind");
+    c(API_SUBMISSIONS, "job submissions, by outcome");
+    c(API_AUTH_FAILURES, "requests with an unknown API key");
+    c(
+        JOB_TRANSITIONS,
+        "applied job status transitions, by target status",
+    );
+    c(
+        LCM_GUARDIANS_CREATED,
+        "guardian K8s Jobs created by the LCM",
+    );
+    c(LCM_TEARDOWNS, "full job-resource teardowns executed");
+    c(
+        LCM_SCAN_REDEPLOYS,
+        "stranded PENDING jobs re-deployed by the scan",
+    );
+    c(
+        LCM_SCAN_FAILURES,
+        "jobs the scan declared FAILED, by reason",
+    );
+    c(
+        LCM_SCAN_GC,
+        "terminal-job leftovers garbage-collected by the scan",
+    );
+    c(
+        GUARDIAN_DEPLOY_ATTEMPTS,
+        "guardian deployment attempts started",
+    );
+    c(
+        GUARDIAN_ROLLBACKS,
+        "partial-deployment rollbacks before a (re)deploy",
+    );
+    c(
+        GUARDIAN_GAVE_UP,
+        "guardians that exhausted their deploy attempts",
+    );
+    c(GUARDIAN_JOBS_FAILED, "jobs marked FAILED by a guardian");
+    c(GUARDIAN_JOBS_COMPLETED, "jobs completed by a guardian");
+    c(LEARNER_RESTARTS, "learner starts beyond the first");
+    c(
+        LEARNER_PS_REJOINS,
+        "learner rejoins via a peer parameter server",
+    );
+    c(
+        CHECKPOINT_WRITES,
+        "checkpoints uploaded to the object store",
+    );
+    c(
+        CHECKPOINT_RESTORES,
+        "checkpoint downloads on learner restart",
+    );
+    c(DATA_STAGED, "training datasets staged onto job volumes");
+    c(
+        RESULTS_STORED,
+        "trained models uploaded to the object store",
+    );
+    registry.describe(
+        GUARDIAN_DEPLOY_SECONDS,
+        Histogram,
+        "seconds from deployment-attempt start to PROCESSING",
+    );
+    registry.describe(
+        CHECKPOINT_STALL_SECONDS,
+        Histogram,
+        "seconds training stalled per checkpoint upload",
+    );
+}

@@ -51,7 +51,9 @@ pub struct MetaClient {
 
 impl std::fmt::Debug for MetaClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetaClient").field("from", &self.from).finish()
+        f.debug_struct("MetaClient")
+            .field("from", &self.from)
+            .finish()
     }
 }
 
@@ -109,12 +111,15 @@ impl MetaClient {
                 doc,
             },
             ATTEMPTS,
-            |sim, r|
-
-                done(sim, r.map(|resp| match resp {
-                    MongoResponse::Inserted { id } => id,
-                    other => panic!("unexpected insert response: {other:?}"),
-                })),
+            |sim, r| {
+                done(
+                    sim,
+                    r.map(|resp| match resp {
+                        MongoResponse::Inserted { id } => id,
+                        other => panic!("unexpected insert response: {other:?}"),
+                    }),
+                )
+            },
         );
     }
 
@@ -134,10 +139,13 @@ impl MetaClient {
             },
             ATTEMPTS,
             |sim, r| {
-                done(sim, r.map(|resp| match resp {
-                    MongoResponse::Doc(d) => d,
-                    other => panic!("unexpected find response: {other:?}"),
-                }))
+                done(
+                    sim,
+                    r.map(|resp| match resp {
+                        MongoResponse::Doc(d) => d,
+                        other => panic!("unexpected find response: {other:?}"),
+                    }),
+                )
             },
         );
     }
@@ -158,10 +166,13 @@ impl MetaClient {
             },
             ATTEMPTS,
             |sim, r| {
-                done(sim, r.map(|resp| match resp {
-                    MongoResponse::Docs(d) => d,
-                    other => panic!("unexpected find response: {other:?}"),
-                }))
+                done(
+                    sim,
+                    r.map(|resp| match resp {
+                        MongoResponse::Docs(d) => d,
+                        other => panic!("unexpected find response: {other:?}"),
+                    }),
+                )
             },
         );
     }
@@ -184,10 +195,13 @@ impl MetaClient {
             },
             ATTEMPTS,
             |sim, r| {
-                done(sim, r.map(|resp| match resp {
-                    MongoResponse::Updated(n) => n > 0,
-                    other => panic!("unexpected update response: {other:?}"),
-                }))
+                done(
+                    sim,
+                    r.map(|resp| match resp {
+                        MongoResponse::Updated(n) => n > 0,
+                        other => panic!("unexpected update response: {other:?}"),
+                    }),
+                )
             },
         );
     }
@@ -249,7 +263,14 @@ impl MetaClient {
                 dlaas_docstore::obj! { "status" => to.to_string(), "t_us" => now_us },
             ),
         ]);
-        self.update_one(sim, JOBS, filter, update, done);
+        let to_str = to.to_string();
+        self.update_one(sim, JOBS, filter, update, move |sim, r| {
+            if matches!(r, Ok(true)) {
+                sim.metrics()
+                    .inc(crate::metrics::JOB_TRANSITIONS, &[("to", &to_str)]);
+            }
+            done(sim, r);
+        });
     }
 
     /// Parses a job document into the API's [`JobInfo`] view.
@@ -280,8 +301,7 @@ impl MetaClient {
             .map(|arr| {
                 arr.iter()
                     .filter_map(|e| {
-                        let s: JobStatus =
-                            e.path("status")?.as_str()?.parse().ok()?;
+                        let s: JobStatus = e.path("status")?.as_str()?.parse().ok()?;
                         let t = e.path("t_us")?.as_i64()? as u64;
                         Some((s, t))
                     })
@@ -304,9 +324,7 @@ impl MetaClient {
                 .and_then(Value::as_obj)
                 .map(|m| {
                     m.iter()
-                        .filter_map(|(k, v)| {
-                            Some((k.parse().ok()?, v.as_str()?.to_owned()))
-                        })
+                        .filter_map(|(k, v)| Some((k.parse().ok()?, v.as_str()?.to_owned())))
                         .collect()
                 })
                 .unwrap_or_default(),

@@ -8,8 +8,10 @@ use std::rc::Rc;
 use dlaas_docstore::{Filter, MongoRpc, MongoServer, MongoTimings, Value};
 use dlaas_etcd::EtcdCluster;
 use dlaas_gpu::GpuKind;
-use dlaas_kube::{labels, BehaviorRegistry, ContainerSpec, ImageRef, Kube, KubeConfig, NodeSpec,
-                 PodSpec, Resources};
+use dlaas_kube::{
+    labels, BehaviorRegistry, ContainerSpec, ImageRef, Kube, KubeConfig, NodeSpec, PodSpec,
+    Resources,
+};
 use dlaas_net::{LatencyModel, RpcLayer};
 use dlaas_objstore::{ObjectBody, ObjectStore};
 use dlaas_sharedfs::NfsServer;
@@ -86,6 +88,8 @@ pub struct DlaasPlatform {
     /// can swap a recovered server in.
     mongo: Rc<RefCell<Rc<MongoServer>>>,
     mongo_rpc: MongoRpc,
+    /// Clone-handle of the sim's metrics registry (same underlying store).
+    metrics: dlaas_sim::Registry,
 }
 
 impl std::fmt::Debug for DlaasPlatform {
@@ -103,6 +107,7 @@ impl DlaasPlatform {
     /// Panics if the configuration is invalid.
     pub fn new(sim: &mut Sim, cfg: PlatformConfig) -> Self {
         cfg.core.validate().expect("invalid core config");
+        crate::metrics::register(sim.metrics());
 
         let registry = BehaviorRegistry::new();
         let kube = Kube::new(sim, cfg.kube.clone(), registry.clone());
@@ -139,10 +144,12 @@ impl DlaasPlatform {
         };
 
         // Register every platform behavior.
-        let reg = |name: &str, f: fn(Handles, &mut Sim, dlaas_kube::ProcessCtx) -> dlaas_kube::Cleanup| {
-            let h = handles.clone();
-            registry.register(name, move |sim, ctx| f(h.clone(), sim, ctx));
-        };
+        let reg =
+            |name: &str,
+             f: fn(Handles, &mut Sim, dlaas_kube::ProcessCtx) -> dlaas_kube::Cleanup| {
+                let h = handles.clone();
+                registry.register(name, move |sim, ctx| f(h.clone(), sim, ctx));
+            };
         reg("api", api_behavior);
         reg("lcm", lcm_behavior);
         reg("guardian", guardian_behavior);
@@ -177,6 +184,7 @@ impl DlaasPlatform {
             handles,
             mongo: Rc::new(RefCell::new(mongo)),
             mongo_rpc,
+            metrics: sim.metrics().clone(),
         }
     }
 
@@ -212,10 +220,29 @@ impl DlaasPlatform {
         &self.handles.etcd
     }
 
+    /// The platform's metrics registry — the same deterministic store the
+    /// simulation kernel hands to every instrumented component.
+    pub fn metrics(&self) -> &dlaas_sim::Registry {
+        &self.metrics
+    }
+
+    /// Prometheus-style text exposition of every metric recorded so far.
+    /// Deterministic: one seed produces one byte-identical page.
+    pub fn expose_metrics(&self) -> String {
+        self.metrics.expose()
+    }
+
     /// `true` once both core services resolve and etcd has a leader.
     pub fn ready(&self, sim: &Sim) -> bool {
-        self.handles.kube.resolve_service(sim, API_SERVICE).is_some()
-            && self.handles.kube.resolve_service(sim, LCM_SERVICE).is_some()
+        self.handles
+            .kube
+            .resolve_service(sim, API_SERVICE)
+            .is_some()
+            && self
+                .handles
+                .kube
+                .resolve_service(sim, LCM_SERVICE)
+                .is_some()
             && self.handles.etcd.leader_id().is_some()
     }
 
@@ -303,7 +330,8 @@ impl DlaasPlatform {
 
     /// Parsed [`JobInfo`] straight from the store.
     pub fn job_info(&self, job: &JobId) -> Option<JobInfo> {
-        self.job_document(job).map(|d| MetaClient::parse_job_info(&d))
+        self.job_document(job)
+            .map(|d| MetaClient::parse_job_info(&d))
     }
 
     /// Current status straight from the store.

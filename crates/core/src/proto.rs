@@ -1,7 +1,7 @@
 //! The platform's RPC protocol (the GRPC surface of §III-c).
 
+use dlaas_docstore::{obj, Value};
 use dlaas_net::RpcLayer;
-use serde::{Deserialize, Serialize};
 
 use crate::job::{JobId, JobStatus};
 use crate::manifest::TrainingManifest;
@@ -58,7 +58,7 @@ pub enum CoreRequest {
 }
 
 /// Point-in-time view of a job returned by `GetStatus`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobInfo {
     /// The job id.
     pub job: JobId,
@@ -80,6 +80,69 @@ pub struct JobInfo {
     /// Last known per-learner phases `(ordinal, phase string)`, mirrored
     /// from etcd by the Guardian while the job runs.
     pub learners: Vec<(u32, String)>,
+}
+
+impl JobInfo {
+    /// Serializes the snapshot to a JSON document (e.g. for API clients).
+    pub fn to_document(&self) -> Value {
+        obj! {
+            "job" => self.job.as_str(),
+            "name" => self.name.clone(),
+            "status" => self.status.to_string(),
+            "history" => Value::Arr(
+                self.history
+                    .iter()
+                    .map(|(s, t)| obj! { "status" => s.to_string(), "at_us" => *t })
+                    .collect(),
+            ),
+            "iteration" => self.iteration,
+            "learner_restarts" => self.learner_restarts,
+            "images_per_sec" => self.images_per_sec,
+            "learners" => Value::Arr(
+                self.learners
+                    .iter()
+                    .map(|(ord, phase)| obj! { "ordinal" => *ord, "phase" => phase.clone() })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Parses a document produced by [`JobInfo::to_document`].
+    pub fn from_document(doc: &Value) -> Option<JobInfo> {
+        Some(JobInfo {
+            job: JobId::new(doc.path("job")?.as_str()?),
+            name: doc.path("name")?.as_str()?.to_owned(),
+            status: doc.path("status")?.as_str()?.parse().ok()?,
+            history: doc
+                .path("history")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Some((
+                        e.path("status")?.as_str()?.parse().ok()?,
+                        e.path("at_us")?.as_i64()? as u64,
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?,
+            iteration: doc.path("iteration")?.as_i64()? as u64,
+            learner_restarts: doc.path("learner_restarts")?.as_i64()? as u64,
+            images_per_sec: match doc.path("images_per_sec")? {
+                Value::Null => None,
+                v => Some(v.as_f64()?),
+            },
+            learners: doc
+                .path("learners")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Some((
+                        e.path("ordinal")?.as_i64()? as u32,
+                        e.path("phase")?.as_str()?.to_owned(),
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
 }
 
 /// Responses from the DLaaS services.
@@ -108,7 +171,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn job_info_serde_roundtrip() {
+    fn job_info_document_roundtrip() {
         let info = JobInfo {
             job: JobId::new("j1"),
             name: "train".into(),
@@ -119,8 +182,13 @@ mod tests {
             images_per_sec: Some(52.0),
             learners: vec![(0, "PROCESSING iter=42".into())],
         };
-        let s = serde_json::to_string(&info).unwrap();
-        let back: JobInfo = serde_json::from_str(&s).unwrap();
-        assert_eq!(info, back);
+        let doc = Value::parse_json(&info.to_document().to_json()).unwrap();
+        assert_eq!(JobInfo::from_document(&doc), Some(info.clone()));
+
+        let none = JobInfo {
+            images_per_sec: None,
+            ..info
+        };
+        assert_eq!(JobInfo::from_document(&none.to_document()), Some(none));
     }
 }

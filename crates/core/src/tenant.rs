@@ -6,10 +6,9 @@
 //! replica — including freshly restarted ones — sees the same registry.
 
 use dlaas_docstore::{obj, Value};
-use serde::{Deserialize, Serialize};
 
 /// One tenant of the platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tenant {
     /// Tenant id (organization).
     pub id: String,

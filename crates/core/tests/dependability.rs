@@ -60,7 +60,12 @@ fn acknowledged_submission_survives_total_core_crash() {
     kube.crash_pod(&mut sim, "dlaas-lcm-0");
     platform.crash_mongo(&mut sim, Some(SimDuration::from_secs(4)));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed), "accepted job was lost");
 }
 
@@ -72,20 +77,39 @@ fn guardian_crash_mid_deploy_rolls_back_and_completes() {
     let job = submit(&mut sim, &platform, manifest("rollback", 400, 0));
 
     // Crash the Guardian as soon as the job is DEPLOYING (mid-steps).
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Deploying, SimDuration::from_mins(10));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Deploying,
+        SimDuration::from_mins(10),
+    );
     assert_eq!(s, Some(JobStatus::Deploying));
     let gpod = paths::guardian_job(&job);
-    assert!(platform.kube().crash_pod(&mut sim, &gpod), "guardian must be running");
+    assert!(
+        platform.kube().crash_pod(&mut sim, &gpod),
+        "guardian must be running"
+    );
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 
     // The K8s Job restarted the Guardian at least once.
     assert!(platform.kube().pod_restarts(&gpod).unwrap_or(0) >= 1);
     // Deployment was retried (attempts counter in the job document).
     let doc = platform.job_document(&job).unwrap();
-    let attempts = doc.path("attempts").and_then(dlaas_docstore::Value::as_i64).unwrap();
-    assert!(attempts >= 2, "rollback must burn a deploy attempt, got {attempts}");
+    let attempts = doc
+        .path("attempts")
+        .and_then(dlaas_docstore::Value::as_i64)
+        .unwrap();
+    assert!(
+        attempts >= 2,
+        "rollback must burn a deploy attempt, got {attempts}"
+    );
 }
 
 /// §III-d: persistent deployment failure → after the configured number of
@@ -131,14 +155,24 @@ fn persistent_guardian_failure_marks_job_failed_atomically() {
 fn learner_crash_resumes_from_checkpoint() {
     let (mut sim, platform) = boot(14);
     let job = submit(&mut sim, &platform, manifest("resume", 1500, 200));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     // Let it train past a few checkpoints, then crash the learner.
     sim.run_for(SimDuration::from_mins(10));
     let lpod = paths::learner_pod(&job, 0);
     assert!(platform.kube().crash_pod(&mut sim, &lpod));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 
     let info = platform.job_info(&job).unwrap();
@@ -167,10 +201,22 @@ fn learner_crash_resumes_from_checkpoint() {
 fn learner_crash_without_checkpoints_still_completes() {
     let (mut sim, platform) = boot(15);
     let job = submit(&mut sim, &platform, manifest("restart0", 600, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(5));
-    platform.kube().crash_pod(&mut sim, &paths::learner_pod(&job, 0));
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::learner_pod(&job, 0));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -180,17 +226,34 @@ fn learner_crash_without_checkpoints_still_completes() {
 fn helper_crash_does_not_interrupt_status_flow() {
     let (mut sim, platform) = boot(16);
     let job = submit(&mut sim, &platform, manifest("helpercrash", 1200, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     let hpod = paths::helper_pod(&job);
     assert!(platform.kube().crash_pod(&mut sim, &hpod));
     sim.run_for(SimDuration::from_mins(1));
-    assert_eq!(platform.kube().pod_phase(&hpod), Some(PodPhase::Running), "helper restarted");
+    assert_eq!(
+        platform.kube().pod_phase(&hpod),
+        Some(PodPhase::Running),
+        "helper restarted"
+    );
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
     let info = platform.job_info(&job).unwrap();
-    assert_eq!(info.iteration, 1200, "progress tracking must survive the crash");
+    assert_eq!(
+        info.iteration, 1200,
+        "progress tracking must survive the crash"
+    );
 }
 
 /// §III-f: etcd is 3-way replicated — losing one replica is invisible.
@@ -198,12 +261,22 @@ fn helper_crash_does_not_interrupt_status_flow() {
 fn etcd_node_crash_is_tolerated() {
     let (mut sim, platform) = boot(17);
     let job = submit(&mut sim, &platform, manifest("etcdcrash", 800, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     let victim = platform.etcd().leader_id().unwrap();
     platform.etcd().crash(&mut sim, victim);
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -213,13 +286,23 @@ fn etcd_node_crash_is_tolerated() {
 fn mongo_crash_recovery_preserves_state() {
     let (mut sim, platform) = boot(18);
     let job = submit(&mut sim, &platform, manifest("mongocrash", 800, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     platform.crash_mongo(&mut sim, Some(SimDuration::from_secs(5)));
     sim.run_for(SimDuration::from_secs(30));
 
     assert!(platform.job_status(&job).is_some(), "job record recovered");
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -229,7 +312,12 @@ fn mongo_crash_recovery_preserves_state() {
 fn learner_failure_budget_fails_the_job() {
     let (mut sim, platform) = boot(19);
     let job = submit(&mut sim, &platform, manifest("flaky", 1_000_000, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     let lpod = paths::learner_pod(&job, 0);
     let kube = platform.kube().clone();
@@ -259,7 +347,12 @@ fn unschedulable_job_fails_after_deploy_timeout() {
 
     // It deploys (guardian runs, helper comes up) but learners never
     // schedule; after the deploy timeout the platform gives up cleanly.
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(2));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(2),
+    );
     assert_eq!(end, Some(JobStatus::Failed), "must fail, not hang");
 
     sim.run_for(SimDuration::from_mins(2));
@@ -285,10 +378,18 @@ fn object_store_outage_during_data_staging_is_ridden_out() {
 
     sim.run_for(SimDuration::from_mins(5));
     let mid = platform.job_status(&job).unwrap();
-    assert!(!mid.is_terminal(), "outage must not fail the job, got {mid}");
+    assert!(
+        !mid.is_terminal(),
+        "outage must not fail the job, got {mid}"
+    );
 
     platform.objstore().set_unavailable(false);
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -300,7 +401,12 @@ fn api_replica_crash_fails_over() {
     platform.kube().crash_pod(&mut sim, "dlaas-api-0");
     // Submit immediately — the live replica (or a retry) must serve it.
     let job = submit(&mut sim, &platform, manifest("failover", 300, 0));
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -310,14 +416,24 @@ fn api_replica_crash_fails_over() {
 fn gpu_node_crash_reschedules_learner() {
     let (mut sim, platform) = boot(21);
     let job = submit(&mut sim, &platform, manifest("nodecrash", 1200, 200));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(5));
 
     let lpod = paths::learner_pod(&job, 0);
     let node = platform.kube().pod_node(&lpod).expect("learner placed");
     platform.kube().crash_node(&mut sim, &node);
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
     // It really moved.
     sim.run_for(SimDuration::from_secs(1));
@@ -334,7 +450,12 @@ fn distributed_learner_rejoins_via_parameter_server() {
     let mut m = manifest("ps-rejoin", 3_000, 0); // no checkpoints
     m.learners = 2;
     let job = submit(&mut sim, &platform, m);
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(15)); // accumulate progress
 
     let progress_before = platform.job_info(&job).unwrap().iteration;
@@ -343,7 +464,12 @@ fn distributed_learner_rejoins_via_parameter_server() {
         .kube()
         .crash_pod(&mut sim, &paths::learner_pod(&job, 1));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(8),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 
     // The restarted learner's log shows the PS rejoin, at an iteration
@@ -377,12 +503,22 @@ fn caffe_learner_cannot_rejoin_without_checkpoint() {
     m.model = DlModel::Vgg16;
     m.learners = 2;
     let job = submit(&mut sim, &platform, m);
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(10));
     platform
         .kube()
         .crash_pod(&mut sim, &paths::learner_pod(&job, 1));
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(12),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
     let log = platform
         .objstore()
@@ -416,7 +552,13 @@ fn api_meters_requests_per_key() {
     sim.run_for(SimDuration::from_secs(5));
 
     let meters = platform.metering(KEY).expect("metering recorded");
-    let get = |k: &str| meters.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or(0);
+    let get = |k: &str| {
+        meters
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
     assert_eq!(get("submit"), 1);
     assert_eq!(get("status"), 3);
     assert_eq!(get("list"), 1);
@@ -437,7 +579,12 @@ fn api_meters_requests_per_key() {
 fn kill_during_deployment_leaves_nothing_behind() {
     let (mut sim, platform) = boot(38);
     let job = submit(&mut sim, &platform, manifest("kill-race", 1_000, 0));
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Deploying, SimDuration::from_mins(10));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Deploying,
+        SimDuration::from_mins(10),
+    );
     assert_eq!(s, Some(JobStatus::Deploying));
 
     let client = platform.client("alice", KEY);
@@ -461,13 +608,27 @@ fn kill_during_deployment_leaves_nothing_behind() {
 fn double_crash_during_storing_still_completes() {
     let (mut sim, platform) = boot(39);
     let job = submit(&mut sim, &platform, manifest("storing-race", 300, 0));
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Storing, SimDuration::from_hours(2));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Storing,
+        SimDuration::from_hours(2),
+    );
     assert_eq!(s, Some(JobStatus::Storing));
 
-    platform.kube().crash_pod(&mut sim, &paths::guardian_job(&job));
-    platform.kube().crash_pod(&mut sim, &paths::helper_pod(&job));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::guardian_job(&job));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::helper_pod(&job));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
     assert!(platform
         .objstore()
@@ -481,10 +642,17 @@ fn double_crash_during_storing_still_completes() {
 fn logs_survive_learner_crash() {
     let (mut sim, platform) = boot(22);
     let job = submit(&mut sim, &platform, manifest("logcrash", 1_000_000, 0));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(3));
 
-    platform.kube().crash_pod(&mut sim, &paths::learner_pod(&job, 0));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::learner_pod(&job, 0));
     sim.run_for(SimDuration::from_secs(10));
 
     let obj = platform

@@ -4,9 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dlaas_core::{
-    paths, DlaasPlatform, JobId, JobStatus, Tenant, TrainingManifest,
-};
+use dlaas_core::{paths, DlaasPlatform, JobId, JobStatus, Tenant, TrainingManifest};
 use dlaas_gpu::{DlModel, Framework, GpuKind};
 use dlaas_kube::PodPhase;
 use dlaas_sim::{Sim, SimDuration};
@@ -54,7 +52,12 @@ fn job_runs_to_completion() {
     // The ACK means the job is already durable.
     assert_eq!(platform.job_status(&job), Some(JobStatus::Pending));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
     assert_eq!(end, Some(JobStatus::Completed), "job must complete");
 
     // Lifecycle history is ordered and complete.
@@ -77,14 +80,17 @@ fn job_runs_to_completion() {
     // Progress and throughput were recorded.
     assert_eq!(info.iteration, 500);
     let thr = info.images_per_sec.expect("throughput recorded");
-    assert!(thr > 10.0 && thr < 100.0, "K80 ResNet-50 ≈ 50 img/s, got {thr}");
+    assert!(
+        thr > 10.0 && thr < 100.0,
+        "K80 ResNet-50 ≈ 50 img/s, got {thr}"
+    );
 
     // Results and logs are in the object store.
     let store = platform.objstore();
-    assert!(store.head("acme-results", &paths::obj_result_model(&job)).is_ok());
     assert!(store
-        .head("acme-results", &paths::obj_log(&job, 0))
+        .head("acme-results", &paths::obj_result_model(&job))
         .is_ok());
+    assert!(store.head("acme-results", &paths::obj_log(&job, 0)).is_ok());
 
     // Everything was garbage collected.
     sim.run_for(SimDuration::from_secs(60));
@@ -142,7 +148,12 @@ fn learner_pods_exist_while_processing() {
         m
     };
     let job = submit(&mut sim, &platform, m);
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     assert_eq!(s, Some(JobStatus::Processing));
     for i in 0..2 {
         assert_eq!(
@@ -158,7 +169,12 @@ fn learner_pods_exist_while_processing() {
     // Per-learner phases are visible through the API while running.
     sim.run_for(SimDuration::from_mins(2));
     let info = platform.job_info(&job).unwrap();
-    assert_eq!(info.learners.len(), 2, "both learners mirrored: {:?}", info.learners);
+    assert_eq!(
+        info.learners.len(),
+        2,
+        "both learners mirrored: {:?}",
+        info.learners
+    );
     assert!(info
         .learners
         .iter()
@@ -176,7 +192,12 @@ fn learner_pods_exist_while_processing() {
 fn logs_are_streamed_and_fetchable() {
     let (mut sim, platform) = boot(4);
     let job = submit(&mut sim, &platform, manifest("logged"));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
 
     let client = platform.client("alice", KEY);
     let got: Rc<RefCell<Option<Vec<String>>>> = Rc::new(RefCell::new(None));
@@ -241,7 +262,12 @@ fn kill_terminates_and_cleans_up() {
         m
     };
     let job = submit(&mut sim, &platform, m);
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     let client = platform.client("alice", KEY);
     client.kill(&mut sim, job.clone(), |_s, r| r.expect("kill accepted"));
@@ -262,7 +288,7 @@ fn kill_terminates_and_cleans_up() {
 #[test]
 fn api_tier_scales_elastically_without_disruption() {
     let (mut sim, platform) = boot(8);
-    let client = platform.client("alice", KEY);
+    let _client = platform.client("alice", KEY);
 
     // Scale up to 4 replicas mid-flight, then down to 1; submissions keep
     // working throughout (§I goal 2).
@@ -282,7 +308,12 @@ fn api_tier_scales_elastically_without_disruption() {
     let j2 = submit(&mut sim, &platform, manifest("after-scalein"));
 
     for j in [&j1, &j2] {
-        let end = platform.wait_for_status(&mut sim, j, JobStatus::Completed, SimDuration::from_hours(4));
+        let end = platform.wait_for_status(
+            &mut sim,
+            j,
+            JobStatus::Completed,
+            SimDuration::from_hours(4),
+        );
         assert_eq!(end, Some(JobStatus::Completed));
     }
 }
@@ -297,7 +328,12 @@ fn node_maintenance_drain_preserves_running_jobs() {
         m
     };
     let job = submit(&mut sim, &platform, m);
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     sim.run_for(SimDuration::from_mins(5));
 
     // Drain the learner's node for maintenance: the learner is evicted
@@ -307,10 +343,18 @@ fn node_maintenance_drain_preserves_running_jobs() {
     let evicted = platform.kube().drain_node(&mut sim, &node);
     assert!(evicted.contains(&lpod));
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(6));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(6),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
     let info = platform.job_info(&job).unwrap();
-    assert!(info.learner_restarts >= 1, "the eviction shows up as a restart");
+    assert!(
+        info.learner_restarts >= 1,
+        "the eviction shows up as a restart"
+    );
 }
 
 #[test]
@@ -318,7 +362,12 @@ fn deterministic_end_to_end() {
     fn run(seed: u64) -> (Vec<(JobStatus, u64)>, Option<f64>) {
         let (mut sim, platform) = boot(seed);
         let job = submit(&mut sim, &platform, manifest("det"));
-        platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(4));
+        platform.wait_for_status(
+            &mut sim,
+            &job,
+            JobStatus::Completed,
+            SimDuration::from_hours(4),
+        );
         let info = platform.job_info(&job).unwrap();
         (info.history, info.images_per_sec)
     }

@@ -1,7 +1,5 @@
 //! Filters (query predicates) and updates (mutations) over documents.
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// A query predicate over documents, matched against dotted paths.
@@ -19,7 +17,7 @@ use crate::value::Value;
 /// assert!(f.matches(&doc));
 /// assert!(!Filter::eq("status", "FAILED").matches(&doc));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Filter {
     /// Matches every document.
     True,
@@ -124,7 +122,7 @@ impl Filter {
 /// assert_eq!(doc.path("status").unwrap().as_str(), Some("DEPLOYING"));
 /// assert_eq!(doc.path("retries").unwrap().as_i64(), Some(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Update {
     /// Sets the path to a value (creating intermediate objects).
     Set(String, Value),
@@ -226,7 +224,10 @@ mod tests {
         assert!(Filter::Gte("learners".into(), 4.into()).matches(&d));
         assert!(Filter::lt("progress", 0.6).matches(&d));
         assert!(Filter::Lte("progress".into(), 0.5.into()).matches(&d));
-        assert!(Filter::gt("learners", 3.5).matches(&d), "cross-type numeric");
+        assert!(
+            Filter::gt("learners", 3.5).matches(&d),
+            "cross-type numeric"
+        );
     }
 
     #[test]
@@ -242,11 +243,9 @@ mod tests {
     #[test]
     fn in_prefix_and_boolean_combinators() {
         let d = sample();
-        assert!(Filter::In(
-            "status".into(),
-            vec!["PENDING".into(), "PROCESSING".into()]
-        )
-        .matches(&d));
+        assert!(
+            Filter::In("status".into(), vec!["PENDING".into(), "PROCESSING".into()]).matches(&d)
+        );
         assert!(Filter::Prefix("name".into(), "job-".into()).matches(&d));
         assert!(!Filter::Prefix("learners".into(), "4".into()).matches(&d));
         assert!(Filter::and(vec![
@@ -268,10 +267,7 @@ mod tests {
             Filter::gt("learners", 1),
             Filter::eq("status", "PROCESSING"),
         ]);
-        assert_eq!(
-            f.pinned_eq("status"),
-            Some(&Value::from("PROCESSING"))
-        );
+        assert_eq!(f.pinned_eq("status"), Some(&Value::from("PROCESSING")));
         assert_eq!(f.pinned_eq("learners"), None);
         assert_eq!(Filter::True.pinned_eq("status"), None);
     }
@@ -304,11 +300,7 @@ mod tests {
         assert_eq!(d.path("fresh").unwrap().as_arr().unwrap().len(), 1);
         // Unset at top level and nested-missing are no-ops.
         Update::Unset("ghost".into()).apply(&mut d);
-        Update::Many(vec![
-            Update::set("a", 1),
-            Update::set("b", 2),
-        ])
-        .apply(&mut d);
+        Update::Many(vec![Update::set("a", 1), Update::set("b", 2)]).apply(&mut d);
         assert_eq!(d.path("a").unwrap().as_i64(), Some(1));
         assert_eq!(d.path("b").unwrap().as_i64(), Some(2));
     }

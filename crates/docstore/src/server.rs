@@ -174,14 +174,15 @@ impl MongoServer {
 
     fn serve(self: &Rc<Self>) {
         let me = Rc::downgrade(self);
-        self.rpc.serve(self.addr.clone(), move |sim, req, responder| {
-            if let Some(server) = me.upgrade() {
-                if *server.up.borrow() {
-                    server.handle(sim, req, responder);
+        self.rpc
+            .serve(self.addr.clone(), move |sim, req, responder| {
+                if let Some(server) = me.upgrade() {
+                    if *server.up.borrow() {
+                        server.handle(sim, req, responder);
+                    }
+                    // A crashed server drops the request: the client times out.
                 }
-                // A crashed server drops the request: the client times out.
-            }
-        });
+            });
     }
 
     /// The journal — survives crashes; feed it to [`MongoServer::recover`].
@@ -248,12 +249,16 @@ impl MongoServer {
                 MongoRequest::Find { coll, filter } => {
                     MongoResponse::Docs(store.find(&coll, &filter))
                 }
-                MongoRequest::UpdateOne { coll, filter, update } => {
-                    MongoResponse::Updated(store.update_one(&coll, &filter, &update) as usize)
-                }
-                MongoRequest::UpdateMany { coll, filter, update } => {
-                    MongoResponse::Updated(store.update_many(&coll, &filter, &update))
-                }
+                MongoRequest::UpdateOne {
+                    coll,
+                    filter,
+                    update,
+                } => MongoResponse::Updated(store.update_one(&coll, &filter, &update) as usize),
+                MongoRequest::UpdateMany {
+                    coll,
+                    filter,
+                    update,
+                } => MongoResponse::Updated(store.update_many(&coll, &filter, &update)),
                 MongoRequest::DeleteOne { coll, filter } => {
                     MongoResponse::Deleted(store.delete_one(&coll, &filter) as usize)
                 }

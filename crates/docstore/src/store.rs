@@ -7,9 +7,9 @@
 //! volatile state — [`DocStore::recover`] rebuilds the collections by
 //! replaying the journal.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
-use std::cell::RefCell;
 
 use crate::query::{Filter, Update};
 use crate::value::Value;
@@ -480,10 +480,14 @@ mod tests {
         db.insert("jobs", job("a", "PENDING", 1)).unwrap();
         db.insert("jobs", job("b", "PROCESSING", 4)).unwrap();
         assert_eq!(db.count("jobs", &Filter::True), 2);
-        let found = db.find_one("jobs", &Filter::eq("status", "PROCESSING")).unwrap();
+        let found = db
+            .find_one("jobs", &Filter::eq("status", "PROCESSING"))
+            .unwrap();
         assert_eq!(found.path("_id").unwrap().as_str(), Some("b"));
         assert!(db.find("nosuch", &Filter::True).is_empty());
-        assert!(db.find_one("jobs", &Filter::eq("status", "FAILED")).is_none());
+        assert!(db
+            .find_one("jobs", &Filter::eq("status", "FAILED"))
+            .is_none());
     }
 
     #[test]
@@ -494,7 +498,10 @@ mod tests {
             db.insert("jobs", job("a", "PENDING", 1)),
             Err(StoreError::DuplicateId("a".into()))
         );
-        assert_eq!(db.insert("jobs", Value::from(3i64)), Err(StoreError::NotAnObject));
+        assert_eq!(
+            db.insert("jobs", Value::from(3i64)),
+            Err(StoreError::NotAnObject)
+        );
         let id1 = db.insert("jobs", obj! {"x" => 1}).unwrap();
         let id2 = db.insert("jobs", obj! {"x" => 2}).unwrap();
         assert_eq!(id1, "auto-0");
@@ -505,7 +512,8 @@ mod tests {
     fn update_one_and_many() {
         let mut db = DocStore::new();
         for i in 0..5 {
-            db.insert("jobs", job(&format!("j{i}"), "PENDING", i)).unwrap();
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i))
+                .unwrap();
         }
         assert!(db.update_one(
             "jobs",
@@ -554,7 +562,8 @@ mod tests {
         let mut db = DocStore::new();
         db.create_index("jobs", "status");
         for i in 0..10 {
-            db.insert("jobs", job(&format!("j{i}"), "PENDING", i)).unwrap();
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i))
+                .unwrap();
         }
         db.update_many(
             "jobs",
@@ -574,8 +583,12 @@ mod tests {
             recovered.count("jobs", &Filter::eq("status", "PROCESSING")),
             3
         );
-        assert!(recovered.find_one("jobs", &Filter::eq("_id", "j9")).is_none());
-        assert!(recovered.find_one("jobs", &Filter::eq("_id", auto)).is_some());
+        assert!(recovered
+            .find_one("jobs", &Filter::eq("_id", "j9"))
+            .is_none());
+        assert!(recovered
+            .find_one("jobs", &Filter::eq("_id", auto))
+            .is_some());
 
         // Auto-id continues past the high-water mark after recovery.
         let mut recovered = recovered;
@@ -589,7 +602,8 @@ mod tests {
         db.create_index("jobs", "status");
         for i in 0..20 {
             let status = if i % 3 == 0 { "A" } else { "B" };
-            db.insert("jobs", job(&format!("j{i:02}"), status, i)).unwrap();
+            db.insert("jobs", job(&format!("j{i:02}"), status, i))
+                .unwrap();
         }
         let by_index = db.find("jobs", &Filter::eq("status", "A"));
         assert_eq!(by_index.len(), 7);

@@ -49,7 +49,10 @@ fn check_equal(store: &DocStore, model: &Model) {
     // Query equivalence for every status value.
     for s in 0..4u8 {
         let by_store = store.count("c", &Filter::eq("status", status_name(s)));
-        let by_model = model.values().filter(|(_, st)| *st == status_name(s)).count();
+        let by_model = model
+            .values()
+            .filter(|(_, st)| *st == status_name(s))
+            .count();
         assert_eq!(by_store, by_model, "status query mismatch for S{s}");
     }
 }
@@ -68,11 +71,11 @@ proptest! {
                     let id = format!("d{id}");
                     let doc = obj! { "_id" => id.clone(), "n" => n, "status" => status_name(status) };
                     let r = store.insert("c", doc);
-                    if model.contains_key(&id) {
-                        prop_assert!(r.is_err(), "duplicate insert must fail");
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(id) {
                         prop_assert!(r.is_ok());
-                        model.insert(id, (n, status_name(status)));
+                        e.insert((n, status_name(status)));
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
                     }
                 }
                 Op::UpdateStatus { n_lt, status } => {

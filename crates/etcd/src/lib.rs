@@ -30,6 +30,7 @@
 //! let got = Rc::new(RefCell::new(None));
 //! let g = got.clone();
 //! client.put(&mut sim, "jobs/1/status", "PROCESSING", |_, r| { r.unwrap(); });
+//! sim.run_for(SimDuration::from_secs(2));
 //! client.get(&mut sim, "jobs/1/status", move |_, r| {
 //!     *g.borrow_mut() = r.unwrap();
 //! });

@@ -148,9 +148,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(EtcdError::Unavailable.to_string(), "etcd unavailable");
-        assert_eq!(
-            EtcdError::Failed("x".into()).to_string(),
-            "etcd error: x"
-        );
+        assert_eq!(EtcdError::Failed("x".into()).to_string(), "etcd error: x");
     }
 }

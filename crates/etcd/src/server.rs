@@ -92,7 +92,12 @@ impl EtcdServer {
         core: Rc<RefCell<ServerCore>>,
         rpc: EtcdRpc,
     ) -> Rc<Self> {
-        let server = Rc::new(EtcdServer { id, raft, core, rpc });
+        let server = Rc::new(EtcdServer {
+            id,
+            raft,
+            core,
+            rpc,
+        });
         server.start_serving();
         server
     }
@@ -104,12 +109,9 @@ impl EtcdServer {
     pub fn make_snapshot_hooks(core: Rc<RefCell<ServerCore>>) -> dlaas_raft::SnapshotHooks {
         let take_core = core.clone();
         dlaas_raft::SnapshotHooks {
-            take: Box::new(move || {
-                serde_json::to_vec(&take_core.borrow().kv).expect("kv state serializes")
-            }),
+            take: Box::new(move || take_core.borrow().kv.to_snapshot_bytes()),
             restore: Box::new(move |_sim, _idx, data| {
-                let kv: KvState =
-                    serde_json::from_slice(data).expect("snapshot deserializes");
+                let kv = KvState::from_snapshot_bytes(data).expect("snapshot deserializes");
                 core.borrow_mut().kv = kv;
             }),
         }
@@ -149,6 +151,8 @@ impl EtcdServer {
                 (outcome, notifications, responder)
             };
             for (watcher, notify) in notifications {
+                sim.metrics()
+                    .inc_by("etcd_watch_events_total", &[], notify.events.len() as u64);
                 watch_net.send(sim, self_addr.clone(), watcher, notify);
             }
             if let Some(r) = responder {
@@ -168,11 +172,12 @@ impl EtcdServer {
 
     fn start_serving(self: &Rc<Self>) {
         let me = Rc::downgrade(self);
-        self.rpc.serve(etcd_addr(self.id), move |sim, req, responder| {
-            if let Some(server) = me.upgrade() {
-                server.handle(sim, req, responder);
-            }
-        });
+        self.rpc
+            .serve(etcd_addr(self.id), move |sim, req, responder| {
+                if let Some(server) = me.upgrade() {
+                    server.handle(sim, req, responder);
+                }
+            });
     }
 
     /// Re-registers the RPC handler (after restart).
@@ -265,6 +270,7 @@ impl EtcdServer {
             );
             return;
         }
+        sim.metrics().inc("etcd_reads_total", &[]);
         let core = self.core.clone();
         let incarnation = core.borrow().incarnation;
         // The Err arm is unreachable after the role check above within one
@@ -288,6 +294,15 @@ impl EtcdServer {
         op: KvOp,
         responder: Responder<EtcdRequest, EtcdResponse>,
     ) {
+        let op_label = match &op {
+            KvOp::Put { .. } => "put",
+            KvOp::Delete { .. } => "delete",
+            KvOp::DeletePrefix { .. } => "delete_prefix",
+            KvOp::Cas { .. } => "cas",
+            KvOp::Noop => "noop",
+        };
+        sim.metrics()
+            .inc("etcd_proposals_total", &[("op", op_label)]);
         let req_id = {
             let mut c = self.core.borrow_mut();
             c.next_req_id += 1;
@@ -303,4 +318,3 @@ impl EtcdServer {
         }
     }
 }
-

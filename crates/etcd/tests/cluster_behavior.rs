@@ -16,9 +16,11 @@ fn boot(seed: u64) -> (Sim, EtcdCluster) {
     (sim, etcd)
 }
 
+type Slot<T> = Rc<RefCell<Option<T>>>;
+
 /// Collects results of an async op for assertion after `run_for`.
-fn slot<T: 'static>() -> (Rc<RefCell<Option<T>>>, impl FnOnce(&mut Sim, T)) {
-    let cell: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+fn slot<T: 'static>() -> (Slot<T>, impl FnOnce(&mut Sim, T)) {
+    let cell: Slot<T> = Rc::new(RefCell::new(None));
     let c = cell.clone();
     (cell, move |_: &mut Sim, v: T| *c.borrow_mut() = Some(v))
 }
@@ -141,11 +143,19 @@ fn restarted_node_rebuilds_store_from_log() {
 
     etcd.restart(&mut sim, 2);
     sim.run_for(SimDuration::from_secs(3));
-    assert_eq!(etcd.incarnation(2), inc_before + 1, "restart resets the core");
+    assert_eq!(
+        etcd.incarnation(2),
+        inc_before + 1,
+        "restart resets the core"
+    );
     let kv = etcd.kv_snapshot(2);
     assert_eq!(kv.len(), 15, "log replay must rebuild all keys");
     assert_eq!(kv.get("key-7").unwrap().value, "v7");
-    assert_eq!(kv.get("key-12").unwrap().value, "v12", "missed writes recovered");
+    assert_eq!(
+        kv.get("key-12").unwrap().value,
+        "v12",
+        "missed writes recovered"
+    );
 }
 
 #[test]
@@ -231,7 +241,10 @@ fn watch_survives_single_server_crash() {
         r.unwrap();
     });
     sim.run_for(SimDuration::from_secs(2));
-    assert!(*count.borrow() >= 1, "watch event lost after follower crash");
+    assert!(
+        *count.borrow() >= 1,
+        "watch event lost after follower crash"
+    );
 }
 
 #[test]
@@ -279,7 +292,11 @@ fn rewatch_restores_notifications_after_full_restart_cycle() {
         r.unwrap();
     });
     sim.run_for(SimDuration::from_secs(2));
-    assert_eq!(*count.borrow(), 0, "registrations were wiped with the cores");
+    assert_eq!(
+        *count.borrow(),
+        0,
+        "registrations were wiped with the cores"
+    );
 
     watcher.rewatch(&mut sim);
     sim.run_for(SimDuration::from_secs(1));
@@ -345,7 +362,10 @@ fn five_node_cluster_tolerates_two_crashes() {
     let (w, wcb) = slot();
     client.put(&mut sim, "k", "v2", wcb);
     sim.run_for(SimDuration::from_secs(10));
-    assert!(matches!(*w.borrow(), Some(Ok(_))), "5-node cluster must survive 2 crashes");
+    assert!(
+        matches!(*w.borrow(), Some(Ok(_))),
+        "5-node cluster must survive 2 crashes"
+    );
 
     let (r, rcb) = slot();
     client.get(&mut sim, "k", rcb);

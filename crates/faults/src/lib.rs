@@ -291,8 +291,14 @@ mod tests {
         sim.run_for(SimDuration::from_secs(10));
 
         let plan = FaultPlan::new()
-            .at(SimTime::from_secs(15), FaultAction::CrashPod("svc-0".into()))
-            .at(SimTime::from_secs(20), FaultAction::DeletePod("svc-1".into()));
+            .at(
+                SimTime::from_secs(15),
+                FaultAction::CrashPod("svc-0".into()),
+            )
+            .at(
+                SimTime::from_secs(20),
+                FaultAction::DeletePod("svc-1".into()),
+            );
         assert_eq!(plan.len(), 2);
         plan.arm(&mut sim, &kube);
 
@@ -407,7 +413,10 @@ mod tests {
         // After the monkey stops everything converges back to Running.
         sim.run_for(SimDuration::from_secs(600));
         for i in 0..3 {
-            assert!(kube.pod_ready(&sim, &format!("svc-{i}")), "svc-{i} not recovered");
+            assert!(
+                kube.pod_ready(&sim, &format!("svc-{i}")),
+                "svc-{i} not recovered"
+            );
         }
     }
 

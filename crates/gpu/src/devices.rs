@@ -3,13 +3,11 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A GPU model, as schedulable hardware.
 ///
 /// `*Sxm2` variants are the NVLink mezzanine parts found in the DGX-1;
 /// they run higher clocks than their PCIe siblings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GpuKind {
     /// NVIDIA Tesla K80 (one logical GPU of the dual-GK210 board), PCIe.
     K80,
@@ -190,7 +188,10 @@ mod tests {
         assert!(!GpuKind::K80.is_nvlink());
         assert!(!GpuKind::P100Pcie.is_nvlink());
         assert!(GpuKind::P100Sxm2.is_nvlink());
-        assert_eq!(GpuKind::P100Sxm2.native_interconnect(), Interconnect::NvLink);
+        assert_eq!(
+            GpuKind::P100Sxm2.native_interconnect(),
+            Interconnect::NvLink
+        );
         assert_eq!(GpuKind::K80.native_interconnect(), Interconnect::Pcie3x16);
     }
 
@@ -206,7 +207,9 @@ mod tests {
 
     #[test]
     fn interconnect_bandwidth_ordering() {
-        assert!(Interconnect::Ethernet1G.bytes_per_sec() < Interconnect::Ethernet10G.bytes_per_sec());
+        assert!(
+            Interconnect::Ethernet1G.bytes_per_sec() < Interconnect::Ethernet10G.bytes_per_sec()
+        );
         assert!(Interconnect::Ethernet10G.bytes_per_sec() < Interconnect::Pcie3x16.bytes_per_sec());
         assert!(Interconnect::Pcie3x16.bytes_per_sec() < Interconnect::NvLink.bytes_per_sec());
         assert!(Interconnect::Ethernet1G.latency_secs() > Interconnect::NvLink.latency_secs());

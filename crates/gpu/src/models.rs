@@ -3,11 +3,9 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// The image-classification benchmarks used in the paper's evaluation
 /// (VGG-16, ResNet-50, InceptionV3 — §IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DlModel {
     /// VGG-16: huge (138 M parameters), compute- and comm-heavy.
     Vgg16,
@@ -109,7 +107,7 @@ impl FromStr for DlModel {
 
 /// The deep-learning frameworks exercised in the evaluation
 /// (Caffe v1.0 and TensorFlow v1.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Framework {
     /// Caffe v1.0.
     Caffe,
@@ -235,7 +233,9 @@ mod tests {
     fn model_specs() {
         assert!(DlModel::Vgg16.params() > 5 * DlModel::Resnet50.params());
         assert_eq!(DlModel::Vgg16.gradient_bytes(), DlModel::Vgg16.params() * 4);
-        assert!(DlModel::Vgg16.train_gflops_per_image() > DlModel::InceptionV3.train_gflops_per_image());
+        assert!(
+            DlModel::Vgg16.train_gflops_per_image() > DlModel::InceptionV3.train_gflops_per_image()
+        );
         assert_eq!(DlModel::InceptionV3.input_px(), 299);
         assert_eq!(DlModel::Resnet50.input_px(), 224);
         assert!(DlModel::all().iter().all(|m| m.bytes_per_image() > 0));
@@ -247,7 +247,10 @@ mod tests {
         assert_eq!("vgg16".parse::<DlModel>().unwrap(), DlModel::Vgg16);
         assert_eq!("VGG-16".parse::<DlModel>().unwrap(), DlModel::Vgg16);
         assert_eq!("resnet-50".parse::<DlModel>().unwrap(), DlModel::Resnet50);
-        assert_eq!("inception_v3".parse::<DlModel>().unwrap(), DlModel::InceptionV3);
+        assert_eq!(
+            "inception_v3".parse::<DlModel>().unwrap(),
+            DlModel::InceptionV3
+        );
         assert!("alexnet".parse::<DlModel>().is_err());
     }
 

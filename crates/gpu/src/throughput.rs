@@ -246,9 +246,15 @@ mod tests {
 
     #[test]
     fn single_gpu_matches_calibration() {
-        let r = images_per_sec(&tf(DlModel::Resnet50, GpuKind::K80, 1), &ExecEnv::bare_metal());
+        let r = images_per_sec(
+            &tf(DlModel::Resnet50, GpuKind::K80, 1),
+            &ExecEnv::bare_metal(),
+        );
         assert!((r - 52.0).abs() < 0.5, "{r}");
-        let v = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Pcie, 1), &ExecEnv::bare_metal());
+        let v = images_per_sec(
+            &tf(DlModel::Vgg16, GpuKind::P100Pcie, 1),
+            &ExecEnv::bare_metal(),
+        );
         assert!((v - 133.0).abs() < 1.0, "{v}");
     }
 
@@ -256,7 +262,10 @@ mod tests {
     fn scaling_is_sublinear_but_positive() {
         for gpus in 2..=4 {
             let r1 = images_per_sec(&tf(DlModel::Vgg16, GpuKind::K80, 1), &ExecEnv::bare_metal());
-            let rn = images_per_sec(&tf(DlModel::Vgg16, GpuKind::K80, gpus), &ExecEnv::bare_metal());
+            let rn = images_per_sec(
+                &tf(DlModel::Vgg16, GpuKind::K80, gpus),
+                &ExecEnv::bare_metal(),
+            );
             assert!(rn > r1 * (gpus as f64) * 0.6, "gpus={gpus}: {rn} vs {r1}");
             assert!(rn < r1 * gpus as f64, "gpus={gpus}: super-linear scaling");
         }
@@ -276,8 +285,14 @@ mod tests {
     #[test]
     fn nvlink_beats_pcie_and_gap_grows_with_gpus() {
         let gap = |gpus: u32| {
-            let pcie = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Pcie, gpus), &ExecEnv::bare_metal());
-            let dgx = images_per_sec(&tf(DlModel::Vgg16, GpuKind::P100Sxm2, gpus), &ExecEnv::bare_metal());
+            let pcie = images_per_sec(
+                &tf(DlModel::Vgg16, GpuKind::P100Pcie, gpus),
+                &ExecEnv::bare_metal(),
+            );
+            let dgx = images_per_sec(
+                &tf(DlModel::Vgg16, GpuKind::P100Sxm2, gpus),
+                &ExecEnv::bare_metal(),
+            );
             (dgx - pcie) / dgx
         };
         assert!(gap(1) > 0.0);

@@ -72,6 +72,7 @@ struct Pod {
     exited_ok: HashSet<String>,
     ready_at: Option<SimTime>,
     started_at: Option<SimTime>,
+    created_at: SimTime,
 }
 
 impl Pod {
@@ -244,6 +245,8 @@ impl Kube {
 
     fn event(&self, sim: &mut Sim, object: String, reason: &str, message: String) {
         sim.record(format!("kube/{object}"), format!("{reason}: {message}"));
+        sim.metrics()
+            .inc("kube_events_total", &[("reason", reason)]);
         self.state.borrow_mut().events.push(KubeEvent {
             time: sim.now(),
             object,
@@ -264,7 +267,11 @@ impl Kube {
 
     /// Node a pod is bound to.
     pub fn pod_node(&self, name: &str) -> Option<String> {
-        self.state.borrow().pods.get(name).and_then(|p| p.node.clone())
+        self.state
+            .borrow()
+            .pods
+            .get(name)
+            .and_then(|p| p.node.clone())
     }
 
     /// Restart count of a pod.
@@ -274,7 +281,11 @@ impl Kube {
 
     /// Time the pod most recently entered `Running`, if it is running.
     pub fn pod_started_at(&self, name: &str) -> Option<SimTime> {
-        self.state.borrow().pods.get(name).and_then(|p| p.started_at)
+        self.state
+            .borrow()
+            .pods
+            .get(name)
+            .and_then(|p| p.started_at)
     }
 
     /// `true` when the pod is running and past its readiness delay.
@@ -299,7 +310,11 @@ impl Kube {
 
     /// Labels of a pod.
     pub fn pod_labels(&self, name: &str) -> Option<Labels> {
-        self.state.borrow().pods.get(name).map(|p| p.spec.labels.clone())
+        self.state
+            .borrow()
+            .pods
+            .get(name)
+            .map(|p| p.spec.labels.clone())
     }
 
     // ------------------------------------------------------------------
@@ -317,7 +332,12 @@ impl Kube {
             let mut s = self.state.borrow_mut();
             if s.pods.contains_key(&name) {
                 drop(s);
-                self.event(sim, format!("pod/{name}"), "CreateFailed", "name exists".into());
+                self.event(
+                    sim,
+                    format!("pod/{name}"),
+                    "CreateFailed",
+                    "name exists".into(),
+                );
                 return;
             }
             s.next_uid += 1;
@@ -336,6 +356,7 @@ impl Kube {
                     exited_ok: HashSet::new(),
                     ready_at: None,
                     started_at: None,
+                    created_at: sim.now(),
                 },
             );
             uid
@@ -383,12 +404,23 @@ impl Kube {
             node.allocated = node.allocated.plus(&req);
             let pod = s.pods.get_mut(&name).expect("checked");
             pod.node = Some(chosen.clone());
+            let wait = sim.now().saturating_duration_since(pod.created_at);
+            sim.metrics().observe_duration_us(
+                "kube_scheduling_latency_seconds",
+                &[],
+                wait.as_micros(),
+            );
             let d = s.config.schedule_delay;
             let d = s.jittered(d);
             (uid, d)
         };
         let node = self.pod_node(&name).expect("just bound");
-        self.event(sim, format!("pod/{name}"), "Scheduled", format!("bound to {node}"));
+        self.event(
+            sim,
+            format!("pod/{name}"),
+            "Scheduled",
+            format!("bound to {node}"),
+        );
         let me = self.clone();
         let n = name.clone();
         sim.schedule_in(delay, move |sim| me.begin_start(sim, n, uid));
@@ -544,7 +576,9 @@ impl Kube {
 
     fn release_node(&self, name: &str) {
         let mut s = self.state.borrow_mut();
-        let Some(pod) = s.pods.get_mut(name) else { return };
+        let Some(pod) = s.pods.get_mut(name) else {
+            return;
+        };
         let req = pod.spec.resources;
         if let Some(node_name) = pod.node.take() {
             if let Some(node) = s.nodes.get_mut(&node_name) {
@@ -554,10 +588,19 @@ impl Kube {
     }
 
     /// A container exited voluntarily (via `ProcessCtx::exit`).
-    fn container_exited(&self, sim: &mut Sim, name: String, uid: u64, container: String, code: i32) {
+    fn container_exited(
+        &self,
+        sim: &mut Sim,
+        name: String,
+        uid: u64,
+        container: String,
+        code: i32,
+    ) {
         let decision = {
             let mut s = self.state.borrow_mut();
-            let Some(pod) = s.pods.get_mut(&name) else { return };
+            let Some(pod) = s.pods.get_mut(&name) else {
+                return;
+            };
             if pod.uid != uid || pod.phase != PodPhase::Running {
                 return;
             }
@@ -594,12 +637,19 @@ impl Kube {
     fn set_phase_and_handle(&self, sim: &mut Sim, name: String, phase: PodPhase) {
         let (owner, policy, restarts) = {
             let mut s = self.state.borrow_mut();
-            let Some(pod) = s.pods.get_mut(&name) else { return };
+            let Some(pod) = s.pods.get_mut(&name) else {
+                return;
+            };
             pod.phase = phase;
             pod.ready_at = None;
             (pod.owner.clone(), pod.spec.restart_policy, pod.restarts)
         };
-        self.event(sim, format!("pod/{name}"), "PhaseChanged", phase.to_string());
+        self.event(
+            sim,
+            format!("pod/{name}"),
+            "PhaseChanged",
+            phase.to_string(),
+        );
 
         match phase {
             PodPhase::Succeeded => {
@@ -654,9 +704,12 @@ impl Kube {
     /// Kubelet in-place restart after a crash: detection + backoff +
     /// container setup on the same node (images cached, volumes mounted).
     fn restart_in_place(&self, sim: &mut Sim, name: String) {
+        sim.metrics().inc("kube_pod_restarts_total", &[]);
         let (uid, delay) = {
             let mut s = self.state.borrow_mut();
-            let Some(pod) = s.pods.get_mut(&name) else { return };
+            let Some(pod) = s.pods.get_mut(&name) else {
+                return;
+            };
             pod.restarts += 1;
             pod.phase = PodPhase::Pending; // restart chain re-enters via begin_start
             s.next_uid += 1;
@@ -697,7 +750,12 @@ impl Kube {
             return false;
         }
         self.stop_processes(sim, name);
-        self.event(sim, format!("pod/{name}"), "Crashed", "process crash".into());
+        self.event(
+            sim,
+            format!("pod/{name}"),
+            "Crashed",
+            "process crash".into(),
+        );
         self.set_phase_and_handle(sim, name.to_owned(), PodPhase::Failed);
         true
     }
@@ -831,7 +889,12 @@ impl Kube {
                 .collect()
         };
         for v in &victims {
-            self.event(sim, format!("pod/{v}"), "Evicted", format!("drain of {name}"));
+            self.event(
+                sim,
+                format!("pod/{v}"),
+                "Evicted",
+                format!("drain of {name}"),
+            );
             self.delete_pod(sim, v);
         }
         victims
@@ -881,14 +944,16 @@ impl Kube {
 
     /// Creates a Deployment: `replicas` pods named `{name}-{i}` kept alive.
     pub fn create_deployment(&self, sim: &mut Sim, name: &str, replicas: u32, template: PodSpec) {
-        self.state.borrow_mut().deployments.insert(
-            name.to_owned(),
-            DeploymentState {
-                replicas,
-                template,
-            },
+        self.state
+            .borrow_mut()
+            .deployments
+            .insert(name.to_owned(), DeploymentState { replicas, template });
+        self.event(
+            sim,
+            format!("deploy/{name}"),
+            "Created",
+            format!("{replicas} replicas"),
         );
-        self.event(sim, format!("deploy/{name}"), "Created", format!("{replicas} replicas"));
         self.reconcile_deployment(sim, name);
     }
 
@@ -953,7 +1018,12 @@ impl Kube {
         self.stop_processes(sim, name);
         self.release_node(name);
         self.state.borrow_mut().pods.remove(name);
-        self.event(sim, format!("pod/{name}"), "Deleted", "owner removed".into());
+        self.event(
+            sim,
+            format!("pod/{name}"),
+            "Deleted",
+            "owner removed".into(),
+        );
         self.kick_pending(sim);
     }
 
@@ -1006,13 +1076,10 @@ impl Kube {
     /// Creates a StatefulSet: `replicas` pods with stable ordinal
     /// identities `{name}-{i}` (parallel pod management).
     pub fn create_statefulset(&self, sim: &mut Sim, name: &str, replicas: u32, template: PodSpec) {
-        self.state.borrow_mut().statefulsets.insert(
-            name.to_owned(),
-            StatefulSetState {
-                replicas,
-                template,
-            },
-        );
+        self.state
+            .borrow_mut()
+            .statefulsets
+            .insert(name.to_owned(), StatefulSetState { replicas, template });
         self.event(
             sim,
             format!("sts/{name}"),
@@ -1036,8 +1103,7 @@ impl Kube {
                     } else {
                         let mut spec = st.template.clone();
                         spec.name = pname;
-                        spec.labels
-                            .insert("ordinal".to_owned(), i.to_string());
+                        spec.labels.insert("ordinal".to_owned(), i.to_string());
                         Some((spec, i))
                     }
                 })
@@ -1122,7 +1188,12 @@ impl Kube {
 
     /// `true` unless a deny policy forbids `from_pod` reaching the target
     /// (a pod, a service, or both sides of the check).
-    pub fn traffic_allowed(&self, from_pod: &str, to_pod: Option<&str>, to_service: Option<&str>) -> bool {
+    pub fn traffic_allowed(
+        &self,
+        from_pod: &str,
+        to_pod: Option<&str>,
+        to_service: Option<&str>,
+    ) -> bool {
         let s = self.state.borrow();
         let Some(from) = s.pods.get(from_pod) else {
             return true; // unknown source: not subject to pod policies

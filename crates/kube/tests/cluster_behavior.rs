@@ -43,7 +43,10 @@ fn pod_reaches_running_through_lifecycle() {
     // Lifecycle events present.
     let reasons: Vec<String> = kube.events().iter().map(|e| e.reason.clone()).collect();
     for needed in ["Created", "Scheduled", "Starting", "Started"] {
-        assert!(reasons.iter().any(|r| r == needed), "missing event {needed}");
+        assert!(
+            reasons.iter().any(|r| r == needed),
+            "missing event {needed}"
+        );
     }
 }
 
@@ -64,7 +67,8 @@ fn duplicate_pod_name_rejected() {
 #[test]
 fn gpu_pods_land_on_matching_nodes_only() {
     let (mut sim, kube, _) = boot(3);
-    let pod = pause_pod("learner-k80").with_resources(Resources::new(2000, 8192, 2), Some(GpuKind::K80));
+    let pod =
+        pause_pod("learner-k80").with_resources(Resources::new(2000, 8192, 2), Some(GpuKind::K80));
     kube.create_pod(&mut sim, pod);
     let pod = pause_pod("learner-p100")
         .with_resources(Resources::new(2000, 8192, 2), Some(GpuKind::P100Pcie));
@@ -123,7 +127,10 @@ fn first_pull_slow_then_cached_fast() {
         first_time > second_time * 3,
         "pull {first_time} should dwarf cached start {second_time}"
     );
-    assert!(first_time > SimDuration::from_secs(10), "4GB pull takes >10s");
+    assert!(
+        first_time > SimDuration::from_secs(10),
+        "4GB pull takes >10s"
+    );
 }
 
 #[test]
@@ -137,7 +144,11 @@ fn crashed_pod_restarts_in_place_quickly() {
     assert!(kube.crash_pod(&mut sim, "svc"));
     sim.run_until_pred(|_| kube.pod_phase("svc") == Some(PodPhase::Running));
     let recovery = sim.now() - crash_at;
-    assert_eq!(kube.pod_node("svc"), node_before, "in-place restart keeps the node");
+    assert_eq!(
+        kube.pod_node("svc"),
+        node_before,
+        "in-place restart keeps the node"
+    );
     assert_eq!(kube.pod_restarts("svc"), Some(1));
     assert!(
         recovery < SimDuration::from_secs(5),
@@ -239,7 +250,11 @@ fn job_restarts_on_failure_until_backoff_limit() {
     sim.run_for(SimDuration::from_secs(300));
     assert_eq!(kube.job_status("doomed"), Some(JobStatus::Failed));
     assert_eq!(kube.pod_phase("doomed"), Some(PodPhase::Failed));
-    assert_eq!(kube.pod_restarts("doomed"), Some(2), "restarted up to the limit");
+    assert_eq!(
+        kube.pod_restarts("doomed"),
+        Some(2),
+        "restarted up to the limit"
+    );
 }
 
 #[test]
@@ -273,7 +288,10 @@ fn statefulset_restarts_replicas_with_stable_identity() {
     kube.create_statefulset(&mut sim, "learner", 3, pause_pod("learner"));
     sim.run_for(SimDuration::from_secs(10));
     for i in 0..3 {
-        assert_eq!(kube.pod_phase(&format!("learner-{i}")), Some(PodPhase::Running));
+        assert_eq!(
+            kube.pod_phase(&format!("learner-{i}")),
+            Some(PodPhase::Running)
+        );
     }
     // The ordinal label is stamped.
     assert_eq!(
@@ -505,7 +523,11 @@ fn multi_container_pod_succeeds_only_when_all_exit() {
     );
     sim.run_until_pred(|_| kube.pod_phase("multi") == Some(PodPhase::Running));
     sim.run_for(SimDuration::from_secs(2));
-    assert_eq!(kube.pod_phase("multi"), Some(PodPhase::Running), "one exit isn't enough");
+    assert_eq!(
+        kube.pod_phase("multi"),
+        Some(PodPhase::Running),
+        "one exit isn't enough"
+    );
     sim.run_for(SimDuration::from_secs(10));
     assert_eq!(kube.pod_phase("multi"), Some(PodPhase::Succeeded));
 }
@@ -593,9 +615,8 @@ fn drain_evicts_owned_pods_to_other_nodes() {
     kube.uncordon_node(&mut sim, &node);
     kube.create_deployment(&mut sim, "more", 8, pause_pod("more"));
     sim.run_for(SimDuration::from_secs(30));
-    let used_again = (0..8).any(|i| {
-        kube.pod_node(&format!("more-{i}")).as_deref() == Some(node.as_str())
-    });
+    let used_again =
+        (0..8).any(|i| kube.pod_node(&format!("more-{i}")).as_deref() == Some(node.as_str()));
     assert!(used_again, "uncordoned node must be schedulable again");
 }
 

@@ -67,7 +67,11 @@ fn feasible(req: &PodReq) -> bool {
     if req.gpus == 0 {
         req.cpu <= 8000 && req.mem <= 32768
     } else {
-        let max_gpus = if kind(req.kind_ix) == GpuKind::K80 { 4 } else { 2 };
+        let max_gpus = if kind(req.kind_ix) == GpuKind::K80 {
+            4
+        } else {
+            2
+        };
         req.cpu <= 8000 && req.mem <= 32768 && req.gpus <= max_gpus
     }
 }

@@ -122,9 +122,7 @@ mod tests {
             .filter(|s| **s >= SimDuration::from_micros(200))
             .count();
         assert!(spikes > 40 && spikes < 200, "spikes={spikes}");
-        assert!(samples
-            .iter()
-            .all(|s| *s < SimDuration::from_micros(2000)));
+        assert!(samples.iter().all(|s| *s < SimDuration::from_micros(2000)));
     }
 
     #[test]

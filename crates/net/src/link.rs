@@ -137,7 +137,10 @@ mod tests {
         let t = link.reserve(SimTime::ZERO, 500);
         assert_eq!(t.start, SimTime::ZERO);
         assert_eq!(t.end, SimTime::from_millis(500));
-        assert_eq!(t.duration_from(SimTime::ZERO), SimDuration::from_millis(500));
+        assert_eq!(
+            t.duration_from(SimTime::ZERO),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -157,7 +160,10 @@ mod tests {
         let link = SharedLink::new(1000.0);
         let t = link.reserve(SimTime::from_secs(10), 100);
         assert_eq!(t.start, SimTime::from_secs(10));
-        assert_eq!(t.end, SimTime::from_secs(10) + SimDuration::from_millis(100));
+        assert_eq!(
+            t.end,
+            SimTime::from_secs(10) + SimDuration::from_millis(100)
+        );
     }
 
     #[test]
@@ -190,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn speed_constants_ordered() {
         assert!(speeds::GBE_1 < speeds::GBE_10);
         assert!(speeds::NFS < speeds::GBE_1);

@@ -246,12 +246,15 @@ impl<M: 'static> Net<M> {
         let net = self.clone();
         let sent_at = sim.now();
         sim.schedule_in(delay, move |sim| {
-            net.deliver(sim, Envelope {
-                from,
-                to,
-                sent_at,
-                msg,
-            });
+            net.deliver(
+                sim,
+                Envelope {
+                    from,
+                    to,
+                    sent_at,
+                    msg,
+                },
+            );
         });
     }
 
@@ -415,7 +418,7 @@ mod tests {
         net.send(&mut sim, Addr::new("a"), Addr::new("b"), 1); // same group
         net.send(&mut sim, Addr::new("a"), Addr::new("c"), 2); // cross group
         net.send(&mut sim, Addr::new("c"), Addr::new("a"), 3); // cross group
-        // "d" is outside the partition spec: unaffected.
+                                                               // "d" is outside the partition spec: unaffected.
         net.send(&mut sim, Addr::new("d"), Addr::new("a"), 4);
         sim.run_until_idle();
         assert_eq!(*sb.borrow(), vec![1]);

@@ -231,26 +231,29 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
         }
         let layer = self.clone();
         let my_addr = addr.clone();
-        self.net.register(addr.clone(), move |sim, env: Envelope<RpcFrame<Req, Resp>>| {
-            match env.msg {
-                RpcFrame::Request { id, req } => {
-                    let server = layer.state.borrow().servers.get(&my_addr).cloned();
-                    if let Some(handler) = server {
-                        let responder = Responder {
-                            layer: layer.clone(),
-                            id,
-                            server: my_addr.clone(),
-                            client: env.from,
-                        };
-                        handler(sim, req, responder);
+        self.net.register(
+            addr.clone(),
+            move |sim, env: Envelope<RpcFrame<Req, Resp>>| {
+                match env.msg {
+                    RpcFrame::Request { id, req } => {
+                        let server = layer.state.borrow().servers.get(&my_addr).cloned();
+                        if let Some(handler) = server {
+                            let responder = Responder {
+                                layer: layer.clone(),
+                                id,
+                                server: my_addr.clone(),
+                                client: env.from,
+                            };
+                            handler(sim, req, responder);
+                        }
+                        // No server here: drop; the caller times out.
                     }
-                    // No server here: drop; the caller times out.
+                    RpcFrame::Response { id, resp } => {
+                        layer.complete(sim, id, resp.map_err(RpcError::Remote));
+                    }
                 }
-                RpcFrame::Response { id, resp } => {
-                    layer.complete(sim, id, resp.map_err(RpcError::Remote));
-                }
-            }
-        });
+            },
+        );
     }
 
     fn complete(&self, sim: &mut Sim, id: u64, result: Result<Resp, RpcError>) {
@@ -292,8 +295,7 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
                 timeout_ev,
             },
         );
-        self.net
-            .send(sim, from, to, RpcFrame::Request { id, req });
+        self.net.send(sim, from, to, RpcFrame::Request { id, req });
     }
 
     /// Issues a request to a *service* through `resolve`, retrying up to
@@ -324,7 +326,14 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
                     let layer = self.clone();
                     sim.schedule_in(backoff, move |sim| {
                         layer.call_service(
-                            sim, from, service, resolve, req, timeout, retries - 1, backoff,
+                            sim,
+                            from,
+                            service,
+                            resolve,
+                            req,
+                            timeout,
+                            retries - 1,
+                            backoff,
                             on_reply,
                         );
                     });
@@ -333,8 +342,13 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
             Some(addr) => {
                 let layer = self.clone();
                 let req_clone = req.clone();
-                self.call(sim, from.clone(), addr, req, timeout, move |sim, result| {
-                    match result {
+                self.call(
+                    sim,
+                    from.clone(),
+                    addr,
+                    req,
+                    timeout,
+                    move |sim, result| match result {
                         Err(RpcError::Timeout) if retries > 0 => {
                             sim.schedule_in(backoff, move |sim| {
                                 layer.call_service(
@@ -351,8 +365,8 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
                             });
                         }
                         other => on_reply(sim, other),
-                    }
-                });
+                    },
+                );
             }
         }
     }
@@ -486,10 +500,7 @@ mod tests {
             move |_, r| *g.borrow_mut() = Some(r),
         );
         sim.run_until_idle();
-        assert_eq!(
-            *got.borrow(),
-            Some(Err(RpcError::Remote("boom".into())))
-        );
+        assert_eq!(*got.borrow(), Some(Err(RpcError::Remote("boom".into()))));
     }
 
     #[test]
@@ -627,7 +638,9 @@ mod tests {
         // LCM while serving users).
         let mut sim = Sim::new(1);
         let rpc = layer(&mut sim);
-        rpc.serve(Addr::new("lcm"), |sim, _req: String, r| r.ok(sim, "lcm-ok".into()));
+        rpc.serve(Addr::new("lcm"), |sim, _req: String, r| {
+            r.ok(sim, "lcm-ok".into())
+        });
         let middle = rpc.clone();
         rpc.serve(Addr::new("api"), move |sim, req: String, r| {
             if req == "ping" {
@@ -649,16 +662,28 @@ mod tests {
 
         let first = Rc::new(RefCell::new(None));
         let f = first.clone();
-        rpc.call(&mut sim, Addr::new("c"), Addr::new("api"), "submit".into(),
-            SimDuration::from_secs(1), move |_, r| *f.borrow_mut() = Some(r));
+        rpc.call(
+            &mut sim,
+            Addr::new("c"),
+            Addr::new("api"),
+            "submit".into(),
+            SimDuration::from_secs(1),
+            move |_, r| *f.borrow_mut() = Some(r),
+        );
         sim.run_until_idle();
         assert_eq!(*first.borrow(), Some(Ok("forwarded:lcm-ok".into())));
 
         // The address must still serve AFTER having made an outbound call.
         let second = Rc::new(RefCell::new(None));
         let s = second.clone();
-        rpc.call(&mut sim, Addr::new("c"), Addr::new("api"), "ping".into(),
-            SimDuration::from_secs(1), move |_, r| *s.borrow_mut() = Some(r));
+        rpc.call(
+            &mut sim,
+            Addr::new("c"),
+            Addr::new("api"),
+            "ping".into(),
+            SimDuration::from_secs(1),
+            move |_, r| *s.borrow_mut() = Some(r),
+        );
         sim.run_until_idle();
         assert_eq!(*second.borrow(), Some(Ok("pong".into())));
     }
@@ -667,20 +692,36 @@ mod tests {
     fn stop_serving_then_reserve_restores_service() {
         let mut sim = Sim::new(2);
         let rpc = layer(&mut sim);
-        rpc.serve(Addr::new("s"), |sim, _req: String, r| r.ok(sim, "v1".into()));
+        rpc.serve(Addr::new("s"), |sim, _req: String, r| {
+            r.ok(sim, "v1".into())
+        });
         rpc.stop_serving(&Addr::new("s"));
         let dead = Rc::new(RefCell::new(None));
         let d = dead.clone();
-        rpc.call(&mut sim, Addr::new("c"), Addr::new("s"), "x".into(),
-            SimDuration::from_millis(50), move |_, r| *d.borrow_mut() = Some(r));
+        rpc.call(
+            &mut sim,
+            Addr::new("c"),
+            Addr::new("s"),
+            "x".into(),
+            SimDuration::from_millis(50),
+            move |_, r| *d.borrow_mut() = Some(r),
+        );
         sim.run_until_idle();
         assert_eq!(*dead.borrow(), Some(Err(RpcError::Timeout)));
 
-        rpc.serve(Addr::new("s"), |sim, _req: String, r| r.ok(sim, "v2".into()));
+        rpc.serve(Addr::new("s"), |sim, _req: String, r| {
+            r.ok(sim, "v2".into())
+        });
         let live = Rc::new(RefCell::new(None));
         let l = live.clone();
-        rpc.call(&mut sim, Addr::new("c"), Addr::new("s"), "x".into(),
-            SimDuration::from_secs(1), move |_, r| *l.borrow_mut() = Some(r));
+        rpc.call(
+            &mut sim,
+            Addr::new("c"),
+            Addr::new("s"),
+            "x".into(),
+            SimDuration::from_secs(1),
+            move |_, r| *l.borrow_mut() = Some(r),
+        );
         sim.run_until_idle();
         assert_eq!(*live.borrow(), Some(Ok("v2".into())));
     }
@@ -707,11 +748,10 @@ mod tests {
     #[test]
     fn concurrent_calls_correlate_correctly() {
         let mut sim = Sim::new(1);
-        let rpc: RpcLayer<u32, u32> =
-            RpcLayer::new(&mut sim, LatencyModel::Uniform(
-                SimDuration::from_millis(1),
-                SimDuration::from_millis(20),
-            ));
+        let rpc: RpcLayer<u32, u32> = RpcLayer::new(
+            &mut sim,
+            LatencyModel::Uniform(SimDuration::from_millis(1), SimDuration::from_millis(20)),
+        );
         rpc.serve(Addr::new("sq"), |sim, req, r| r.ok(sim, req * req));
         let results = Rc::new(RefCell::new(Vec::new()));
         for i in 0..20u32 {

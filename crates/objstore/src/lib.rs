@@ -366,8 +366,10 @@ impl ObjectStore {
 mod tests {
     use super::*;
 
-    fn slot<T: 'static>() -> (Rc<RefCell<Option<T>>>, impl FnOnce(&mut Sim, T)) {
-        let cell: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+    type Slot<T> = Rc<RefCell<Option<T>>>;
+
+    fn slot<T: 'static>() -> (Slot<T>, impl FnOnce(&mut Sim, T)) {
+        let cell: Slot<T> = Rc::new(RefCell::new(None));
         let c = cell.clone();
         (cell, move |_: &mut Sim, v: T| *c.borrow_mut() = Some(v))
     }
@@ -491,9 +493,14 @@ mod tests {
                 |_, r| r.unwrap(),
             );
         }
-        store.put(&mut sim, "ckpt", "job-2/ckpt-0", ObjectBody::Synthetic(10), None, |_, r| {
-            r.unwrap()
-        });
+        store.put(
+            &mut sim,
+            "ckpt",
+            "job-2/ckpt-0",
+            ObjectBody::Synthetic(10),
+            None,
+            |_, r| r.unwrap(),
+        );
         sim.run_until_idle();
         assert_eq!(store.list("ckpt", "job-1/").len(), 3);
         assert_eq!(store.list("ckpt", "").len(), 4);
@@ -508,7 +515,14 @@ mod tests {
         let mut sim = Sim::new(1);
         let store = ObjectStore::new(1_000_000.0);
         store.create_bucket("b");
-        store.put(&mut sim, "b", "k", ObjectBody::Synthetic(1_000_000), None, |_, _| {});
+        store.put(
+            &mut sim,
+            "b",
+            "k",
+            ObjectBody::Synthetic(1_000_000),
+            None,
+            |_, _| {},
+        );
         // Half-way through the 1-second transfer: not yet visible.
         sim.run_for(SimDuration::from_millis(500));
         assert!(store.head("b", "k").is_err());
@@ -521,7 +535,14 @@ mod tests {
         let mut sim = Sim::new(1);
         let store = ObjectStore::new(1e9);
         store.create_bucket("b");
-        store.put(&mut sim, "b", "k", ObjectBody::Synthetic(1234), None, |_, r| r.unwrap());
+        store.put(
+            &mut sim,
+            "b",
+            "k",
+            ObjectBody::Synthetic(1234),
+            None,
+            |_, r| r.unwrap(),
+        );
         sim.run_until_idle();
         let (size, mtime) = store.head("b", "k").unwrap();
         assert_eq!(size, 1234);
@@ -533,7 +554,14 @@ mod tests {
         let mut sim = Sim::new(1);
         let store = ObjectStore::new(1e9);
         store.create_bucket("b");
-        store.put(&mut sim, "b", "k", ObjectBody::Synthetic(10), None, |_, r| r.unwrap());
+        store.put(
+            &mut sim,
+            "b",
+            "k",
+            ObjectBody::Synthetic(10),
+            None,
+            |_, r| r.unwrap(),
+        );
         sim.run_until_idle();
 
         store.set_unavailable(true);

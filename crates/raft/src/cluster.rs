@@ -201,10 +201,7 @@ mod tests {
             sim,
             n,
             RaftConfig::default(),
-            LatencyModel::Uniform(
-                SimDuration::from_micros(500),
-                SimDuration::from_millis(2),
-            ),
+            LatencyModel::Uniform(SimDuration::from_micros(500), SimDuration::from_millis(2)),
             factory,
             0, // command 0 is the no-op barrier
         );

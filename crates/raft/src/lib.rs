@@ -53,4 +53,6 @@ mod types;
 
 pub use cluster::{ApplyFactory, RaftCluster};
 pub use node::{raft_addr, ApplyFn, NotLeader, Raft, ReadFn, SnapshotFactory, SnapshotHooks};
-pub use types::{LogEntry, LogIndex, NodeId, PersistentState, RaftConfig, RaftMsg, Role, Snapshot, Term};
+pub use types::{
+    LogEntry, LogIndex, NodeId, PersistentState, RaftConfig, RaftMsg, Role, Snapshot, Term,
+};

@@ -478,7 +478,10 @@ impl<C: Clone + 'static> Raft<C> {
             s.leader_hint = None;
             (s.id, term, li, lt, s.others().collect::<Vec<_>>())
         };
-        sim.record(format!("raft-{id}"), format!("starting election for term {term}"));
+        sim.record(
+            format!("raft-{id}"),
+            format!("starting election for term {term}"),
+        );
         for p in peers {
             self.net.send(
                 sim,
@@ -531,7 +534,10 @@ impl<C: Clone + 'static> Raft<C> {
             s.match_index.insert(me, new_last);
             (s.id, term, s.hb_gen)
         };
-        sim.record(format!("raft-{id}"), format!("became leader of term {term}"));
+        sim.record(
+            format!("raft-{id}"),
+            format!("became leader of term {term}"),
+        );
         self.broadcast_append(sim);
         self.maybe_advance_commit(sim);
         self.schedule_heartbeat(sim, gen);
@@ -705,7 +711,10 @@ impl<C: Clone + 'static> Raft<C> {
                 return;
             }
             let snap = s.disk.borrow().snapshot_last_index();
-            (s.last_applied.saturating_sub(snap) >= threshold, s.last_applied)
+            (
+                s.last_applied.saturating_sub(snap) >= threshold,
+                s.last_applied,
+            )
         };
         if !due {
             return;
@@ -722,7 +731,10 @@ impl<C: Clone + 'static> Raft<C> {
         };
         if compacted {
             let id = self.id();
-            sim.record(format!("raft-{id}"), format!("compacted log through {upto}"));
+            sim.record(
+                format!("raft-{id}"),
+                format!("compacted log through {upto}"),
+            );
         }
     }
 
@@ -760,9 +772,11 @@ impl<C: Clone + 'static> Raft<C> {
                 last_log_index,
                 last_log_term,
             } => self.on_request_vote(sim, term, candidate, last_log_index, last_log_term),
-            RaftMsg::RequestVoteResp { term, from, granted } => {
-                self.on_vote_resp(sim, term, from, granted)
-            }
+            RaftMsg::RequestVoteResp {
+                term,
+                from,
+                granted,
+            } => self.on_vote_resp(sim, term, from, granted),
             RaftMsg::AppendEntries {
                 term,
                 leader,
@@ -869,7 +883,13 @@ impl<C: Clone + 'static> Raft<C> {
         );
     }
 
-    fn on_install_snapshot_resp(&self, sim: &mut Sim, term: Term, from: NodeId, last_index: LogIndex) {
+    fn on_install_snapshot_resp(
+        &self,
+        sim: &mut Sim,
+        term: Term,
+        from: NodeId,
+        last_index: LogIndex,
+    ) {
         let current = self.term();
         if term > current {
             self.step_down(sim, term, None);
@@ -923,10 +943,8 @@ impl<C: Clone + 'static> Raft<C> {
                 (false, current)
             } else {
                 let up_to_date = last_log_term > disk.last_term()
-                    || (last_log_term == disk.last_term()
-                        && last_log_index >= disk.last_index());
-                let can_vote =
-                    disk.voted_for.is_none() || disk.voted_for == Some(candidate);
+                    || (last_log_term == disk.last_term() && last_log_index >= disk.last_index());
+                let can_vote = disk.voted_for.is_none() || disk.voted_for == Some(candidate);
                 (can_vote && up_to_date, current)
             }
         };
@@ -1010,36 +1028,36 @@ impl<C: Clone + 'static> Raft<C> {
                 // next_index forward instead of probing further back.
                 (true, disk.snapshot_last_index())
             } else {
-            match disk.term_at(prev_log_index) {
-                None => {
-                    // Log too short: hint the leader to back up to our end.
-                    (false, disk.last_index())
-                }
-                Some(t) if t != prev_log_term => {
-                    // Conflict: back up past the bad prefix.
-                    (false, prev_log_index.saturating_sub(1))
-                }
-                Some(_) => {
-                    // Append, truncating any conflicting suffix. Entries
-                    // at or below the snapshot boundary are already
-                    // committed here and are skipped.
-                    for (i, entry) in entries.iter().enumerate() {
-                        let idx = prev_log_index + 1 + i as LogIndex;
-                        if idx <= disk.snapshot_last_index() {
-                            continue;
-                        }
-                        match disk.term_at(idx) {
-                            Some(t) if t == entry.term => { /* already have it */ }
-                            Some(_) => {
-                                disk.truncate_to(idx - 1);
-                                disk.log.push(entry.clone());
-                            }
-                            None => disk.log.push(entry.clone()),
-                        }
+                match disk.term_at(prev_log_index) {
+                    None => {
+                        // Log too short: hint the leader to back up to our end.
+                        (false, disk.last_index())
                     }
-                    (true, prev_log_index + entries.len() as LogIndex)
+                    Some(t) if t != prev_log_term => {
+                        // Conflict: back up past the bad prefix.
+                        (false, prev_log_index.saturating_sub(1))
+                    }
+                    Some(_) => {
+                        // Append, truncating any conflicting suffix. Entries
+                        // at or below the snapshot boundary are already
+                        // committed here and are skipped.
+                        for (i, entry) in entries.iter().enumerate() {
+                            let idx = prev_log_index + 1 + i as LogIndex;
+                            if idx <= disk.snapshot_last_index() {
+                                continue;
+                            }
+                            match disk.term_at(idx) {
+                                Some(t) if t == entry.term => { /* already have it */ }
+                                Some(_) => {
+                                    disk.truncate_to(idx - 1);
+                                    disk.log.push(entry.clone());
+                                }
+                                None => disk.log.push(entry.clone()),
+                            }
+                        }
+                        (true, prev_log_index + entries.len() as LogIndex)
+                    }
                 }
-            }
             }
         };
 

@@ -221,7 +221,9 @@ impl<C> PersistentState<C> {
 
     /// Term of the last log entry (falling back to the snapshot's term).
     pub fn last_term(&self) -> Term {
-        self.log.last().map_or(self.snapshot_last_term(), |e| e.term)
+        self.log
+            .last()
+            .map_or(self.snapshot_last_term(), |e| e.term)
     }
 
     /// Term of the entry at `index`: 0 for index 0, the snapshot's term at
@@ -334,20 +336,29 @@ mod tests {
 
     #[test]
     fn config_validation_catches_bad_timings() {
-        let mut c = RaftConfig::default();
-        c.election_timeout_max = c.election_timeout_min;
+        let d = RaftConfig::default();
+        let c = RaftConfig {
+            election_timeout_max: d.election_timeout_min,
+            ..d.clone()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RaftConfig::default();
-        c.heartbeat_interval = c.election_timeout_min;
+        let c = RaftConfig {
+            heartbeat_interval: d.election_timeout_min,
+            ..d.clone()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RaftConfig::default();
-        c.max_batch = 0;
+        let c = RaftConfig {
+            max_batch: 0,
+            ..d.clone()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RaftConfig::default();
-        c.election_timeout_min = SimDuration::ZERO;
+        let c = RaftConfig {
+            election_timeout_min: SimDuration::ZERO,
+            ..d
+        };
         assert!(c.validate().is_err());
     }
 
@@ -376,7 +387,7 @@ mod tests {
         let mut p: PersistentState<u32> = PersistentState::default();
         for i in 1..=10u32 {
             p.log.push(LogEntry {
-                term: (i as u64 + 1) / 2,
+                term: (i as u64).div_ceil(2),
                 cmd: i,
             });
         }

@@ -44,10 +44,13 @@ fn op_strategy() -> impl Strategy<Value = ChaosOp> {
     ]
 }
 
+/// Per-node applied log: `(index, command)` in application order.
+type AppliedLog = Rc<RefCell<HashMap<NodeId, Vec<(u64, Cmd)>>>>;
+
 struct Harness {
     sim: Sim,
     cluster: RaftCluster<Cmd>,
-    applied: Rc<RefCell<HashMap<NodeId, Vec<(u64, Cmd)>>>>,
+    applied: AppliedLog,
     /// `(term, leader)` observations, for election safety.
     leaders_seen: HashMap<u64, NodeId>,
     next_cmd_tag: u64,
@@ -57,8 +60,7 @@ impl Harness {
     fn new(seed: u64, n: u32) -> Self {
         let mut sim = Sim::new(seed);
         sim.trace_mut().set_enabled(false);
-        let applied: Rc<RefCell<HashMap<NodeId, Vec<(u64, Cmd)>>>> =
-            Rc::new(RefCell::new(HashMap::new()));
+        let applied: AppliedLog = Rc::new(RefCell::new(HashMap::new()));
         let a = applied.clone();
         let factory: dlaas_raft::ApplyFactory<Cmd> = Rc::new(move |id| {
             a.borrow_mut().insert(id, Vec::new());
@@ -188,7 +190,10 @@ impl Harness {
         let min_len = logs.iter().map(|l| l.len()).min().unwrap_or(0);
         for idx in 0..min_len {
             for log in &logs[1..] {
-                assert_eq!(log[idx].term, logs[0][idx].term, "log term mismatch at {idx}");
+                assert_eq!(
+                    log[idx].term, logs[0][idx].term,
+                    "log term mismatch at {idx}"
+                );
             }
         }
 

@@ -22,11 +22,7 @@ struct Counter {
 
 type Counters = Rc<RefCell<HashMap<NodeId, Rc<RefCell<Counter>>>>>;
 
-fn build(
-    sim: &mut Sim,
-    n: u32,
-    threshold: usize,
-) -> (RaftCluster<Cmd>, Counters) {
+fn build(sim: &mut Sim, n: u32, threshold: usize) -> (RaftCluster<Cmd>, Counters) {
     let counters: Counters = Rc::new(RefCell::new(HashMap::new()));
     let c1 = counters.clone();
     let apply_factory: dlaas_raft::ApplyFactory<Cmd> = Rc::new(move |id| {
@@ -44,9 +40,7 @@ fn build(
         let counters = c2.clone();
         let counters2 = c2.clone();
         SnapshotHooks {
-            take: Box::new(move |
-
-| {
+            take: Box::new(move || {
                 let map = counters.borrow();
                 let c = map.get(&id).expect("state machine exists").borrow();
                 format!("{}:{}", c.sum, c.applied).into_bytes()

@@ -369,7 +369,10 @@ mod tests {
         m.write_file("exit", "1").unwrap();
         m.write_file("exit", "0").unwrap();
         assert_eq!(m.read_file("exit").unwrap(), "0");
-        assert_eq!(m.read_file("nope"), Err(NfsError::NoSuchFile("nope".into())));
+        assert_eq!(
+            m.read_file("nope"),
+            Err(NfsError::NoSuchFile("nope".into()))
+        );
     }
 
     #[test]
@@ -380,7 +383,10 @@ mod tests {
         let learner = nfs.mount(&vol).unwrap();
         let controller = nfs.mount(&vol).unwrap();
         learner.write_file("learner-0/exit-status", "137").unwrap();
-        assert_eq!(controller.read_file("learner-0/exit-status").unwrap(), "137");
+        assert_eq!(
+            controller.read_file("learner-0/exit-status").unwrap(),
+            "137"
+        );
     }
 
     #[test]
@@ -392,7 +398,10 @@ mod tests {
         m.write_file("learner-1/exit", "0").unwrap();
         m.write_file("logs/a", "x").unwrap();
         assert_eq!(m.list("learner-").len(), 2);
-        assert_eq!(m.list(""), vec!["learner-0/exit", "learner-1/exit", "logs/a"]);
+        assert_eq!(
+            m.list(""),
+            vec!["learner-0/exit", "learner-1/exit", "logs/a"]
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use dlaas_obs::{Registry, Stopwatch};
+
 use crate::{SimDuration, SimRng, SimTime, Trace};
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
@@ -75,6 +77,7 @@ pub struct Sim {
     cancelled: HashSet<EventId>,
     rng: SimRng,
     trace: Trace,
+    metrics: Registry,
     executed: u64,
 }
 
@@ -99,6 +102,7 @@ impl Sim {
             cancelled: HashSet::new(),
             rng: SimRng::new(seed),
             trace: Trace::new(),
+            metrics: Registry::new(),
             executed: 0,
         }
     }
@@ -132,6 +136,25 @@ impl Sim {
         self.trace.record(now, component, message);
     }
 
+    /// The world's metrics registry. The returned handle is cheap to clone
+    /// and every clone records into the same store, so components can keep
+    /// one or call through `sim.metrics()` at each site.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Starts a [`Stopwatch`] at the current simulated time. Finish it with
+    /// [`Sim::observe_since`] (or [`Stopwatch::observe_into`]).
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start(self.now.as_micros())
+    }
+
+    /// Records the simulated time elapsed since `sw` into the histogram
+    /// `name` of the world's registry.
+    pub fn observe_since(&self, sw: Stopwatch, name: &str, labels: &[(&str, &str)]) {
+        sw.observe_into(&self.metrics, name, labels, self.now.as_micros());
+    }
+
     /// Number of events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.executed
@@ -148,7 +171,11 @@ impl Sim {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let id = EventId(self.next_id);
         self.next_id += 1;
         self.seq += 1;
@@ -162,7 +189,11 @@ impl Sim {
     }
 
     /// Schedules `f` to run after `delay`.
-    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Sim) + 'static,
+    ) -> EventId {
         let at = self.now + delay;
         self.schedule_at(at, f)
     }

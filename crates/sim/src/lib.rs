@@ -44,3 +44,9 @@ pub use kernel::{every, EventId, Sim, TimerHandle};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
+
+// Re-exported so downstream crates can instrument through `sim.metrics()`
+// without adding their own dependency on the metrics crate.
+pub use dlaas_obs::{
+    default_buckets, Histogram, MetricKind, Registry, Snapshot, SnapshotDiff, Stopwatch,
+};

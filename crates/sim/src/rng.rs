@@ -4,11 +4,21 @@
 //! [`SimRng`]. Components that need their own stream fork one with
 //! [`SimRng::fork`], keyed by a label, so that adding randomness to one
 //! component does not perturb the draws seen by another.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+//!
+//! The generator is a self-contained xoshiro256++ seeded via splitmix64,
+//! so the simulation has no external randomness dependency and the
+//! stream for a given seed is frozen forever.
 
 use crate::SimDuration;
+
+/// Expands a 64-bit seed into well-mixed state words (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A seeded, forkable random number generator.
 ///
@@ -27,15 +37,21 @@ use crate::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a seed. Equal seeds produce equal streams.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
         }
     }
@@ -56,20 +72,27 @@ impl SimRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        SimRng {
-            inner: ChaCha12Rng::seed_from_u64(h),
-            seed: h,
-        }
+        SimRng::new(h)
     }
 
-    /// Draws a uniform `u64`.
+    /// Draws a uniform `u64` (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Draws a uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws `true` with probability `p` (clamped to `[0, 1]`).
@@ -90,7 +113,15 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Unbiased bounded draw (rejection sampling on the top of the range).
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return lo + x % span;
+            }
+        }
     }
 
     /// Draws a uniform float in `[lo, hi)`.
@@ -194,6 +225,15 @@ mod tests {
             assert!((10..20).contains(&v));
             let f = r.range_f64(-1.0, 1.0);
             assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::new(11);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "{u}");
         }
     }
 

@@ -291,14 +291,8 @@ mod tests {
     fn duration_since_saturates() {
         let early = SimTime::from_secs(1);
         let late = SimTime::from_secs(5);
-        assert_eq!(
-            late.duration_since(early),
-            SimDuration::from_secs(4)
-        );
-        assert_eq!(
-            early.saturating_duration_since(late),
-            SimDuration::ZERO
-        );
+        assert_eq!(late.duration_since(early), SimDuration::from_secs(4));
+        assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
     }
 
     #[test]

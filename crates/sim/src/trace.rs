@@ -25,27 +25,62 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// An append-only trace buffer.
+/// An append-only trace buffer, optionally capped to the most recent
+/// records (see [`Trace::set_capacity`]).
 #[derive(Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
     echo: bool,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Trace {
-    /// Creates an enabled, non-echoing trace buffer.
+    /// Creates an enabled, non-echoing, unbounded trace buffer.
     pub fn new() -> Self {
         Trace {
             events: Vec::new(),
             enabled: true,
             echo: false,
+            capacity: None,
+            dropped: 0,
         }
     }
 
     /// Enables or disables recording.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+    }
+
+    /// Bounds the buffer to the `capacity` most recent records: once full,
+    /// each new record evicts the oldest one (counted by
+    /// [`Trace::dropped`]). `None` removes the bound. Any existing
+    /// overflow is trimmed immediately. Long soak runs use this to keep
+    /// trace memory flat.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.enforce_capacity();
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of records evicted so far by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn enforce_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() > cap {
+                let excess = self.events.len() - cap;
+                self.events.drain(..excess);
+                self.dropped += excess as u64;
+            }
+        }
     }
 
     /// When `true`, records are also printed to stdout as they are emitted
@@ -55,7 +90,12 @@ impl Trace {
     }
 
     /// Appends a record (no-op when disabled).
-    pub fn record(&mut self, time: SimTime, component: impl Into<String>, message: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }
@@ -68,6 +108,7 @@ impl Trace {
             println!("{ev}");
         }
         self.events.push(ev);
+        self.enforce_capacity();
     }
 
     /// All records in emission order.
@@ -92,7 +133,9 @@ impl Trace {
 
     /// Records whose message contains `needle`.
     pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.message.contains(needle))
+        self.events
+            .iter()
+            .filter(move |e| e.message.contains(needle))
     }
 
     /// First record whose message contains `needle`, if any.
@@ -137,6 +180,38 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer() {
+        let mut t = Trace::new();
+        t.set_capacity(Some(3));
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), "c", format!("ev-{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        // Only the most recent records remain, in order.
+        let msgs: Vec<_> = t.events().iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["ev-2", "ev-3", "ev-4"]);
+        // Lifting the bound stops eviction.
+        t.set_capacity(None);
+        t.record(SimTime::from_secs(9), "c", "ev-9");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_immediately() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.record(SimTime::from_secs(i), "c", format!("ev-{i}"));
+        }
+        t.set_capacity(Some(4));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.events()[0].message, "ev-6");
+        assert_eq!(t.capacity(), Some(4));
     }
 
     #[test]

@@ -14,7 +14,11 @@ enum KernelOp {
     /// Schedule then immediately cancel.
     ScheduleCancelled { delay_us: u32, tag: u16 },
     /// An event that schedules a child event when it fires.
-    ScheduleNested { delay_us: u32, child_us: u32, tag: u16 },
+    ScheduleNested {
+        delay_us: u32,
+        child_us: u32,
+        tag: u16,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = KernelOp> {
@@ -147,7 +151,7 @@ proptest! {
         let mut deadline = SimTime::ZERO;
         // 1.2M us covers delay (≤1M) + nested child (≤100k) comfortably.
         while deadline < SimTime::from_micros(1_200_000) {
-            deadline = deadline + SimDuration::from_micros(chunk_us);
+            deadline += SimDuration::from_micros(chunk_us);
             sim.run_until(deadline);
         }
         sim.run_until_idle();

@@ -15,7 +15,9 @@ use dlaas_sim::{Sim, SimDuration};
 fn main() {
     banner("booting the platform");
     let mut sim = Sim::new(1337);
-    sim.trace_mut().set_enabled(false);
+    // Keep only a sliding window of trace records: the story at the end
+    // is told from dlaas-obs metrics, not from raw trace lines.
+    sim.trace_mut().set_capacity(Some(512));
     let platform = DlaasPlatform::bootstrapped(&mut sim);
     platform.add_tenant(&Tenant::new("acme", "acme-key", 64));
     platform.seed_dataset("acme-data", "d/", 2_000_000_000);
@@ -54,30 +56,70 @@ fn main() {
 
     banner("letting the monkey rampage for 20 simulated minutes");
     sim.run_for(SimDuration::from_mins(20));
-    let crashes = sim
-        .trace()
-        .by_component("chaos-monkey")
-        .count();
-    println!("(trace disabled; kube event log tells the story instead)");
-    let restarts: usize = platform
-        .kube()
-        .events()
-        .iter()
-        .filter(|e| e.reason == "Restarting" || e.reason == "Crashed")
-        .count();
-    println!("pod crash/restart events so far: {restarts} (monkey trace entries: {crashes})");
+    println!(
+        "pod restarts so far: {} (trace window holds {} records, {} evicted)",
+        sim.metrics().counter_total("kube_pod_restarts_total"),
+        sim.trace().len(),
+        sim.trace().dropped(),
+    );
 
     banner("calling the monkey off and waiting for every job to finish");
     monkey.stop();
     for job in &jobs {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(12));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(12),
+        );
         let info = platform.job_info(job).unwrap();
         println!(
             "{job}: {:?} after {} learner restarts",
             end.unwrap(),
             info.learner_restarts
         );
-        assert_eq!(end, Some(JobStatus::Completed), "an acknowledged job was lost");
+        assert_eq!(
+            end,
+            Some(JobStatus::Completed),
+            "an acknowledged job was lost"
+        );
     }
+
+    banner("end-of-run metrics (dlaas-obs)");
+    let m = platform.metrics();
+    let q = |name: &str, q: f64| {
+        m.quantile(name, &[], q)
+            .map(|s| format!("{s:.1}s"))
+            .unwrap_or_else(|| "n/a".into())
+    };
+    println!(
+        "kube pod restarts:    {}",
+        m.counter_total("kube_pod_restarts_total")
+    );
+    println!(
+        "learner restarts:     {}",
+        m.counter_total(dlaas_core::metrics::LEARNER_RESTARTS)
+    );
+    println!(
+        "guardian rollbacks:   {}",
+        m.counter_total(dlaas_core::metrics::GUARDIAN_ROLLBACKS)
+    );
+    println!(
+        "checkpoint writes:    {} (restores: {})",
+        m.counter_total(dlaas_core::metrics::CHECKPOINT_WRITES),
+        m.counter_total(dlaas_core::metrics::CHECKPOINT_RESTORES),
+    );
+    println!(
+        "deploy latency:       p50 {}  p95 {}  p99 {}",
+        q(dlaas_core::metrics::GUARDIAN_DEPLOY_SECONDS, 0.50),
+        q(dlaas_core::metrics::GUARDIAN_DEPLOY_SECONDS, 0.95),
+        q(dlaas_core::metrics::GUARDIAN_DEPLOY_SECONDS, 0.99),
+    );
+    println!(
+        "checkpoint stalls:    p50 {}  p95 {}  p99 {}",
+        q(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.50),
+        q(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.95),
+        q(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.99),
+    );
     println!("\nall acknowledged jobs completed despite sustained random crashes.");
 }

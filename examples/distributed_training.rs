@@ -6,8 +6,9 @@
 //!
 //! Run with: `cargo run -p dlaas-examples --bin distributed_training`
 
-use dlaas_core::{paths, DlaasPlatform, GpuNodeSpec, JobStatus, PlatformConfig, Tenant,
-                 TrainingManifest};
+use dlaas_core::{
+    paths, DlaasPlatform, GpuNodeSpec, JobStatus, PlatformConfig, Tenant, TrainingManifest,
+};
 use dlaas_examples::{banner, submit_blocking};
 use dlaas_gpu::{DlModel, Framework, GpuKind};
 use dlaas_sim::{Sim, SimDuration};
@@ -46,7 +47,12 @@ fn main() {
     let job = submit_blocking(&mut sim, &client, manifest);
     println!("job {job} accepted");
 
-    let s = platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    let s = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     assert_eq!(s, Some(JobStatus::Processing));
     println!("all 4 learners training at t={}", sim.now());
     for i in 0..4 {
@@ -64,7 +70,9 @@ fn main() {
     platform
         .kube()
         .crash_pod(&mut sim, &paths::learner_pod(&job, 2));
-    println!("crashed at iteration ~{before}; kubernetes restarts it, it resumes from the checkpoint");
+    println!(
+        "crashed at iteration ~{before}; kubernetes restarts it, it resumes from the checkpoint"
+    );
     sim.run_for(SimDuration::from_mins(2));
 
     banner("injecting failure 2: crash the node under learner-0");
@@ -76,7 +84,12 @@ fn main() {
     println!("node {node} lost; the statefulset reschedules learner-0 elsewhere");
 
     banner("waiting for completion");
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(12),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 
     let info = platform.job_info(&job).unwrap();

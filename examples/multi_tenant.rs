@@ -46,16 +46,36 @@ fn main() {
     let j_initech = submit_blocking(&mut sim, &initech, manifest("i1", "initech", 4, 800));
     println!("jobs: {j_acme}, {j_globex}, {j_initech}");
 
-    platform.wait_for_status(&mut sim, &j_acme, JobStatus::Processing, SimDuration::from_mins(30));
-    platform.wait_for_status(&mut sim, &j_globex, JobStatus::Processing, SimDuration::from_mins(30));
-    platform.wait_for_status(&mut sim, &j_initech, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &j_acme,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
+    platform.wait_for_status(
+        &mut sim,
+        &j_globex,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
+    platform.wait_for_status(
+        &mut sim,
+        &j_initech,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     banner("isolation while all three train");
     let acme_learner = paths::learner_pod(&j_acme, 0);
     let globex_learner = paths::learner_pod(&j_globex, 0);
     println!(
         "acme learner -> platform API service:   {}",
-        allowed(&platform, &acme_learner, None, Some(dlaas_core::API_SERVICE))
+        allowed(
+            &platform,
+            &acme_learner,
+            None,
+            Some(dlaas_core::API_SERVICE)
+        )
     );
     println!(
         "acme learner -> globex learner:         {}",
@@ -63,7 +83,12 @@ fn main() {
     );
     println!(
         "acme learner -> acme learner (own job): {}",
-        allowed(&platform, &acme_learner, Some(&paths::learner_pod(&j_acme, 0)), None)
+        allowed(
+            &platform,
+            &acme_learner,
+            Some(&paths::learner_pod(&j_acme, 0)),
+            None
+        )
     );
 
     banner("quota enforcement: globex (2/2 GPUs in use) tries to submit more");
@@ -90,7 +115,12 @@ fn main() {
 
     banner("all three jobs complete");
     for job in [&j_acme, &j_globex, &j_initech] {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(8));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(8),
+        );
         println!("{job}: {end:?}");
         assert_eq!(end, Some(JobStatus::Completed));
     }

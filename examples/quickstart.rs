@@ -14,7 +14,10 @@ fn main() {
     let mut sim = Sim::new(42);
     sim.trace_mut().set_enabled(false);
     let platform = DlaasPlatform::bootstrapped(&mut sim);
-    println!("ready at t={} (API + LCM serving, etcd leader elected)", sim.now());
+    println!(
+        "ready at t={} (API + LCM serving, etcd leader elected)",
+        sim.now()
+    );
 
     // Operator setup: a tenant and its buckets.
     platform.add_tenant(&Tenant::new("acme", "acme-key", 16));
@@ -36,7 +39,10 @@ fn main() {
 
     let client = platform.client("alice", "acme-key");
     let job = submit_blocking(&mut sim, &client, manifest);
-    println!("job {job} accepted at t={} — durably recorded before the ACK", sim.now());
+    println!(
+        "job {job} accepted at t={} — durably recorded before the ACK",
+        sim.now()
+    );
 
     banner("watching the lifecycle");
     let mut last = None;

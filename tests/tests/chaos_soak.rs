@@ -51,7 +51,12 @@ fn jobs_survive_platform_wide_chaos_monkey() {
 
     monkey.stop();
     for job in &jobs {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(24));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(24),
+        );
         assert_eq!(end, Some(JobStatus::Completed), "{job} lost under chaos");
     }
 
@@ -70,7 +75,12 @@ fn simultaneous_mongo_and_lcm_crash_is_survivable() {
     platform.crash_mongo(&mut sim, Some(SimDuration::from_secs(5)));
     platform.kube().crash_pod(&mut sim, "dlaas-lcm-0");
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(8),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -79,7 +89,12 @@ fn etcd_minority_partition_heals_transparently() {
     let (mut sim, platform) = boot(202);
     let client = platform.client("part", dlaas_integration::KEY);
     let job = submit_blocking(&mut sim, &client, manifest("partition", 900));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     // Partition one etcd node away from its peers for a while.
     let etcd = platform.etcd().clone();
@@ -90,7 +105,12 @@ fn etcd_minority_partition_heals_transparently() {
     sim.run_for(SimDuration::from_mins(3));
     etcd.raft().net().heal();
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(8),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -99,7 +119,12 @@ fn repeated_component_crash_cycles_do_not_wedge_the_platform() {
     let (mut sim, platform) = boot(203);
     let client = platform.client("cycle", dlaas_integration::KEY);
     let job = submit_blocking(&mut sim, &client, manifest("cycler", 2_000));
-    platform.wait_for_status(&mut sim, &job, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
 
     // Crash API-0, LCM, the helper, and an etcd follower, over and over.
     for round in 0..4 {
@@ -122,7 +147,12 @@ fn repeated_component_crash_cycles_do_not_wedge_the_platform() {
         );
     }
 
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(12));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(12),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 }
 
@@ -133,8 +163,15 @@ fn status_history_timestamps_survive_chaos() {
     let job = submit_blocking(&mut sim, &client, manifest("timestamps", 400));
     // A couple of mid-flight crashes.
     sim.run_for(SimDuration::from_secs(60));
-    platform.kube().crash_pod(&mut sim, &dlaas_core::paths::guardian_job(&job));
-    let end = platform.wait_for_status(&mut sim, &job, JobStatus::Completed, SimDuration::from_hours(8));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &dlaas_core::paths::guardian_job(&job));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(8),
+    );
     assert_eq!(end, Some(JobStatus::Completed));
 
     let info = platform.job_info(&job).unwrap();

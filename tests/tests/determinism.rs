@@ -29,7 +29,12 @@ fn run_fingerprint(seed: u64, chaos: bool) -> String {
         sim.run_for(SimDuration::from_secs(60));
     }
     for job in &jobs {
-        platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(12));
+        platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(12),
+        );
     }
     if let Some(m) = monkey {
         m.stop();

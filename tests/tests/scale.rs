@@ -61,7 +61,12 @@ fn ten_concurrent_jobs_all_complete() {
     }
 
     for job in &jobs {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(8));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(8),
+        );
         assert_eq!(end, Some(JobStatus::Completed), "{job}");
     }
 }
@@ -81,7 +86,12 @@ fn demand_exceeding_capacity_queues_and_drains() {
         .collect();
 
     for job in &jobs {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(24));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(24),
+        );
         assert_eq!(end, Some(JobStatus::Completed), "{job}");
     }
 }
@@ -96,7 +106,9 @@ fn api_replicas_share_load() {
     // Both API replicas served traffic (round-robin): check the trace of
     // accepted jobs is spread — indirectly, via kube events both pods are
     // alive and the submissions all succeeded above. Direct check: both
-    // pods Running and ready.
+    // pods Running and ready. Submissions can complete while a replica's
+    // readiness probe is still settling, so give the probes a beat first.
+    sim.run_for(SimDuration::from_secs(5));
     assert!(platform.kube().pod_ready(&sim, "dlaas-api-0"));
     assert!(platform.kube().pod_ready(&sim, "dlaas-api-1"));
 }
@@ -115,7 +127,9 @@ fn rolling_restart_of_api_tier_keeps_service_available() {
     let mut jobs = Vec::new();
     for i in 0..4 {
         // Recycle one replica…
-        platform.kube().delete_pod(&mut sim, &format!("dlaas-api-{i}"));
+        platform
+            .kube()
+            .delete_pod(&mut sim, &format!("dlaas-api-{i}"));
         // …and submit through the survivors while it comes back.
         jobs.push(submit_blocking(
             &mut sim,
@@ -132,7 +146,12 @@ fn rolling_restart_of_api_tier_keeps_service_available() {
         );
     }
     for job in &jobs {
-        let end = platform.wait_for_status(&mut sim, job, JobStatus::Completed, SimDuration::from_hours(8));
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(8),
+        );
         assert_eq!(end, Some(JobStatus::Completed), "{job}");
     }
 }
@@ -143,8 +162,16 @@ fn mixed_gpu_cluster_routes_jobs_to_matching_nodes() {
     sim.trace_mut().set_enabled(false);
     let cfg = PlatformConfig {
         gpu_nodes: vec![
-            GpuNodeSpec { kind: GpuKind::K80, count: 2, gpus_each: 2 },
-            GpuNodeSpec { kind: GpuKind::P100Pcie, count: 2, gpus_each: 2 },
+            GpuNodeSpec {
+                kind: GpuKind::K80,
+                count: 2,
+                gpus_each: 2,
+            },
+            GpuNodeSpec {
+                kind: GpuKind::P100Pcie,
+                count: 2,
+                gpus_each: 2,
+            },
         ],
         ..PlatformConfig::default()
     };
@@ -162,8 +189,18 @@ fn mixed_gpu_cluster_routes_jobs_to_matching_nodes() {
     let j1 = submit_blocking(&mut sim, &client, k80);
     let j2 = submit_blocking(&mut sim, &client, p100);
 
-    platform.wait_for_status(&mut sim, &j1, JobStatus::Processing, SimDuration::from_mins(30));
-    platform.wait_for_status(&mut sim, &j2, JobStatus::Processing, SimDuration::from_mins(30));
+    platform.wait_for_status(
+        &mut sim,
+        &j1,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
+    platform.wait_for_status(
+        &mut sim,
+        &j2,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
     let n1 = platform
         .kube()
         .pod_node(&dlaas_core::paths::learner_pod(&j1, 0))
@@ -176,7 +213,12 @@ fn mixed_gpu_cluster_routes_jobs_to_matching_nodes() {
     assert!(n2.starts_with("gpu-p100"), "{n2}");
 
     for j in [&j1, &j2] {
-        let end = platform.wait_for_status(&mut sim, j, JobStatus::Completed, SimDuration::from_hours(8));
+        let end = platform.wait_for_status(
+            &mut sim,
+            j,
+            JobStatus::Completed,
+            SimDuration::from_hours(8),
+        );
         assert_eq!(end, Some(JobStatus::Completed));
     }
 }

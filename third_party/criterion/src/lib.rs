@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! This workspace builds with no crates.io access, so the bench harness is
+//! vendored as a minimal reimplementation of the surface the benches use:
+//! `Criterion`, `benchmark_group`/`bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. It times each bench
+//! with `std::time::Instant` over `sample_size` samples and prints
+//! mean/min/max — no statistics, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name}: no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    println!(
+        "{name}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function (both plain and `name/config/targets`
+/// forms of the upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Strategy for vectors with a length drawn from `len` and elements
+/// drawn from the inner strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// `vec(element, 1..60)` — a vector of 1 to 59 generated elements.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let strat = vec(0u32..5, 2..7);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! property-testing dependency is vendored as a minimal reimplementation
+//! of the API surface the tests actually use: `proptest!`, `prop_oneof!`,
+//! the `prop_assert*` macros, `Strategy`/`Just`/`any`, numeric-range and
+//! tuple strategies, and `proptest::collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//! - cases are generated from a fixed per-test seed (fully deterministic
+//!   across runs; no persistence files), and
+//! - there is no shrinking — a failing case panics with its assertion
+//!   message directly (`max_shrink_iters` is accepted and ignored).
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                // User configs habitually end in `..Default::default()` even
+                // when every field is spelled out.
+                #[allow(clippy::needless_update)]
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let _ = cfg.max_shrink_iters;
+                // Stable per-test seed: hash of the test name.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= b as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                for case in 0..cfg.cases as u64 {
+                    let mut rng = $crate::strategy::TestRng::new(
+                        seed ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:expr => $s:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new() $( .add($w as u32, $s) )+
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new() $( .add(1u32, $s) )+
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

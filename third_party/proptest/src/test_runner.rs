@@ -1,0 +1,22 @@
+//! Test-runner configuration.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only `cases` changes behavior here; `max_shrink_iters` is accepted for
+/// source compatibility (this stand-in does not shrink).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Ignored (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
