@@ -1,0 +1,543 @@
+//! The fault matrix: every fault kind crossed with every Guardian
+//! deployment step, each trial judged by the platform invariant checker.
+//!
+//! The paper validates dependability with targeted `kubectl` experiments
+//! (Fig. 4) and anecdotal chaos runs. This module systematises that into
+//! a campaign: for each of the Guardian's six deployment steps (§III-d)
+//! a trigger watches for the step's observable side effect and, the
+//! moment it appears, injects one fault — a Guardian crash, an etcd
+//! leader crash, a metadata-store crash, an NFS outage or a network
+//! partition of the etcd leader. The job must still complete, and after
+//! a GC settle the whole platform must satisfy every invariant of
+//! [`dlaas_core::invariants`] (liveness, status monotonicity, bounded
+//! retries, no leaked resources).
+//!
+//! [`run_cell`] runs one (fault, step, seed) trial; [`sweep`] runs the
+//! full matrix and aggregates recovery times into a histogram;
+//! [`soak`] runs a randomized long-duration campaign with the
+//! [`InvariantMonitor`] checking continuously.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use dlaas_core::{
+    check_invariants, paths, DlaasPlatform, GpuNodeSpec, InvariantMonitor, JobId, JobStatus,
+    PlatformConfig, Tenant,
+};
+use dlaas_faults::{nfs_outage_window, partition_window, when, ChaosMonkey};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_kube::{labels, PodPhase};
+use dlaas_raft::raft_addr;
+use dlaas_sim::{Sim, SimDuration, SimTime};
+
+use crate::harness::{experiment_platform, throughput_manifest, BENCH_KEY};
+use crate::workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Histogram of fault-to-terminal times, labelled by fault kind and
+/// injection point.
+pub const MATRIX_RECOVERY_SECONDS: &str = "bench_matrix_recovery_seconds";
+
+/// How long substrate outages (NFS, MongoDB, etcd node, partition) last.
+///
+/// Sized against the deploy retry budget: a mid-deploy failure costs one
+/// of `deploy_max_attempts` (3) Guardian incarnations, and with the
+/// default kubelet timings (crash detect 600ms, first restart free,
+/// second restart backed off by 10s, jitter ±25%) the third incarnation
+/// boots no earlier than ~8.9s after the first failure. A 6s outage
+/// therefore always leaves at least one attempt that runs against
+/// healthy substrates.
+fn outage() -> SimDuration {
+    SimDuration::from_secs(6)
+}
+
+/// One injectable platform-level fault of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `kubectl delete`-style crash of the job's Guardian pod.
+    GuardianCrash,
+    /// Crash of the current etcd leader node (restarted after the
+    /// outage window — a rolling node failure, not a quorum loss).
+    EtcdLeaderCrash,
+    /// Crash of the metadata store; it recovers from its journal.
+    MongoCrash,
+    /// NFS data plane unavailable for the outage window.
+    NfsOutage,
+    /// The etcd leader partitioned away from its peers, then healed.
+    Partition,
+}
+
+impl FaultKind {
+    /// Every fault kind, in campaign order.
+    pub fn all() -> [FaultKind; 5] {
+        [
+            FaultKind::GuardianCrash,
+            FaultKind::EtcdLeaderCrash,
+            FaultKind::MongoCrash,
+            FaultKind::NfsOutage,
+            FaultKind::Partition,
+        ]
+    }
+
+    /// Metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::GuardianCrash => "guardian_crash",
+            FaultKind::EtcdLeaderCrash => "etcd_leader_crash",
+            FaultKind::MongoCrash => "mongo_crash",
+            FaultKind::NfsOutage => "nfs_outage",
+            FaultKind::Partition => "partition",
+        }
+    }
+
+    /// Applies the fault to a live platform.
+    pub fn inject(&self, sim: &mut Sim, platform: &DlaasPlatform, job: &JobId) {
+        match self {
+            FaultKind::GuardianCrash => {
+                platform.kube().crash_pod(sim, &paths::guardian_job(job));
+            }
+            FaultKind::EtcdLeaderCrash => {
+                if let Some(leader) = platform.etcd().leader_id() {
+                    let cluster = platform.etcd().clone();
+                    cluster.crash(sim, leader);
+                    sim.schedule_in(outage(), move |sim| cluster.restart(sim, leader));
+                }
+            }
+            FaultKind::MongoCrash => {
+                platform.crash_mongo(sim, Some(outage()));
+            }
+            FaultKind::NfsOutage => {
+                nfs_outage_window(sim, platform.nfs(), outage());
+            }
+            FaultKind::Partition => {
+                if let Some(leader) = platform.etcd().leader_id() {
+                    partition_window(
+                        sim,
+                        platform.etcd().raft().net(),
+                        vec![vec![raft_addr(leader)]],
+                        outage(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::GuardianCrash => "guardian crash",
+            FaultKind::EtcdLeaderCrash => "etcd leader crash",
+            FaultKind::MongoCrash => "mongo crash",
+            FaultKind::NfsOutage => "NFS outage",
+            FaultKind::Partition => "partition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Guardian's six deployment steps (§III-d), each identified by its
+/// first observable side effect — the trigger condition for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionPoint {
+    /// Step 1 (rollback + start): the Guardian pod is Running.
+    GuardianUp,
+    /// Step 2: the job's persisted status flipped to DEPLOYING.
+    MarkDeploying,
+    /// Step 3: the job's NFS volume exists.
+    ProvisionVolume,
+    /// Step 4: the helper pod exists.
+    CreateHelper,
+    /// Step 5: learner pods exist.
+    CreateLearners,
+    /// Step 6: the job's network policy is applied.
+    ApplyPolicies,
+}
+
+impl InjectionPoint {
+    /// Every injection point, in deployment-step order.
+    pub fn all() -> [InjectionPoint; 6] {
+        [
+            InjectionPoint::GuardianUp,
+            InjectionPoint::MarkDeploying,
+            InjectionPoint::ProvisionVolume,
+            InjectionPoint::CreateHelper,
+            InjectionPoint::CreateLearners,
+            InjectionPoint::ApplyPolicies,
+        ]
+    }
+
+    /// Metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InjectionPoint::GuardianUp => "guardian_up",
+            InjectionPoint::MarkDeploying => "mark_deploying",
+            InjectionPoint::ProvisionVolume => "provision_volume",
+            InjectionPoint::CreateHelper => "create_helper",
+            InjectionPoint::CreateLearners => "create_learners",
+            InjectionPoint::ApplyPolicies => "apply_policies",
+        }
+    }
+
+    /// The trigger predicate: `true` once the step's side effect is
+    /// observable on the platform.
+    pub fn predicate(&self, platform: &DlaasPlatform, job: &JobId) -> Box<dyn FnMut(&Sim) -> bool> {
+        let kube = platform.kube().clone();
+        let job = job.clone();
+        match self {
+            InjectionPoint::GuardianUp => {
+                let pod = paths::guardian_job(&job);
+                Box::new(move |_| kube.pod_phase(&pod) == Some(PodPhase::Running))
+            }
+            InjectionPoint::MarkDeploying => {
+                let platform = platform.clone();
+                Box::new(move |_| platform.job_status(&job) == Some(JobStatus::Deploying))
+            }
+            InjectionPoint::ProvisionVolume => {
+                let nfs = platform.nfs().clone();
+                let vol = paths::volume(&job);
+                Box::new(move |_| nfs.find_volume(&vol).is_some())
+            }
+            InjectionPoint::CreateHelper => {
+                let sel = labels! {"job" => job.as_str(), "role" => "helper"};
+                Box::new(move |_| !kube.pods_matching(&sel).is_empty())
+            }
+            InjectionPoint::CreateLearners => {
+                let sel = labels! {"job" => job.as_str(), "role" => "learner"};
+                Box::new(move |_| !kube.pods_matching(&sel).is_empty())
+            }
+            InjectionPoint::ApplyPolicies => {
+                let netpol = paths::network_policy(&job);
+                Box::new(move |_| kube.network_policy_names().contains(&netpol))
+            }
+        }
+    }
+}
+
+impl fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InjectionPoint::GuardianUp => "guardian up",
+            InjectionPoint::MarkDeploying => "mark DEPLOYING",
+            InjectionPoint::ProvisionVolume => "provision volume",
+            InjectionPoint::CreateHelper => "create helper",
+            InjectionPoint::CreateLearners => "create learners",
+            InjectionPoint::ApplyPolicies => "apply policies",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of one (fault, step, seed) trial.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The injected fault.
+    pub kind: FaultKind,
+    /// The deployment step it targeted.
+    pub point: InjectionPoint,
+    /// The simulation seed.
+    pub seed: u64,
+    /// The job's final status.
+    pub status: Option<JobStatus>,
+    /// Whether the trigger fired (the step was actually reached).
+    pub fault_fired: bool,
+    /// Injection-to-terminal time, when the job reached a terminal state.
+    pub recovery: Option<SimDuration>,
+    /// Invariant violations found after the settle, rendered.
+    pub violations: Vec<String>,
+}
+
+impl CellOutcome {
+    /// A cell passes when the fault really fired, the job still
+    /// completed, and no platform invariant was violated afterwards.
+    pub fn passed(&self) -> bool {
+        self.fault_fired && self.status == Some(JobStatus::Completed) && self.violations.is_empty()
+    }
+
+    /// One summary line for tables and failure messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} at {} (seed {}): status={:?} fired={} violations={}",
+            self.kind,
+            self.point,
+            self.seed,
+            self.status,
+            self.fault_fired,
+            self.violations.len()
+        )
+    }
+}
+
+/// Runs one cell of the matrix: boot a platform, submit one training
+/// job, inject `kind` the moment `point` becomes observable, run the job
+/// to a terminal state, let GC settle past the invariant grace period,
+/// then check every platform invariant.
+pub fn run_cell(seed: u64, kind: FaultKind, point: InjectionPoint) -> CellOutcome {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let platform = experiment_platform(&mut sim, GpuKind::K80, 1);
+    let manifest = throughput_manifest(
+        DlModel::Resnet50,
+        Framework::TensorFlow,
+        GpuKind::K80,
+        1,
+        300,
+    );
+    let client = platform.client("bench", BENCH_KEY);
+    let got: Rc<RefCell<Option<JobId>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.submit(&mut sim, manifest, move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("submission accepted"));
+    });
+    sim.run_until_pred(|_| got.borrow().is_some());
+    let job = got.borrow().clone().expect("submitted");
+
+    let fired: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
+    let f2 = fired.clone();
+    let pred = point.predicate(&platform, &job);
+    let p2 = platform.clone();
+    let job2 = job.clone();
+    when(
+        &mut sim,
+        SimDuration::from_millis(200),
+        format!("{kind} at {point}"),
+        pred,
+        move |sim| {
+            f2.set(Some(sim.now()));
+            kind.inject(sim, &p2, &job2);
+        },
+    );
+
+    let status = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(1),
+    );
+    let recovery = match (fired.get(), status) {
+        (Some(at), Some(s)) if s.is_terminal() => Some(sim.now().saturating_duration_since(at)),
+        _ => None,
+    };
+    if let Some(d) = recovery {
+        sim.metrics().observe_duration_us(
+            MATRIX_RECOVERY_SECONDS,
+            &[("fault", kind.label()), ("point", point.label())],
+            d.as_micros(),
+        );
+    }
+
+    // Settle well past the GC grace (3 LCM scan periods) so the leak
+    // invariants apply with full force.
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    let report = check_invariants(&sim, &platform);
+
+    CellOutcome {
+        kind,
+        point,
+        seed,
+        status,
+        fault_fired: fired.get().is_some(),
+        recovery,
+        violations: report.violations.iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+/// A full matrix campaign: outcomes plus an aggregate registry holding
+/// the [`MATRIX_RECOVERY_SECONDS`] histogram across every cell.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// One outcome per (fault, step, seed).
+    pub outcomes: Vec<CellOutcome>,
+    /// Aggregated recovery histogram, labelled by fault and point.
+    pub metrics: dlaas_sim::Registry,
+}
+
+impl MatrixRun {
+    /// Every cell that did not pass.
+    pub fn failures(&self) -> Vec<&CellOutcome> {
+        self.outcomes.iter().filter(|o| !o.passed()).collect()
+    }
+}
+
+/// Runs the full matrix: every fault kind × every deployment step ×
+/// `seeds` seeds starting at `base_seed`.
+pub fn sweep(base_seed: u64, seeds: u64) -> MatrixRun {
+    let metrics = dlaas_sim::Registry::new();
+    let mut outcomes = Vec::new();
+    for kind in FaultKind::all() {
+        for point in InjectionPoint::all() {
+            for i in 0..seeds {
+                let out = run_cell(base_seed + i, kind, point);
+                if let Some(d) = out.recovery {
+                    metrics.observe_duration_us(
+                        MATRIX_RECOVERY_SECONDS,
+                        &[("fault", kind.label()), ("point", point.label())],
+                        d.as_micros(),
+                    );
+                }
+                outcomes.push(out);
+            }
+        }
+    }
+    MatrixRun { outcomes, metrics }
+}
+
+/// Results of one randomized soak (see [`soak`]).
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Jobs acknowledged by the platform.
+    pub submitted: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that ended FAILED or KILLED.
+    pub failed: usize,
+    /// Jobs still non-terminal after the drain (must be zero).
+    pub unfinished: usize,
+    /// Distinct (job, invariant) violations the continuous monitor saw.
+    pub violations_during: usize,
+    /// Violations of the final post-drain check, rendered.
+    pub final_violations: Vec<String>,
+    /// The platform's metrics registry at the end of the run.
+    pub metrics: dlaas_sim::Registry,
+}
+
+impl SoakOutcome {
+    /// `true` when the soak ended with every invariant intact and no job
+    /// in limbo.
+    pub fn clean(&self) -> bool {
+        self.unfinished == 0 && self.violations_during == 0 && self.final_violations.is_empty()
+    }
+}
+
+/// A randomized soak with continuous invariant checking: a Poisson
+/// workload, a pod-level chaos monkey, and a rotating substrate fault
+/// (etcd leader crash, mongo crash, NFS outage, partition) every few
+/// minutes, with the [`InvariantMonitor`] re-checking every minute.
+/// After `hours` the faults stop, the platform drains, and a final
+/// strict check runs.
+pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    let cfg = PlatformConfig {
+        core_nodes: 4,
+        gpu_nodes: vec![GpuNodeSpec {
+            kind: GpuKind::K80,
+            count: 8,
+            gpus_each: 4,
+        }],
+        ..PlatformConfig::default()
+    };
+    let platform = DlaasPlatform::new(&mut sim, cfg);
+    platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
+    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform.seed_dataset("wl-data", "d/", 1_000_000_000);
+    platform.create_bucket("wl-results");
+
+    let gen = WorkloadGenerator::start(
+        &mut sim,
+        platform.client("operator", BENCH_KEY),
+        WorkloadConfig::default(),
+    );
+    let monkey = ChaosMonkey::unleash(
+        &mut sim,
+        platform.kube(),
+        labels! {},
+        SimDuration::from_secs(90),
+        0.3,
+    );
+    // Liveness bound sized for chaos: a late crash of a non-checkpointing
+    // job legitimately restarts training from scratch (§III-g), so time
+    // to terminal is queueing plus several full trainings.
+    let bounds = dlaas_core::InvariantBounds {
+        terminal_within: SimDuration::from_hours(4),
+        gc_grace: platform.handles().config.lcm_scan * 3,
+    };
+    let monitor =
+        InvariantMonitor::install_with(&mut sim, &platform, SimDuration::from_secs(60), bounds);
+
+    // Rotate through the substrate faults, one every few minutes.
+    let p2 = platform.clone();
+    let rotation = dlaas_sim::every(&mut sim, SimDuration::from_mins(7), move |sim, n| {
+        match n % 4 {
+            0 => {
+                if let Some(leader) = p2.etcd().leader_id() {
+                    let cluster = p2.etcd().clone();
+                    cluster.crash(sim, leader);
+                    sim.schedule_in(outage(), move |sim| cluster.restart(sim, leader));
+                }
+            }
+            1 => p2.crash_mongo(sim, Some(outage())),
+            2 => nfs_outage_window(sim, p2.nfs(), outage()),
+            _ => {
+                if let Some(leader) = p2.etcd().leader_id() {
+                    partition_window(
+                        sim,
+                        p2.etcd().raft().net(),
+                        vec![vec![raft_addr(leader)]],
+                        outage(),
+                    );
+                }
+            }
+        }
+        true
+    });
+
+    sim.run_for(SimDuration::from_hours(hours));
+    gen.stop();
+    monkey.stop();
+    rotation.cancel();
+    // Drain: every in-flight job finishes and GC passes the grace period.
+    sim.run_for(SimDuration::from_hours(4));
+
+    let (submitted, completed, failed, unfinished) = {
+        let report = gen.report();
+        let report = report.borrow();
+        let (done, failed, other) = report.outcomes(&platform);
+        (report.submitted.len(), done, failed, other)
+    };
+    let final_report = check_invariants(&sim, &platform);
+    let violations_during = monitor.violations_seen();
+    monitor.cancel();
+
+    SoakOutcome {
+        submitted,
+        completed,
+        failed,
+        unfinished,
+        violations_during,
+        final_violations: final_report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect(),
+        metrics: sim.metrics().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guardian_crash_mid_deploy_still_completes() {
+        let out = run_cell(11, FaultKind::GuardianCrash, InjectionPoint::CreateHelper);
+        assert!(out.passed(), "{}: {:?}", out.describe(), out.violations);
+        assert!(out.recovery.is_some());
+    }
+
+    #[test]
+    fn nfs_outage_at_provision_volume_still_completes() {
+        let out = run_cell(12, FaultKind::NfsOutage, InjectionPoint::ProvisionVolume);
+        assert!(out.passed(), "{}: {:?}", out.describe(), out.violations);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds: std::collections::BTreeSet<_> =
+            FaultKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(kinds.len(), FaultKind::all().len());
+        let points: std::collections::BTreeSet<_> =
+            InjectionPoint::all().iter().map(|p| p.label()).collect();
+        assert_eq!(points.len(), InjectionPoint::all().len());
+    }
+}

@@ -87,8 +87,11 @@ pub fn guardian_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup 
         deploy_started_us: Cell::new(None),
     });
     g.ctx.record(sim, "guardian up; loading job record");
+    let etcd_for_cleanup = g.etcd.clone();
     g.clone().boot(sim);
-    Box::new(|_sim| {})
+    // Each incarnation creates a fresh etcd client; close it on exit or
+    // the watch-net endpoint (and server-side watches) leak per restart.
+    Box::new(move |sim| etcd_for_cleanup.close(sim))
 }
 
 impl Guardian {
@@ -154,7 +157,32 @@ impl Guardian {
 
                 let deployed = me.resources_present();
                 if matches!(status, JobStatus::Processing | JobStatus::Storing) && deployed {
-                    // Crash during monitoring: resume monitoring only.
+                    // Crash during monitoring: resume monitoring only. The
+                    // one-shot flags must be seeded from the persisted
+                    // status, or this incarnation re-issues the PROCESSING/
+                    // STORING transitions — harmless no-ops in Mongo, but
+                    // the STORING path also puts store=go, which would
+                    // clobber a store=done written while we were down and
+                    // leave the job stuck in STORING forever.
+                    {
+                        let mut mon = me.mon.borrow_mut();
+                        mon.moved_processing = status.rank() >= JobStatus::Processing.rank();
+                        mon.moved_storing = status == JobStatus::Storing;
+                    }
+                    if status == JobStatus::Storing {
+                        // The predecessor may have died between the STORING
+                        // write and its store=go put. An expect-absent CAS
+                        // fills that gap without ever overwriting a "go"
+                        // (idempotent) or a "done" (the lost-completion
+                        // hazard above).
+                        me.etcd.cas(
+                            sim,
+                            paths::etcd_store(&me.job),
+                            None,
+                            Some("go".into()),
+                            |_sim, _r| {},
+                        );
+                    }
                     me.ctx.record(sim, "resuming monitoring of deployed job");
                     me.start_monitoring(sim);
                     return;
@@ -179,8 +207,22 @@ impl Guardian {
                     JOBS,
                     filter,
                     Update::inc("attempts", 1),
-                    move |sim, _r| {
+                    move |sim, r| {
                         if !me2.alive() {
+                            return;
+                        }
+                        if !matches!(r, Ok(true)) {
+                            // The attempt was not durably recorded. Deploying
+                            // anyway would let a crash-loop retry without ever
+                            // advancing the counter — the paper's bounded
+                            // retry guarantee ("for a configurable number of
+                            // times", §III-d) rests on this write. Abort and
+                            // let K8s restart us against a healthy store.
+                            me2.ctx.record(
+                                sim,
+                                "failed to record deploy attempt; aborting incarnation",
+                            );
+                            me2.ctx.exit(sim, 1);
                             return;
                         }
                         me2.ctx
@@ -260,11 +302,21 @@ impl Guardian {
     /// claim) and drop the job spec on it for learners and helpers.
     fn step_provision_volume(self: Rc<Self>, sim: &mut Sim) {
         let vol = self.h.nfs.create_volume(paths::volume(&self.job));
-        let mount = self.h.nfs.mount(&vol).expect("volume just created");
         let manifest = self.manifest.borrow().clone().expect("loaded at boot");
-        mount
-            .write_file(paths::NFS_JOBSPEC, manifest.to_json())
-            .expect("fresh volume accepts writes");
+        let staged = self
+            .h
+            .nfs
+            .mount(&vol)
+            .and_then(|mount| mount.write_file(paths::NFS_JOBSPEC, manifest.to_json()));
+        if let Err(e) = staged {
+            // NFS outage window: abort this incarnation instead of
+            // panicking. K8s restarts us and the retry is bounded by
+            // deploy_max_attempts like every other mid-deploy failure.
+            self.ctx
+                .record(sim, format!("volume provisioning failed ({e}); aborting"));
+            self.ctx.exit(sim, 1);
+            return;
+        }
         self.ctx.record(sim, "volume provisioned, jobspec staged");
         let me = self.clone();
         sim.schedule_in(self.step_latency(), move |sim| {
@@ -587,8 +639,15 @@ impl Guardian {
                     &self.job,
                     JobStatus::Storing,
                     move |sim, _r| {
-                        me.etcd
-                            .put(sim, paths::etcd_store(&me.job), "go", |_sim, _r| {});
+                        // Expect-absent CAS: never clobber an existing
+                        // "go"/"done" written by a predecessor incarnation.
+                        me.etcd.cas(
+                            sim,
+                            paths::etcd_store(&me.job),
+                            None,
+                            Some("go".into()),
+                            |_sim, _r| {},
+                        );
                     },
                 );
             }

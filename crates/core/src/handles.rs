@@ -33,6 +33,11 @@ pub struct Handles {
     pub nfs: NfsServer,
     /// The Kubernetes cluster.
     pub kube: Kube,
+    /// Shared etcd client for garbage collection. Teardown runs from many
+    /// contexts (LCM scan, Guardian cleanup, kill path); constructing a
+    /// fresh client per call would leak one watch-net registration per
+    /// job on the etcd servers, so they all share this one handle.
+    pub etcd_gc: EtcdClient,
     /// Platform configuration.
     pub config: Rc<CoreConfig>,
 }

@@ -101,6 +101,7 @@ pub fn controller_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanu
     let poll = h.config.controller_poll;
     let max_failures = h.config.learner_max_failures;
     let ctx2 = ctx.clone();
+    let etcd_for_cleanup = etcd.clone();
     with_jobspec(&h, sim, &ctx, move |sim, mount, manifest| {
         ctx2.record(sim, "controller online; polling learner files");
         let state = Rc::new(RefCell::new(ControllerState::default()));
@@ -113,7 +114,9 @@ pub fn controller_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanu
             true
         });
     });
-    Box::new(|_sim| {})
+    // Per-incarnation etcd client: close on exit or its watch-net
+    // endpoint leaks per controller restart.
+    Box::new(move |sim| etcd_for_cleanup.close(sim))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -126,10 +129,16 @@ fn controller_tick(
     state: &Rc<RefCell<ControllerState>>,
     max_failures: u32,
 ) {
-    // Data-loaded marker → etcd.
+    // Data-loaded marker → etcd. The flag only stays set when the put
+    // succeeded; an etcd outage re-arms it for the next tick.
     if mount.exists(paths::NFS_DATA_LOADED) && !state.borrow().data_announced {
         state.borrow_mut().data_announced = true;
-        etcd.put(sim, paths::etcd_data(job), "loaded", |_s, _r| {});
+        let state2 = state.clone();
+        etcd.put(sim, paths::etcd_data(job), "loaded", move |_s, r| {
+            if r.is_err() {
+                state2.borrow_mut().data_announced = false;
+            }
+        });
     }
 
     let mut progress: u64 = 0;
@@ -172,12 +181,18 @@ fn controller_tick(
             all_completed = false;
         }
 
-        // Record in etcd (deduplicated — puts are idempotent anyway).
+        // Record in etcd (deduplicated — puts are idempotent anyway). On
+        // failure the dedup entry is dropped so the next tick retries.
         let s = phase.to_string();
         let stale = state.borrow().written.get(&ord) != Some(&s);
         if stale {
             state.borrow_mut().written.insert(ord, s.clone());
-            etcd.put(sim, paths::etcd_learner(job, ord), s, |_s, _r| {});
+            let state2 = state.clone();
+            etcd.put(sim, paths::etcd_learner(job, ord), s, move |_s, r| {
+                if r.is_err() {
+                    state2.borrow_mut().written.remove(&ord);
+                }
+            });
         }
     }
 
@@ -235,7 +250,14 @@ fn controller_tick(
     if mount.exists(paths::NFS_STORE_DONE) {
         if !state.borrow().store_done_written {
             state.borrow_mut().store_done_written = true;
-            etcd.put(sim, paths::etcd_store(job), "done", |_s, _r| {});
+            let state2 = state.clone();
+            etcd.put(sim, paths::etcd_store(job), "done", move |_s, r| {
+                if r.is_err() {
+                    // Re-arm: without the "done" relay the Guardian never
+                    // completes the job.
+                    state2.borrow_mut().store_done_written = false;
+                }
+            });
         }
         return;
     }
@@ -244,9 +266,13 @@ fn controller_tick(
         let state2 = state.clone();
         etcd.get(sim, paths::etcd_store(job), move |_sim, r| {
             if let Ok(Some(v)) = r {
-                if v == "go" && !state2.borrow().store_go_written {
+                // Only latch the flag once the NFS write landed; during an
+                // NFS outage window the next tick retries the relay.
+                if v == "go"
+                    && !state2.borrow().store_go_written
+                    && mount2.write_file(paths::NFS_STORE_GO, "go").is_ok()
+                {
                     state2.borrow_mut().store_go_written = true;
-                    let _ = mount2.write_file(paths::NFS_STORE_GO, "go");
                 }
             }
         });
@@ -300,15 +326,21 @@ fn download_data(
             if !ctx2.is_alive() {
                 return;
             }
+            // Exiting 0 without the marker on NFS would strand the job:
+            // the controller would never announce data-loaded. Treat a
+            // failed marker write (NFS outage) like a failed fetch.
             match r {
-                Ok(_) => {
-                    let _ = mount.write_file(paths::NFS_DATA_LOADED, "loaded");
+                Ok(_) if mount.write_file(paths::NFS_DATA_LOADED, "loaded").is_ok() => {
                     sim.metrics().inc(crate::metrics::DATA_STAGED, &[]);
                     ctx2.record(sim, "training data staged");
                     ctx2.exit(sim, 0);
                 }
-                Err(e) => {
-                    ctx2.record(sim, format!("data fetch failed ({e}); retrying"));
+                r => {
+                    let why = match r {
+                        Ok(_) => "loaded marker write failed".to_owned(),
+                        Err(e) => format!("data fetch failed ({e})"),
+                    };
+                    ctx2.record(sim, format!("{why}; retrying"));
                     sim.schedule_in(SimDuration::from_secs(5), move |sim| {
                         download_data(h, sim, ctx2, mount, manifest, attempt + 1);
                     });
@@ -408,15 +440,21 @@ pub fn store_results_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cle
                     if !ctx3.is_alive() {
                         return;
                     }
+                    // Exiting 0 without the done marker would wedge the job
+                    // in STORING forever; during an NFS outage keep the
+                    // timer alive and retry (the upload is idempotent).
                     match r {
-                        Ok(()) => {
-                            let _ = mount2.write_file(paths::NFS_STORE_DONE, "done");
+                        Ok(()) if mount2.write_file(paths::NFS_STORE_DONE, "done").is_ok() => {
                             sim.metrics().inc(crate::metrics::RESULTS_STORED, &[]);
                             ctx3.record(sim, "results uploaded");
                             ctx3.exit(sim, 0);
                         }
-                        Err(e) => {
-                            ctx3.record(sim, format!("result upload failed: {e}; will retry"));
+                        r => {
+                            let why = match r {
+                                Ok(()) => "done marker write failed".to_owned(),
+                                Err(e) => format!("result upload failed: {e}"),
+                            };
+                            ctx3.record(sim, format!("{why}; will retry"));
                             busy2.set(false); // timer retries on a later tick
                         }
                     }

@@ -126,8 +126,10 @@ pub(crate) fn teardown_job(sim: &mut Sim, h: &Handles, job: &JobId, delete_guard
         h.kube.delete_job(sim, &paths::guardian_job(job));
     }
     h.nfs.delete_volume_named(&paths::volume(job));
-    let etcd = h.etcd_client(&format!("lcm-gc-{job}"));
-    etcd.delete_prefix(sim, paths::etcd_job_prefix(job), |_sim, _r| {});
+    // Shared GC handle: a fresh client per call would register one
+    // watch-net endpoint per job and never unregister it (see Handles).
+    h.etcd_gc
+        .delete_prefix(sim, paths::etcd_job_prefix(job), |_sim, _r| {});
 }
 
 fn job_ids(docs: &[Value]) -> Vec<JobId> {
@@ -267,6 +269,21 @@ fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
                     sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
                     sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
                     teardown_job(sim, &h5, &job, true);
+                } else {
+                    // Cluster-side resources are gone, but a teardown that
+                    // ran during an etcd outage may have lost its
+                    // delete_prefix. Probe and re-delete, or the keys leak
+                    // forever (nothing else ever looks at them again).
+                    let h6 = h5.clone();
+                    let prefix = paths::etcd_job_prefix(&job);
+                    let prefix2 = prefix.clone();
+                    h5.etcd_gc.get_prefix(sim, prefix, move |sim, r| {
+                        if matches!(r, Ok(pairs) if !pairs.is_empty()) {
+                            sim.record("lcm", format!("scan: GC etcd keys of {job}"));
+                            sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
+                            h6.etcd_gc.delete_prefix(sim, prefix2, |_sim, _r| {});
+                        }
+                    });
                 }
             }
         },

@@ -413,21 +413,54 @@ impl Learner {
         };
         let secs = elapsed.as_secs_f64().max(1e-9);
         let throughput = images / secs;
-        let _ = self.mount.write_file(
-            &paths::nfs_learner_throughput(self.ordinal),
-            format!("{throughput}"),
-        );
         self.log(format!(
             "training complete: {} iters, {:.1} images/sec (this learner)",
             self.manifest.iterations, throughput
         ));
-        self.set_status("COMPLETED");
-        // The orderly exit of §III-e: exit status redirected to a file.
-        let _ = self
+        self.finish_markers(sim, throughput);
+    }
+
+    /// Writes the completion markers (throughput, COMPLETED status and
+    /// the §III-e exit file) and only then exits. These writes are
+    /// load-bearing: the controller relays them into etcd and the
+    /// Guardian aggregates the job status from there. Exiting 0 with the
+    /// markers lost to an NFS outage would strand the job in PROCESSING
+    /// forever (the pod never restarts after a clean exit), so keep
+    /// retrying until all three are durable on the shared volume.
+    fn finish_markers(self: &Rc<Self>, sim: &mut Sim, throughput: f64) {
+        if !self.ctx.is_alive() {
+            return;
+        }
+        let written = self
             .mount
-            .write_file(&paths::nfs_learner_exit(self.ordinal), "0");
-        self.ctx
-            .record(sim, format!("learner {} done", self.ordinal));
-        self.ctx.exit(sim, 0);
+            .write_file(
+                &paths::nfs_learner_throughput(self.ordinal),
+                format!("{throughput}"),
+            )
+            .and_then(|_| {
+                self.mount
+                    .write_file(&paths::nfs_learner_status(self.ordinal), "COMPLETED")
+            })
+            .and_then(|_| {
+                self.mount
+                    .write_file(&paths::nfs_learner_exit(self.ordinal), "0")
+            });
+        match written {
+            Ok(_) => {
+                self.ctx
+                    .record(sim, format!("learner {} done", self.ordinal));
+                self.ctx.exit(sim, 0);
+            }
+            Err(e) => {
+                self.ctx.record(
+                    sim,
+                    format!("completion markers not durable ({e}); retrying"),
+                );
+                let me = self.clone();
+                sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+                    me.finish_markers(sim, throughput);
+                });
+            }
+        }
     }
 }

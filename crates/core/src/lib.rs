@@ -56,6 +56,7 @@ mod config;
 mod guardian;
 mod handles;
 mod helper;
+pub mod invariants;
 mod job;
 mod lcm;
 mod learner;
@@ -70,6 +71,10 @@ mod tenant;
 pub use client::{ClientError, DlaasClient};
 pub use config::CoreConfig;
 pub use handles::{Handles, API_SERVICE, LCM_SERVICE};
+pub use invariants::{
+    check_all as check_invariants, InvariantBounds, InvariantMonitor, InvariantReport,
+    InvariantViolation,
+};
 pub use job::{JobId, JobStatus, LearnerPhase, ParseStatusError};
 pub use manifest::{ManifestError, TrainingManifest, TrainingManifestBuilder};
 pub use mongo::{MetaClient, MetaError, JOBS, TENANTS};

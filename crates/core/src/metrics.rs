@@ -54,6 +54,9 @@ pub const CHECKPOINT_RESTORES: &str = "dlaas_checkpoint_restores_total";
 /// Seconds training stalled per checkpoint upload (§III-g trade-off).
 pub const CHECKPOINT_STALL_SECONDS: &str = "dlaas_checkpoint_stall_seconds";
 
+/// Platform invariant violations observed by the checker, by invariant.
+pub const INVARIANT_VIOLATIONS: &str = "dlaas_invariant_violations_total";
+
 /// Training datasets staged onto a job volume by load-data.
 pub const DATA_STAGED: &str = "dlaas_data_staged_total";
 /// Trained models uploaded by store-results.
@@ -116,6 +119,10 @@ pub fn register(registry: &Registry) {
     c(
         CHECKPOINT_RESTORES,
         "checkpoint downloads on learner restart",
+    );
+    c(
+        INVARIANT_VIOLATIONS,
+        "platform invariant violations, by invariant",
     );
     c(DATA_STAGED, "training datasets staged onto job volumes");
     c(

@@ -81,7 +81,9 @@ impl Default for PlatformConfig {
     }
 }
 
-/// The assembled platform.
+/// The assembled platform. Cloning shares the underlying handles (so an
+/// invariant monitor can hold one while tests drive the original).
+#[derive(Clone)]
 pub struct DlaasPlatform {
     handles: Handles,
     /// The live MongoDB server; a shared slot so scheduled recovery events
@@ -133,6 +135,7 @@ impl DlaasPlatform {
         let objstore = ObjectStore::new(cfg.objstore_bytes_per_sec);
         let nfs = NfsServer::new();
 
+        let etcd_gc = etcd.client("lcm-gc");
         let handles = Handles {
             rpc,
             mongo: mongo_rpc.clone(),
@@ -140,6 +143,7 @@ impl DlaasPlatform {
             objstore,
             nfs,
             kube: kube.clone(),
+            etcd_gc,
             config: Rc::new(cfg.core.clone()),
         };
 
@@ -319,6 +323,25 @@ impl DlaasPlatform {
     // Direct metadata reads (tests & harnesses)
     // ------------------------------------------------------------------
 
+    /// Every job document currently in the store (invariant checking and
+    /// test harnesses; bypasses the API).
+    pub fn job_documents(&self) -> Vec<Value> {
+        self.mongo
+            .borrow()
+            .store()
+            .borrow()
+            .find(JOBS, &Filter::True)
+    }
+
+    /// Ids of every accepted (durably recorded) job.
+    pub fn all_job_ids(&self) -> Vec<JobId> {
+        self.job_documents()
+            .iter()
+            .filter_map(|d| d.path("_id").and_then(Value::as_str))
+            .map(JobId::new)
+            .collect()
+    }
+
     /// Reads a job's document straight from the store (bypasses the API).
     pub fn job_document(&self, job: &JobId) -> Option<Value> {
         self.mongo
@@ -408,6 +431,22 @@ impl DlaasPlatform {
                 sim.record("platform", "mongodb recovered from journal");
             });
         }
+    }
+
+    /// Starts or ends a metadata-store write stall: mutations are dropped
+    /// (clients time out and retry) while reads keep serving. A softer
+    /// fault than [`DlaasPlatform::crash_mongo`] — it exercises exactly
+    /// the paths that must notice an *unacknowledged* write.
+    pub fn set_mongo_write_failures(&self, sim: &mut Sim, fail: bool) {
+        self.mongo.borrow().set_fail_writes(fail);
+        sim.record(
+            "platform",
+            if fail {
+                "mongodb write stall begins"
+            } else {
+                "mongodb write stall ends"
+            },
+        );
     }
 
     /// Restarts the metadata store immediately from its journal.

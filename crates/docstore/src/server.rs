@@ -142,6 +142,9 @@ pub struct MongoServer {
     addr: Addr,
     timings: MongoTimings,
     up: Rc<RefCell<bool>>,
+    /// Degraded mode: writes are dropped (clients time out) while reads
+    /// keep working — a journal-device stall rather than a full crash.
+    fail_writes: Rc<RefCell<bool>>,
 }
 
 impl std::fmt::Debug for MongoServer {
@@ -167,6 +170,7 @@ impl MongoServer {
             addr: mongo_addr(),
             timings,
             up: Rc::new(RefCell::new(true)),
+            fail_writes: Rc::new(RefCell::new(false)),
         });
         server.serve();
         server
@@ -188,6 +192,20 @@ impl MongoServer {
     /// The journal — survives crashes; feed it to [`MongoServer::recover`].
     pub fn journal(&self) -> Journal {
         self.store.borrow().journal().clone()
+    }
+
+    /// Enters or leaves the degraded write-stall mode: while set, mutation
+    /// requests are silently dropped (the client times out and retries)
+    /// but reads are still served. Models a stalled journal device — the
+    /// failure Fig. 4's "MongoDB crash" row recovers from without losing
+    /// any acknowledged write.
+    pub fn set_fail_writes(&self, fail: bool) {
+        *self.fail_writes.borrow_mut() = fail;
+    }
+
+    /// `true` while the write-stall mode is active.
+    pub fn failing_writes(&self) -> bool {
+        *self.fail_writes.borrow()
     }
 
     /// Crash: stop serving and drop in-memory state. The journal survives.
@@ -223,6 +241,9 @@ impl MongoServer {
                 | MongoRequest::DeleteMany { .. }
                 | MongoRequest::CreateIndex { .. }
         );
+        if is_write && *self.fail_writes.borrow() {
+            return; // stalled journal: the client times out
+        }
         let delay = if is_write {
             self.timings.write
         } else {
@@ -409,6 +430,64 @@ mod tests {
             MongoResponse::Doc(Some(_)) => {}
             other => panic!("journaled insert lost across crash: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fail_writes_drops_mutations_but_serves_reads() {
+        let (mut sim, rpc, server) = boot();
+        call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "jobs".into(),
+                doc: obj! { "_id" => "j1" },
+            },
+        );
+        sim.run_until_idle();
+
+        server.set_fail_writes(true);
+        assert!(server.failing_writes());
+        let write = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "jobs".into(),
+                doc: obj! { "_id" => "j2" },
+            },
+        );
+        let read = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::FindOne {
+                coll: "jobs".into(),
+                filter: Filter::eq("_id", "j1"),
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(
+            write.borrow().clone().unwrap(),
+            Err(dlaas_net::RpcError::Timeout),
+            "writes must time out while stalled"
+        );
+        assert!(
+            matches!(
+                read.borrow().clone().unwrap(),
+                Ok(MongoResponse::Doc(Some(_)))
+            ),
+            "reads keep working while writes stall"
+        );
+
+        server.set_fail_writes(false);
+        let after = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::InsertOne {
+                coll: "jobs".into(),
+                doc: obj! { "_id" => "j3" },
+            },
+        );
+        sim.run_until_idle();
+        assert!(after.borrow().clone().unwrap().is_ok());
     }
 
     #[test]

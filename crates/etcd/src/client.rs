@@ -39,6 +39,7 @@ struct ClientState {
 pub struct EtcdClient {
     addr: Addr,
     rpc: EtcdRpc,
+    watch_net: WatchNet,
     cluster_size: u32,
     state: Rc<RefCell<ClientState>>,
 }
@@ -59,6 +60,7 @@ impl EtcdClient {
         let client = EtcdClient {
             addr: Addr::new(format!("etcdc/{addr}")),
             rpc,
+            watch_net: watch_net.clone(),
             cluster_size,
             state: Rc::new(RefCell::new(ClientState {
                 leader_hint: None,
@@ -313,6 +315,19 @@ impl EtcdClient {
         for (id, prefix) in metas {
             self.register_watch_everywhere(sim, id, prefix);
         }
+    }
+
+    /// Shuts the client down: cancels every watch on every server and
+    /// unregisters the notification endpoint from the watch network.
+    /// Call from process cleanup — a client that is merely dropped leaves
+    /// its endpoint registered forever (each incarnation of a component
+    /// creates a fresh client, so the leak grows without bound).
+    pub fn close(&self, sim: &mut Sim) {
+        let ids: Vec<u64> = self.state.borrow().watch_meta.keys().copied().collect();
+        for id in ids {
+            self.unwatch(sim, id);
+        }
+        self.watch_net.unregister(&self.addr);
     }
 
     /// Cancels a watch locally and on all servers.

@@ -6,6 +6,10 @@
 //!
 //! * [`FaultAction`] / [`FaultPlan`] — deterministic schedules of pod and
 //!   node faults applied to a [`Kube`] cluster,
+//! * [`when`] — a one-shot trigger that fires a fault the moment a
+//!   predicate over the live state becomes true (step-targeted crashes),
+//! * [`partition_window`] / [`latency_window`] / [`nfs_outage_window`] —
+//!   timed substrate degradations that repair themselves,
 //! * [`measure_recovery`] — a stopwatch from fault to a recovery
 //!   predicate becoming true,
 //! * [`ChaosMonkey`] — probabilistic recurring faults against pods
@@ -45,6 +49,8 @@
 use std::fmt;
 
 use dlaas_kube::{Kube, Labels, PodPhase};
+use dlaas_net::{Addr, LatencyModel, Net};
+use dlaas_sharedfs::NfsServer;
 use dlaas_sim::{Sim, SimDuration, SimRng, SimTime, TimerHandle};
 
 /// One injectable fault.
@@ -124,6 +130,87 @@ impl FaultPlan {
             });
         }
     }
+}
+
+/// Arms a one-shot trigger: polls `pred` every `period` and, the first
+/// time it returns `true`, fires `action` exactly once and stops polling.
+///
+/// This is how the fault matrix targets individual Guardian deployment
+/// steps: the predicate watches for the step's observable side effect
+/// (status flipped to DEPLOYING, the job volume exists, the helper pod
+/// was created, …) and the action injects the fault at that moment.
+/// Returns the timer handle so a caller can disarm an un-fired trigger.
+pub fn when(
+    sim: &mut Sim,
+    period: SimDuration,
+    label: impl Into<String>,
+    mut pred: impl FnMut(&Sim) -> bool + 'static,
+    action: impl FnOnce(&mut Sim) + 'static,
+) -> TimerHandle {
+    let label = label.into();
+    let mut action = Some(action);
+    dlaas_sim::every(sim, period, move |sim, _n| {
+        if !pred(sim) {
+            return true;
+        }
+        if let Some(act) = action.take() {
+            sim.record("faults", format!("trigger fired: {label}"));
+            act(sim);
+        }
+        false
+    })
+}
+
+/// Splits `net` into isolated `groups` for `duration`, then heals it.
+/// Addresses absent from every group keep full connectivity to each
+/// other but not to any group (see [`Net::partition`]).
+pub fn partition_window<M: 'static>(
+    sim: &mut Sim,
+    net: &Net<M>,
+    groups: Vec<Vec<Addr>>,
+    duration: SimDuration,
+) {
+    sim.record(
+        "faults",
+        format!("partition start: {} groups for {duration:?}", groups.len()),
+    );
+    net.partition(groups);
+    let net = net.clone();
+    sim.schedule_in(duration, move |sim| {
+        sim.record("faults", "partition healed");
+        net.heal();
+    });
+}
+
+/// Replaces `net`'s latency model with `model` for `duration`, then
+/// restores the model that was in effect when the window opened.
+pub fn latency_window<M: 'static>(
+    sim: &mut Sim,
+    net: &Net<M>,
+    model: LatencyModel,
+    duration: SimDuration,
+) {
+    let restore = net.latency();
+    sim.record("faults", format!("latency degradation for {duration:?}"));
+    net.set_latency(model);
+    let net = net.clone();
+    sim.schedule_in(duration, move |sim| {
+        sim.record("faults", "latency restored");
+        net.set_latency(restore);
+    });
+}
+
+/// Makes the NFS data plane unavailable for `duration`, then restores it.
+/// Mounted handles survive the outage; only operations during the window
+/// fail (see `dlaas_sharedfs::NfsError::Unavailable`).
+pub fn nfs_outage_window(sim: &mut Sim, nfs: &NfsServer, duration: SimDuration) {
+    sim.record("faults", format!("NFS outage for {duration:?}"));
+    nfs.set_available(false);
+    let nfs = nfs.clone();
+    sim.schedule_in(duration, move |sim| {
+        sim.record("faults", "NFS restored");
+        nfs.set_available(true);
+    });
 }
 
 /// Injects `fault`, then runs the simulation until `recovered` returns
@@ -331,6 +418,160 @@ mod tests {
         assert!(!FaultAction::RestartNode("ghost".into()).apply(&mut sim, &kube));
         assert!(FaultAction::CrashNode("n1".into()).apply(&mut sim, &kube));
         assert!(FaultAction::RestartNode("n1".into()).apply(&mut sim, &kube));
+    }
+
+    #[test]
+    fn same_time_faults_fire_in_insertion_order() {
+        // CrashNode then RestartNode at the same instant: the restart only
+        // succeeds if the crash was applied first, so insertion order is
+        // directly observable through the node coming back up.
+        let mut sim = Sim::new(11);
+        sim.trace_mut().set_enabled(false);
+        let registry = BehaviorRegistry::new();
+        registry.register_noop("pause");
+        let kube = Kube::new(&mut sim, KubeConfig::default(), registry);
+        kube.add_node(NodeSpec::cpu("n1", 16000, 65536)); // single node
+        kube.create_deployment(&mut sim, "svc", 1, pod("svc"));
+        sim.run_for(SimDuration::from_secs(10));
+
+        let t = SimTime::from_secs(15);
+        FaultPlan::new()
+            .at(t, FaultAction::CrashNode("n1".into()))
+            .at(t, FaultAction::RestartNode("n1".into()))
+            .arm(&mut sim, &kube);
+        sim.run_for(SimDuration::from_secs(120));
+        // Had the restart fired first it would have been a no-op and the
+        // crash would have left the only node down — the pod could never
+        // be rescheduled.
+        assert!(
+            kube.pod_ready(&sim, "svc-0"),
+            "node must be back up: insertion order violated"
+        );
+    }
+
+    #[test]
+    fn recovery_exactly_at_deadline_is_reported() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let (mut sim, _kube) = boot(12);
+        sim.run_for(SimDuration::from_secs(5));
+        let timeout = SimDuration::from_secs(10);
+        let deadline = sim.now() + timeout;
+        let flag = Rc::new(Cell::new(false));
+        let flag2 = flag.clone();
+        let r = measure_recovery(
+            &mut sim,
+            move |sim| {
+                sim.schedule_at(deadline, move |_sim| flag2.set(true));
+            },
+            move |_sim| flag.get(),
+            timeout,
+        );
+        assert_eq!(r, Some(timeout), "predicate true at the deadline counts");
+    }
+
+    #[test]
+    fn when_trigger_fires_exactly_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let (mut sim, kube) = boot(13);
+        kube.create_deployment(&mut sim, "svc", 1, pod("svc"));
+        let fired = Rc::new(Cell::new(0u32));
+        let fired2 = fired.clone();
+        let k = kube.clone();
+        when(
+            &mut sim,
+            SimDuration::from_millis(100),
+            "svc-0 ready",
+            move |sim| k.pod_ready(sim, "svc-0"),
+            move |_sim| fired2.set(fired2.get() + 1),
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(fired.get(), 1, "one-shot trigger must fire exactly once");
+    }
+
+    #[test]
+    fn when_trigger_can_be_disarmed() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let (mut sim, _kube) = boot(14);
+        let fired = Rc::new(Cell::new(false));
+        let fired2 = fired.clone();
+        let handle = when(
+            &mut sim,
+            SimDuration::from_secs(1),
+            "after 5s",
+            |sim| sim.now() >= SimTime::from_secs(5),
+            move |_sim| fired2.set(true),
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        handle.cancel();
+        sim.run_for(SimDuration::from_secs(60));
+        assert!(!fired.get(), "disarmed trigger must not fire");
+    }
+
+    #[test]
+    fn partition_window_heals_itself() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut sim = Sim::new(15);
+        sim.trace_mut().set_enabled(false);
+        let net: Net<&'static str> = Net::new(
+            &mut sim,
+            dlaas_net::LatencyModel::Fixed(SimDuration::from_millis(1)),
+        );
+        let got = Rc::new(Cell::new(0u32));
+        let got2 = got.clone();
+        net.register(Addr::new("b"), move |_sim, _env| got2.set(got2.get() + 1));
+        net.register(Addr::new("a"), |_sim, _env| {});
+
+        partition_window(
+            &mut sim,
+            &net,
+            vec![vec![Addr::new("a")], vec![Addr::new("b")]],
+            SimDuration::from_secs(10),
+        );
+        net.send(&mut sim, Addr::new("a"), Addr::new("b"), "during");
+        sim.run_for(SimDuration::from_secs(11));
+        assert_eq!(got.get(), 0, "partitioned message must be dropped");
+        net.send(&mut sim, Addr::new("a"), Addr::new("b"), "after");
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(got.get(), 1, "healed network must deliver again");
+    }
+
+    #[test]
+    fn latency_window_restores_previous_model() {
+        let mut sim = Sim::new(16);
+        sim.trace_mut().set_enabled(false);
+        let base = dlaas_net::LatencyModel::Fixed(SimDuration::from_millis(1));
+        let net: Net<&'static str> = Net::new(&mut sim, base.clone());
+        latency_window(
+            &mut sim,
+            &net,
+            dlaas_net::LatencyModel::Fixed(SimDuration::from_millis(250)),
+            SimDuration::from_secs(5),
+        );
+        assert_eq!(
+            net.latency(),
+            dlaas_net::LatencyModel::Fixed(SimDuration::from_millis(250))
+        );
+        sim.run_for(SimDuration::from_secs(6));
+        assert_eq!(net.latency(), base, "original model must be restored");
+    }
+
+    #[test]
+    fn nfs_outage_window_restores_availability() {
+        let mut sim = Sim::new(17);
+        sim.trace_mut().set_enabled(false);
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let mount = nfs.mount(&vol).unwrap();
+        nfs_outage_window(&mut sim, &nfs, SimDuration::from_secs(10));
+        assert!(!nfs.is_available());
+        assert!(mount.write_file("f", "x").is_err());
+        sim.run_for(SimDuration::from_secs(11));
+        assert!(nfs.is_available());
+        assert!(mount.write_file("f", "x").is_ok());
     }
 
     #[test]

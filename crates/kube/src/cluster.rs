@@ -1178,6 +1178,22 @@ impl Kube {
         self.state.borrow_mut().policies.push(policy);
     }
 
+    /// Names of all installed policies, sorted and deduplicated (a job
+    /// installs several policies under one name; leak diagnostics only
+    /// care about the names).
+    pub fn network_policy_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .state
+            .borrow()
+            .policies
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Removes policies by name. Returns how many were removed.
     pub fn remove_network_policy(&self, name: &str) -> usize {
         let mut s = self.state.borrow_mut();

@@ -186,6 +186,30 @@ impl<M: 'static> Net<M> {
         self.state.borrow_mut().loss = p.clamp(0.0, 1.0);
     }
 
+    /// Replaces the latency model for all messages sent from now on.
+    /// Messages already in flight keep their sampled delay (fault windows
+    /// degrade new traffic, they do not rewrite history).
+    pub fn set_latency(&self, model: LatencyModel) {
+        self.state.borrow_mut().latency = model;
+    }
+
+    /// The current latency model (so a fault window can restore it).
+    pub fn latency(&self) -> LatencyModel {
+        self.state.borrow().latency.clone()
+    }
+
+    /// Number of registered endpoints (leak diagnostics).
+    pub fn endpoint_count(&self) -> usize {
+        self.state.borrow().endpoints.len()
+    }
+
+    /// Addresses of all registered endpoints, sorted (leak diagnostics).
+    pub fn endpoint_addrs(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self.state.borrow().endpoints.keys().cloned().collect();
+        addrs.sort();
+        addrs
+    }
+
     /// Blocks traffic in **both** directions between `a` and `b`.
     pub fn block_pair(&self, a: Addr, b: Addr) {
         let mut s = self.state.borrow_mut();
@@ -443,6 +467,41 @@ mod tests {
         });
         sim.run_until_idle();
         assert!(seen.borrow().is_empty());
+    }
+
+    #[test]
+    fn set_latency_affects_new_sends_only() {
+        let mut sim = Sim::new(1);
+        let net = fixed_net(&mut sim, 1);
+        let seen = collector(&net, "b");
+        net.send(&mut sim, Addr::new("a"), Addr::new("b"), 1); // 1 ms
+        net.set_latency(LatencyModel::Fixed(SimDuration::from_millis(50)));
+        net.send(&mut sim, Addr::new("a"), Addr::new("b"), 2); // 50 ms
+        sim.run_until(dlaas_sim::SimTime::from_millis(10));
+        assert_eq!(*seen.borrow(), vec![1], "in-flight kept its old delay");
+        sim.run_until_idle();
+        assert_eq!(*seen.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), dlaas_sim::SimTime::from_millis(50));
+        // The old model can be read back and restored.
+        net.set_latency(LatencyModel::Fixed(SimDuration::from_millis(1)));
+        match net.latency() {
+            LatencyModel::Fixed(d) => assert_eq!(d, SimDuration::from_millis(1)),
+            other => panic!("unexpected model: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_accounting() {
+        let mut sim = Sim::new(1);
+        let net = fixed_net(&mut sim, 1);
+        assert_eq!(net.endpoint_count(), 0);
+        let _a = collector(&net, "a");
+        let _b = collector(&net, "b");
+        let _b2 = collector(&net, "b"); // replaces, no growth
+        assert_eq!(net.endpoint_count(), 2);
+        assert_eq!(net.endpoint_addrs(), vec![Addr::new("a"), Addr::new("b")]);
+        net.unregister(&Addr::new("a"));
+        assert_eq!(net.endpoint_count(), 1);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub enum NfsError {
     NoSuchVolume(String),
     /// The file does not exist within the volume.
     NoSuchFile(String),
+    /// The server is temporarily unavailable (outage window); the data
+    /// survives and operations succeed again once it comes back.
+    Unavailable,
 }
 
 impl fmt::Display for NfsError {
@@ -71,6 +74,7 @@ impl fmt::Display for NfsError {
         match self {
             NfsError::NoSuchVolume(v) => write!(f, "no such volume: {v}"),
             NfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            NfsError::Unavailable => write!(f, "NFS server unavailable"),
         }
     }
 }
@@ -99,6 +103,11 @@ struct Volume {
 struct ServerState {
     volumes: BTreeMap<String, Volume>,
     stats: NfsStats,
+    /// An outage window: data-plane operations (mount, file I/O) fail with
+    /// [`NfsError::Unavailable`] while set. Control-plane operations
+    /// (create/delete/find volumes) still work — they go through the K8s
+    /// storage API, not the NFS data path.
+    unavailable: bool,
 }
 
 /// The NFS server. Cloning shares the server.
@@ -162,6 +171,9 @@ impl NfsServer {
     ///
     /// [`NfsError::NoSuchVolume`] if it does not exist.
     pub fn mount(&self, id: &VolumeId) -> Result<Mount, NfsError> {
+        if !self.is_available() {
+            return Err(NfsError::Unavailable);
+        }
         if !self.volume_exists(id) {
             return Err(NfsError::NoSuchVolume(id.0.clone()));
         }
@@ -169,6 +181,18 @@ impl NfsServer {
             server: self.clone(),
             volume: id.clone(),
         })
+    }
+
+    /// Starts or ends an outage window. While unavailable, mounting and
+    /// every file operation (including through existing mounts) fail with
+    /// [`NfsError::Unavailable`]; volumes and files survive untouched.
+    pub fn set_available(&self, available: bool) {
+        self.state.borrow_mut().unavailable = !available;
+    }
+
+    /// `true` when the data plane is serving (no outage window active).
+    pub fn is_available(&self) -> bool {
+        !self.state.borrow().unavailable
     }
 
     /// I/O counters.
@@ -196,7 +220,10 @@ impl Mount {
         f: impl FnOnce(&mut Volume, &mut NfsStats) -> Result<T, NfsError>,
     ) -> Result<T, NfsError> {
         let mut s = self.server.state.borrow_mut();
-        let ServerState { volumes, stats } = &mut *s;
+        if s.unavailable {
+            return Err(NfsError::Unavailable);
+        }
+        let ServerState { volumes, stats, .. } = &mut *s;
         let vol = volumes
             .get_mut(&self.volume.0)
             .ok_or_else(|| NfsError::NoSuchVolume(self.volume.0.clone()))?;
@@ -413,6 +440,33 @@ mod tests {
         assert!(m.remove("f"));
         assert!(!m.remove("f"));
         assert!(!m.exists("f"));
+    }
+
+    #[test]
+    fn outage_window_fails_data_plane_only() {
+        let nfs = NfsServer::new();
+        let vol = nfs.create_volume("v");
+        let m = nfs.mount(&vol).unwrap();
+        m.write_file("f", "before").unwrap();
+
+        nfs.set_available(false);
+        assert!(!nfs.is_available());
+        // Data plane: mounts and file ops through existing mounts fail.
+        assert!(matches!(nfs.mount(&vol), Err(NfsError::Unavailable)));
+        assert_eq!(m.read_file("f"), Err(NfsError::Unavailable));
+        assert_eq!(m.write_file("f", "x"), Err(NfsError::Unavailable));
+        assert_eq!(m.append_line("g", "x"), Err(NfsError::Unavailable));
+        assert!(!m.exists("f"));
+        // Control plane: provisioning still works during the outage.
+        assert!(nfs.find_volume("v").is_some());
+        let v2 = nfs.create_volume("v2");
+        assert!(nfs.volume_exists(&v2));
+        assert!(nfs.delete_volume(&v2));
+
+        // Data survives the window.
+        nfs.set_available(true);
+        assert!(nfs.is_available());
+        assert_eq!(m.read_file("f").unwrap(), "before");
     }
 
     #[test]

@@ -121,5 +121,18 @@ fn main() {
         q(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.95),
         q(dlaas_core::metrics::CHECKPOINT_STALL_SECONDS, 0.99),
     );
+    banner("platform invariant check");
+    // Let the LCM's garbage collection settle, then assert the §III
+    // invariants over the whole run: terminal jobs, monotone histories,
+    // bounded attempts and no leaked pods/volumes/netpols/etcd keys.
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    let report = dlaas_core::check_invariants(&sim, &platform);
+    println!(
+        "checked {} jobs: {} violations",
+        report.jobs_checked,
+        report.violations.len()
+    );
+    report.assert_clean();
+
     println!("\nall acknowledged jobs completed despite sustained random crashes.");
 }

@@ -1,0 +1,37 @@
+//! A reduced fault-matrix sweep as a regular integration test: a
+//! representative subset of (fault kind x Guardian deployment step)
+//! cells on two seeds, each trial judged by the platform invariant
+//! checker. The full matrix (all cells x 5 seeds) runs as the
+//! dedicated `fault_matrix` bench bin in CI.
+
+use dlaas_bench::matrix::{run_cell, FaultKind, InjectionPoint};
+
+/// One cell per fault kind, spread across the deployment steps so the
+/// subset still exercises early, middle and late injection points.
+fn subset() -> Vec<(FaultKind, InjectionPoint)> {
+    vec![
+        (FaultKind::GuardianCrash, InjectionPoint::MarkDeploying),
+        (FaultKind::EtcdLeaderCrash, InjectionPoint::CreateLearners),
+        (FaultKind::MongoCrash, InjectionPoint::GuardianUp),
+        (FaultKind::NfsOutage, InjectionPoint::ProvisionVolume),
+        (FaultKind::Partition, InjectionPoint::ApplyPolicies),
+    ]
+}
+
+#[test]
+fn matrix_subset_passes_invariant_checker_on_two_seeds() {
+    let mut failures = Vec::new();
+    for seed in [7, 8] {
+        for (kind, point) in subset() {
+            let outcome = run_cell(seed, kind, point);
+            if !outcome.passed() {
+                failures.push(outcome.describe());
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fault-matrix cells failed:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,207 @@
+//! Regression tests for the crash-recovery bugs flushed out by the
+//! fault-matrix campaign (`dlaas-bench --bin fault_matrix`). Each test
+//! reproduces the exact fault timing that exposed the bug and fails
+//! against the pre-fix behaviour.
+
+use dlaas_core::{check_invariants, paths, JobStatus};
+use dlaas_docstore::Value;
+use dlaas_faults::{nfs_outage_window, when};
+use dlaas_integration::{boot, manifest, submit_blocking, KEY};
+use dlaas_sim::SimDuration;
+
+/// Bug 1: a Guardian incarnation whose `inc("attempts")` write never
+/// became durable used to proceed with the deployment anyway, so the
+/// §III-d attempts bound was counted against a phantom record and a
+/// crash-looping deploy could retry forever. The Guardian must abort
+/// the incarnation (non-zero exit) until the attempts record is
+/// durable, so the completed job always shows `attempts >= 1`.
+#[test]
+fn guardian_aborts_incarnation_until_attempts_write_is_durable() {
+    let (mut sim, platform) = boot(301);
+    let client = platform.client("itest", KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("attempts-durable", 120));
+
+    // Stall every Mongo write before the Guardian's first boot (the
+    // LCM has not scheduled it yet at ACK time). Each boot in this
+    // window must fail fast instead of deploying unrecorded.
+    platform.set_mongo_write_failures(&mut sim, true);
+    sim.run_for(SimDuration::from_secs(20));
+    let attempts_during = platform
+        .job_document(&job)
+        .and_then(|d| d.path("attempts").and_then(Value::as_i64))
+        .unwrap_or(0);
+    assert_eq!(
+        attempts_during, 0,
+        "no attempt may be consumed while the record cannot be made durable"
+    );
+
+    platform.set_mongo_write_failures(&mut sim, false);
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_mins(30),
+    );
+    assert_eq!(end, Some(JobStatus::Completed), "{job} did not recover");
+    let attempts = platform
+        .job_document(&job)
+        .and_then(|d| d.path("attempts").and_then(Value::as_i64))
+        .unwrap_or(0);
+    assert!(
+        attempts >= 1,
+        "completed deployment left no durable attempts record (got {attempts})"
+    );
+}
+
+/// Bug 2: a Guardian that crashed during STORING resumed monitoring
+/// with its `moved_*` flags unseeded, so the replacement incarnation
+/// re-drove the STORING transition and its duplicate `store = go` put
+/// clobbered the helper's `store = done` handshake. Crash the
+/// Guardian (and the helper, whose restarted controller re-relays the
+/// learner keys and so triggers the resumed Guardian's watch-driven
+/// aggregation before its first full poll) right after `store = done`
+/// lands: the handshake must never regress and the job must complete.
+#[test]
+fn guardian_crash_during_storing_never_clobbers_store_done() {
+    let (mut sim, platform) = boot(302);
+    let client = platform.client("itest", KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("storing-crash", 60));
+
+    // Run until the helper has written `store = done` to etcd but the
+    // Guardian (polling every guardian_poll) has not yet marked the
+    // job COMPLETED.
+    let store_key = paths::etcd_store(&job);
+    let store_value = |platform: &dlaas_core::DlaasPlatform| -> Option<String> {
+        let leader = platform.etcd().leader_id()?;
+        let kv = platform.etcd().kv_snapshot(leader);
+        kv.get_prefix(&store_key)
+            .iter()
+            .find(|(k, _)| *k == store_key)
+            .map(|(_, v)| v.clone())
+    };
+    let deadline = sim.now() + SimDuration::from_mins(30);
+    loop {
+        assert!(sim.now() < deadline, "{job} never reached store = done");
+        if store_value(&platform).as_deref() == Some("done") {
+            break;
+        }
+        assert!(
+            !platform.job_status(&job).is_some_and(|s| s.is_terminal()),
+            "job went terminal before the crash could be staged"
+        );
+        sim.run_for(SimDuration::from_millis(100));
+    }
+    assert_eq!(
+        platform.job_status(&job),
+        Some(JobStatus::Storing),
+        "crash must land inside the STORING window"
+    );
+
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::guardian_job(&job));
+    platform
+        .kube()
+        .crash_pod(&mut sim, &paths::helper_pod(&job));
+
+    // The handshake may only move forward: once "done", never "go"
+    // again (the regression left the job stuck in STORING forever or
+    // forced a second result upload).
+    let deadline = sim.now() + SimDuration::from_mins(30);
+    loop {
+        if let Some(v) = store_value(&platform) {
+            assert_ne!(v, "go", "store handshake regressed from done to go");
+        }
+        if platform.job_status(&job).is_some_and(|s| s.is_terminal()) {
+            break;
+        }
+        assert!(sim.now() < deadline, "{job} lost after crash");
+        sim.run_for(SimDuration::from_millis(50));
+    }
+    assert_eq!(platform.job_status(&job), Some(JobStatus::Completed));
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    check_invariants(&sim, &platform).assert_clean();
+}
+
+/// Bug 3: every LCM teardown used to open a fresh etcd client for the
+/// key sweep and never close it, so each garbage-collected job leaked
+/// a watch-net endpoint. Teardown now reuses the shared `lcm-gc`
+/// handle: endpoint count after N more jobs equals the settled
+/// baseline.
+#[test]
+fn lcm_teardown_does_not_leak_etcd_watch_endpoints() {
+    let (mut sim, platform) = boot(303);
+    let client = platform.client("itest", KEY);
+
+    // Warm-up job so every long-lived client is registered before the
+    // baseline is taken.
+    let warm = submit_blocking(&mut sim, &client, manifest("gc-warm", 40));
+    let end = platform.wait_for_status(
+        &mut sim,
+        &warm,
+        JobStatus::Completed,
+        SimDuration::from_mins(30),
+    );
+    assert_eq!(end, Some(JobStatus::Completed));
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    let baseline = platform.etcd().watch_net().endpoint_count();
+
+    for i in 0..3 {
+        let job = submit_blocking(&mut sim, &client, manifest(&format!("gc-{i}"), 40));
+        let end = platform.wait_for_status(
+            &mut sim,
+            &job,
+            JobStatus::Completed,
+            SimDuration::from_mins(30),
+        );
+        assert_eq!(end, Some(JobStatus::Completed));
+    }
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    assert_eq!(
+        platform.etcd().watch_net().endpoint_count(),
+        baseline,
+        "etcd watch endpoints grew across garbage-collected jobs"
+    );
+    check_invariants(&sim, &platform).assert_clean();
+}
+
+/// Bug 4: a learner that finished during an NFS outage used to drop
+/// its completion markers (throughput, COMPLETED status, exit file)
+/// on the floor and exit 0 anyway. The Succeeded pod never restarts,
+/// so the job was stranded in PROCESSING forever. The learner must
+/// retry until the markers are durable on the shared volume.
+#[test]
+fn learner_completion_markers_survive_nfs_outage() {
+    let (mut sim, platform) = boot(304);
+    let client = platform.client("itest", KEY);
+    let iters = 120;
+    let job = submit_blocking(&mut sim, &client, manifest("nfs-finish", iters));
+
+    // Take NFS down just before the learner's last iteration so the
+    // completion markers are written into the outage. The mirrored
+    // iteration lags etcd by about guardian_poll, hence the margin.
+    let p2 = platform.clone();
+    let j2 = job.clone();
+    let p3 = platform.clone();
+    when(
+        &mut sim,
+        SimDuration::from_millis(200),
+        "NFS outage at learner finish",
+        move |_sim| p2.job_info(&j2).is_some_and(|i| i.iteration + 8 >= iters),
+        move |sim| nfs_outage_window(sim, p3.nfs(), SimDuration::from_secs(30)),
+    );
+
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(1),
+    );
+    assert_eq!(
+        end,
+        Some(JobStatus::Completed),
+        "{job} stranded: completion markers lost to the NFS outage"
+    );
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    check_invariants(&sim, &platform).assert_clean();
+}
