@@ -21,7 +21,7 @@ fn bench_sim_events(c: &mut Criterion) {
             fn chain(sim: &mut Sim, left: u32) {
                 if left > 0 {
                     sim.schedule_in(SimDuration::from_micros(10), move |sim| {
-                        chain(sim, left - 1)
+                        chain(sim, left - 1);
                     });
                 }
             }

@@ -81,7 +81,7 @@ fn run_one(seed: u64, limit: u32, crashes: u32) -> Outcome {
             JobStatus::Deploying,
             SimDuration::from_mins(10),
         );
-        if s.is_some_and(|s| s.is_terminal()) {
+        if s.is_some_and(dlaas_core::JobStatus::is_terminal) {
             break; // gave up before we could inject them all
         }
         if platform.kube().pod_phase(&gpod) == Some(PodPhase::Running) {

@@ -27,8 +27,8 @@ fn main() {
             let cell = &trial_results[0][i].cell;
             let pcts: Vec<f64> = trial_results.iter().map(|t| t[i].measured_pct).collect();
             let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
-            let lo = pcts.iter().cloned().fold(f64::MAX, f64::min);
-            let hi = pcts.iter().cloned().fold(f64::MIN, f64::max);
+            let lo = pcts.iter().copied().fold(f64::MAX, f64::min);
+            let hi = pcts.iter().copied().fold(f64::MIN, f64::max);
             let ours = if trials > 1 {
                 format!("{mean:.2}% [{lo:.2}..{hi:.2}]")
             } else {

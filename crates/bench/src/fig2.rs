@@ -135,8 +135,7 @@ mod tests {
             );
             assert!(
                 r.measured_pct > -3.0,
-                "{:?}: DLaaS can't meaningfully beat bare metal",
-                cell
+                "{cell:?}: DLaaS can't meaningfully beat bare metal"
             );
         }
     }

@@ -133,7 +133,7 @@ mod tests {
     fn dgx_advantage_grows_with_gpus_and_stays_modest() {
         let one = run_cell(5, &cells()[2], 150); // VGG-16 x1
         let two = run_cell(5, &cells()[5], 150); // VGG-16 x2
-        assert!(one.measured_pct > 0.0, "DGX-1 must win: {:?}", one);
+        assert!(one.measured_pct > 0.0, "DGX-1 must win: {one:?}");
         assert!(
             two.measured_pct > one.measured_pct,
             "NVLink advantage must grow with GPUs: {one:?} vs {two:?}"

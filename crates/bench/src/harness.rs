@@ -151,8 +151,9 @@ pub fn bare_metal_images_per_sec(
     };
     let base = dlaas_gpu::images_per_sec(&cfg, &env);
     // An independent measurement has independent noise.
-    let mut rng =
-        dlaas_sim::SimRng::new(seed).fork(&format!("baremetal/{model}/{framework}/{gpu}/{gpus}"));
+    let label = format!("baremetal/{model}/{framework}/{gpu}/{gpus}");
+    // dlaas-lint: allow(unseeded-rng): bare-metal baseline stream is derived from the explicit run seed passed by the caller, outside any Sim instance; still fully reproducible.
+    let mut rng = dlaas_sim::SimRng::new(seed).fork(&label);
     if jitter > 0.0 {
         base * rng.range_f64(1.0 - jitter, 1.0 + jitter)
     } else {
@@ -167,13 +168,14 @@ pub fn pct_diff(baseline: f64, measured: f64) -> f64 {
 
 /// Prints a table row list with a header (fixed-width, paper style).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    // dlaas-lint: allow(debug-print): bench table renderer shared by the CLI bins; stdout is its API and it never runs inside the simulation.
     println!("\n=== {title} ===");
     let widths: Vec<usize> = header
         .iter()
         .enumerate()
         .map(|(i, h)| {
             rows.iter()
-                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .map(|r| r.get(i).map_or(0, std::string::String::len))
                 .chain(std::iter::once(h.len()))
                 .max()
                 .unwrap_or(0)
@@ -187,13 +189,19 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    // dlaas-lint: allow(debug-print): bench table renderer shared by the CLI bins; stdout is its API and it never runs inside the simulation.
     println!("{}", fmt_row(&header_cells));
+    // dlaas-lint: allow(debug-print): bench table renderer shared by the CLI bins; stdout is its API and it never runs inside the simulation.
     println!(
         "{}",
         "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
     );
     for r in rows {
+        // dlaas-lint: allow(debug-print): bench table renderer shared by the CLI bins; stdout is its API and it never runs inside the simulation.
         println!("{}", fmt_row(r));
     }
 }

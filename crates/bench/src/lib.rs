@@ -4,6 +4,8 @@
 //! corresponding table. See `EXPERIMENTS.md` at the repository root for
 //! paper-vs-measured numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -338,7 +338,11 @@ pub fn run_cell(seed: u64, kind: FaultKind, point: InjectionPoint) -> CellOutcom
         status,
         fault_fired: fired.get().is_some(),
         recovery,
-        violations: report.violations.iter().map(|v| v.to_string()).collect(),
+        violations: report
+            .violations
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
     }
 }
 
@@ -508,7 +512,7 @@ pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
         final_violations: final_report
             .violations
             .iter()
-            .map(|v| v.to_string())
+            .map(std::string::ToString::to_string)
             .collect(),
         metrics: sim.metrics().clone(),
     }
@@ -533,11 +537,15 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let kinds: std::collections::BTreeSet<_> =
-            FaultKind::all().iter().map(|k| k.label()).collect();
+        let kinds: std::collections::BTreeSet<_> = FaultKind::all()
+            .iter()
+            .map(super::FaultKind::label)
+            .collect();
         assert_eq!(kinds.len(), FaultKind::all().len());
-        let points: std::collections::BTreeSet<_> =
-            InjectionPoint::all().iter().map(|p| p.label()).collect();
+        let points: std::collections::BTreeSet<_> = InjectionPoint::all()
+            .iter()
+            .map(super::InjectionPoint::label)
+            .collect();
         assert_eq!(points.len(), InjectionPoint::all().len());
     }
 }

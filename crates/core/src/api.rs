@@ -111,7 +111,7 @@ fn handle(
 ) {
     match req {
         CoreRequest::Submit { api_key, manifest } => {
-            submit(sim, h, meta, ctx, api_key, manifest, responder)
+            submit(sim, h, meta, ctx, api_key, manifest, responder);
         }
         CoreRequest::GetStatus { api_key, job } => with_owned_job(
             sim,
@@ -119,8 +119,9 @@ fn handle(
             api_key,
             job,
             responder,
-            |sim, _h, doc, responder| {
-                responder.ok(sim, CoreResponse::Status(MetaClient::parse_job_info(&doc)));
+            |sim, _h, doc, responder| match MetaClient::parse_job_info(&doc) {
+                Ok(info) => responder.ok(sim, CoreResponse::Status(info)),
+                Err(e) => responder.err(sim, e.to_string()),
             },
             h.clone(),
         ),
@@ -153,7 +154,7 @@ fn handle(
                     );
                 },
                 h2,
-            )
+            );
         }
         CoreRequest::GetLogs {
             api_key,
@@ -197,7 +198,7 @@ fn handle(
                     );
                 },
                 h2,
-            )
+            );
         }
         // Control-plane requests addressed to the LCM, not us.
         CoreRequest::DeployJob { .. } | CoreRequest::StopJob { .. } => {

@@ -87,7 +87,7 @@ impl DlaasClient {
                         RpcError::Remote(m) => ClientError::Rejected(m),
                         _ => ClientError::Unavailable,
                     }),
-                )
+                );
             },
         );
     }
@@ -107,11 +107,13 @@ impl DlaasClient {
         self.call(sim, req, |sim, r| {
             done(
                 sim,
-                r.map(|resp| match resp {
-                    CoreResponse::Submitted { job } => job,
-                    other => panic!("unexpected submit response: {other:?}"),
+                r.and_then(|resp| match resp {
+                    CoreResponse::Submitted { job } => Ok(job),
+                    other => Err(ClientError::Rejected(format!(
+                        "unexpected submit response: {other:?}"
+                    ))),
                 }),
-            )
+            );
         });
     }
 
@@ -129,11 +131,13 @@ impl DlaasClient {
         self.call(sim, req, |sim, r| {
             done(
                 sim,
-                r.map(|resp| match resp {
-                    CoreResponse::Status(info) => info,
-                    other => panic!("unexpected status response: {other:?}"),
+                r.and_then(|resp| match resp {
+                    CoreResponse::Status(info) => Ok(info),
+                    other => Err(ClientError::Rejected(format!(
+                        "unexpected status response: {other:?}"
+                    ))),
                 }),
-            )
+            );
         });
     }
 
@@ -149,11 +153,13 @@ impl DlaasClient {
         self.call(sim, req, |sim, r| {
             done(
                 sim,
-                r.map(|resp| match resp {
-                    CoreResponse::Jobs(ids) => ids,
-                    other => panic!("unexpected list response: {other:?}"),
+                r.and_then(|resp| match resp {
+                    CoreResponse::Jobs(ids) => Ok(ids),
+                    other => Err(ClientError::Rejected(format!(
+                        "unexpected list response: {other:?}"
+                    ))),
                 }),
-            )
+            );
         });
     }
 
@@ -188,11 +194,13 @@ impl DlaasClient {
         self.call(sim, req, |sim, r| {
             done(
                 sim,
-                r.map(|resp| match resp {
-                    CoreResponse::Logs(lines) => lines,
-                    other => panic!("unexpected logs response: {other:?}"),
+                r.and_then(|resp| match resp {
+                    CoreResponse::Logs(lines) => Ok(lines),
+                    other => Err(ClientError::Rejected(format!(
+                        "unexpected logs response: {other:?}"
+                    ))),
                 }),
-            )
+            );
         });
     }
 }

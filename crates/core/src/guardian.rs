@@ -18,7 +18,7 @@
 //! exactly what makes the deployment atomic under crashes.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_docstore::{Filter, Update, Value};
@@ -44,7 +44,7 @@ fn framework_image(f: Framework) -> ImageRef {
 
 #[derive(Default)]
 struct MonitorState {
-    learners: HashMap<u32, LearnerPhase>,
+    learners: BTreeMap<u32, LearnerPhase>,
     store: Option<String>,
     throughput: Option<f64>,
     progress: u64,
@@ -95,6 +95,22 @@ pub fn guardian_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup 
 }
 
 impl Guardian {
+    /// The manifest loaded at boot. A `None` here means the in-memory
+    /// state was lost in a way the deploy steps cannot recover from
+    /// (deploy steps only run after a successful boot load); instead of
+    /// panicking the platform process — an unmodelled crash the invariant
+    /// checker cannot attribute — the incarnation aborts and K8s restarts
+    /// it, bounded by `deploy_max_attempts`.
+    fn manifest_or_abort(self: &Rc<Self>, sim: &mut Sim) -> Option<TrainingManifest> {
+        let m = self.manifest.borrow().clone();
+        if m.is_none() {
+            self.ctx
+                .record(sim, "manifest missing mid-deploy; aborting incarnation");
+            self.ctx.exit(sim, 1);
+        }
+        m
+    }
+
     fn step_latency(&self) -> SimDuration {
         self.h.config.guardian_step_latency
     }
@@ -302,7 +318,9 @@ impl Guardian {
     /// claim) and drop the job spec on it for learners and helpers.
     fn step_provision_volume(self: Rc<Self>, sim: &mut Sim) {
         let vol = self.h.nfs.create_volume(paths::volume(&self.job));
-        let manifest = self.manifest.borrow().clone().expect("loaded at boot");
+        let Some(manifest) = self.manifest_or_abort(sim) else {
+            return;
+        };
         let staged = self
             .h
             .nfs
@@ -358,7 +376,9 @@ impl Guardian {
 
     /// Step 5: create the learner StatefulSet.
     fn step_create_learners(self: Rc<Self>, sim: &mut Sim) {
-        let manifest = self.manifest.borrow().clone().expect("loaded at boot");
+        let Some(manifest) = self.manifest_or_abort(sim) else {
+            return;
+        };
         let job = self.job.as_str();
         let pod = PodSpec::new(
             "unused",
@@ -516,7 +536,7 @@ impl Guardian {
                         .path("status")
                         .and_then(Value::as_str)
                         .and_then(|s| s.parse().ok());
-                    if status.is_some_and(|s| s.is_terminal()) {
+                    if status.is_some_and(super::job::JobStatus::is_terminal) {
                         me.mon.borrow_mut().finished = true;
                         me.ctx
                             .record(sim, "job reached terminal state externally; exiting");
@@ -580,14 +600,21 @@ impl Guardian {
             let mut mon = self.mon.borrow_mut();
             if mon.finished {
                 Act::None
-            } else if mon.learners.values().any(|p| p.is_failed()) {
+            } else if mon
+                .learners
+                .values()
+                .any(super::job::LearnerPhase::is_failed)
+            {
                 mon.finished = true;
                 Act::Fail
             } else if mon.store.as_deref() == Some("done") {
                 mon.finished = true;
                 Act::Complete(mon.throughput)
             } else if mon.learners.len() == manifest_learners as usize
-                && mon.learners.values().all(|p| p.is_completed())
+                && mon
+                    .learners
+                    .values()
+                    .all(super::job::LearnerPhase::is_completed)
             {
                 if mon.moved_storing {
                     Act::None

@@ -14,7 +14,7 @@
 //! a restarted helper picks up exactly where its predecessor died.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_kube::{Cleanup, ProcessCtx};
@@ -82,7 +82,7 @@ fn try_bootstrap(
 #[derive(Default)]
 struct ControllerState {
     /// Last status string written to etcd per learner (dedup).
-    written: HashMap<u32, String>,
+    written: BTreeMap<u32, String>,
     data_announced: bool,
     progress_written: u64,
     restarts_written: u64,
@@ -366,7 +366,7 @@ pub fn log_collector_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cle
         ctx2.record(sim, "log collector online");
         // lines already uploaded per learner (in-memory: a restart simply
         // re-uploads from scratch, which is idempotent).
-        let uploaded: Rc<RefCell<HashMap<u32, usize>>> = Rc::new(RefCell::new(HashMap::new()));
+        let uploaded: Rc<RefCell<BTreeMap<u32, usize>>> = Rc::new(RefCell::new(BTreeMap::new()));
         let alive = ctx2.alive_flag();
         let nic = ctx2.nic.clone();
         dlaas_sim::every(sim, flush, move |sim, _n| {

@@ -276,7 +276,7 @@ fn terminal_since(doc: &Value) -> Option<SimTime> {
             e.path("status")
                 .and_then(Value::as_str)
                 .and_then(|s| s.parse::<JobStatus>().ok())
-                .is_some_and(|s| s.is_terminal())
+                .is_some_and(super::job::JobStatus::is_terminal)
         })
         .and_then(|e| e.path("t_us"))
         .and_then(Value::as_i64)

@@ -48,6 +48,7 @@
 //! # Ok::<(), dlaas_core::ManifestError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod api;

@@ -114,11 +114,13 @@ impl MetaClient {
             |sim, r| {
                 done(
                     sim,
-                    r.map(|resp| match resp {
-                        MongoResponse::Inserted { id } => id,
-                        other => panic!("unexpected insert response: {other:?}"),
+                    r.and_then(|resp| match resp {
+                        MongoResponse::Inserted { id } => Ok(id),
+                        other => Err(MetaError::Rejected(format!(
+                            "unexpected insert response: {other:?}"
+                        ))),
                     }),
-                )
+                );
             },
         );
     }
@@ -141,11 +143,13 @@ impl MetaClient {
             |sim, r| {
                 done(
                     sim,
-                    r.map(|resp| match resp {
-                        MongoResponse::Doc(d) => d,
-                        other => panic!("unexpected find response: {other:?}"),
+                    r.and_then(|resp| match resp {
+                        MongoResponse::Doc(d) => Ok(d),
+                        other => Err(MetaError::Rejected(format!(
+                            "unexpected find response: {other:?}"
+                        ))),
                     }),
-                )
+                );
             },
         );
     }
@@ -168,11 +172,13 @@ impl MetaClient {
             |sim, r| {
                 done(
                     sim,
-                    r.map(|resp| match resp {
-                        MongoResponse::Docs(d) => d,
-                        other => panic!("unexpected find response: {other:?}"),
+                    r.and_then(|resp| match resp {
+                        MongoResponse::Docs(d) => Ok(d),
+                        other => Err(MetaError::Rejected(format!(
+                            "unexpected find response: {other:?}"
+                        ))),
                     }),
-                )
+                );
             },
         );
     }
@@ -197,11 +203,13 @@ impl MetaClient {
             |sim, r| {
                 done(
                     sim,
-                    r.map(|resp| match resp {
-                        MongoResponse::Updated(n) => n > 0,
-                        other => panic!("unexpected update response: {other:?}"),
+                    r.and_then(|resp| match resp {
+                        MongoResponse::Updated(n) => Ok(n > 0),
+                        other => Err(MetaError::Rejected(format!(
+                            "unexpected update response: {other:?}"
+                        ))),
                     }),
-                )
+                );
             },
         );
     }
@@ -275,14 +283,18 @@ impl MetaClient {
 
     /// Parses a job document into the API's [`JobInfo`] view.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a malformed document (documents are platform-written).
-    pub fn parse_job_info(doc: &Value) -> JobInfo {
+    /// [`MetaError::Rejected`] on a malformed document. Documents are
+    /// platform-written, so this indicates store corruption; the caller
+    /// degrades the request instead of crashing the platform process
+    /// (an unmodelled crash the invariant checker could not see).
+    pub fn parse_job_info(doc: &Value) -> Result<JobInfo, MetaError> {
+        let malformed = |what: &str| MetaError::Rejected(format!("malformed job document: {what}"));
         let job = JobId::new(
             doc.path("_id")
                 .and_then(Value::as_str)
-                .expect("stored documents always carry _id"),
+                .ok_or_else(|| malformed("missing _id"))?,
         );
         let name = doc
             .path("name")
@@ -292,9 +304,9 @@ impl MetaClient {
         let status: JobStatus = doc
             .path("status")
             .and_then(Value::as_str)
-            .expect("status")
+            .ok_or_else(|| malformed("missing status"))?
             .parse()
-            .expect("valid status");
+            .map_err(|_| malformed("unparseable status"))?;
         let history = doc
             .path("history")
             .and_then(Value::as_arr)
@@ -308,7 +320,7 @@ impl MetaClient {
                     .collect()
             })
             .unwrap_or_default();
-        JobInfo {
+        Ok(JobInfo {
             job,
             name,
             status,
@@ -328,7 +340,7 @@ impl MetaClient {
                         .collect()
                 })
                 .unwrap_or_default(),
-        }
+        })
     }
 }
 
@@ -349,7 +361,7 @@ mod tests {
         assert_eq!(doc.path("tenant").unwrap().as_str(), Some("acme"));
         dlaas_docstore::Update::set("_id", "j1").apply(&mut doc);
 
-        let info = MetaClient::parse_job_info(&doc);
+        let info = MetaClient::parse_job_info(&doc).unwrap();
         assert_eq!(info.status, JobStatus::Pending);
         assert_eq!(info.history, vec![(JobStatus::Pending, 123)]);
         assert_eq!(info.iteration, 0);

@@ -108,6 +108,7 @@ impl DlaasPlatform {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(sim: &mut Sim, cfg: PlatformConfig) -> Self {
+        // dlaas-lint: allow(panic-in-core): boot-time assertion on harness-supplied config, documented under `# Panics`; a malformed PlatformConfig is a programming error in the experiment setup, never reachable from runtime platform data.
         cfg.core.validate().expect("invalid core config");
         crate::metrics::register(sim.metrics());
 
@@ -269,6 +270,7 @@ impl DlaasPlatform {
                     let next = (sim.now() + SimDuration::from_millis(100)).min(deadline);
                     sim.run_until(next);
                 }
+                // dlaas-lint: allow(panic-in-core): test/bench readiness helper with documented `# Panics`; runs in the experiment harness before any workload, not on a platform control-plane path.
                 _ => panic!("platform not ready within {limit}"),
             }
         }
@@ -351,10 +353,11 @@ impl DlaasPlatform {
             .find_one(JOBS, &Filter::eq("_id", job.as_str()))
     }
 
-    /// Parsed [`JobInfo`] straight from the store.
+    /// Parsed [`JobInfo`] straight from the store (`None` if the job is
+    /// unknown or its document is malformed).
     pub fn job_info(&self, job: &JobId) -> Option<JobInfo> {
         self.job_document(job)
-            .map(|d| MetaClient::parse_job_info(&d))
+            .and_then(|d| MetaClient::parse_job_info(&d).ok())
     }
 
     /// Current status straight from the store.
@@ -394,7 +397,7 @@ impl DlaasPlatform {
         let deadline = sim.now() + limit;
         loop {
             let cur = self.job_status(job);
-            if cur == Some(status) || cur.is_some_and(|s| s.is_terminal()) {
+            if cur == Some(status) || cur.is_some_and(super::job::JobStatus::is_terminal) {
                 return cur;
             }
             match sim.peek_time() {

@@ -132,8 +132,7 @@ fn status_progression_is_observable_through_the_api() {
     for w in seen.windows(2) {
         assert!(
             w[0].rank() <= w[1].rank(),
-            "status went backwards: {:?}",
-            seen
+            "status went backwards: {seen:?}"
         );
     }
 }

@@ -130,7 +130,7 @@ proptest! {
             SimDuration::from_hours(12),
         );
         prop_assert!(
-            end.is_some_and(|s| s.is_terminal()),
+            end.is_some_and(dlaas_core::JobStatus::is_terminal),
             "job must reach a terminal state, got {end:?}"
         );
         prop_assert!(end.unwrap().rank() >= last_rank);

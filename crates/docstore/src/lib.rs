@@ -30,6 +30,7 @@
 //! # Ok::<(), dlaas_docstore::StoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod query;

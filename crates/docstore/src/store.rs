@@ -8,7 +8,7 @@
 //! replaying the journal.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use crate::query::{Filter, Update};
@@ -109,7 +109,7 @@ impl Journal {
 struct Collection {
     docs: BTreeMap<String, Value>,
     /// path → (value → ids); consulted for `Eq`-pinned filters.
-    indexes: HashMap<String, BTreeMap<String, HashSet<String>>>,
+    indexes: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
 }
 
 impl Collection {
@@ -187,7 +187,7 @@ impl Collection {
 /// ```
 #[derive(Debug)]
 pub struct DocStore {
-    collections: HashMap<String, Collection>,
+    collections: BTreeMap<String, Collection>,
     journal: Journal,
     next_auto_id: u64,
 }
@@ -202,7 +202,7 @@ impl DocStore {
     /// An empty store with a fresh journal.
     pub fn new() -> Self {
         DocStore {
-            collections: HashMap::new(),
+            collections: BTreeMap::new(),
             journal: Journal::new(),
             next_auto_id: 0,
         }
@@ -212,7 +212,7 @@ impl DocStore {
     /// result is state-equal to the store that wrote the journal.
     pub fn recover(journal: Journal) -> Self {
         let mut store = DocStore {
-            collections: HashMap::new(),
+            collections: BTreeMap::new(),
             journal: Journal::new(), // temporarily empty to avoid re-journaling
             next_auto_id: 0,
         };
@@ -271,7 +271,7 @@ impl DocStore {
 
     fn build_index(&mut self, coll: &str, path: &str) {
         let c = self.collections.entry(coll.to_owned()).or_default();
-        let mut idx: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+        let mut idx: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for (id, doc) in &c.docs {
             if let Some(v) = doc.path(path) {
                 idx.entry(Collection::index_key(v))
@@ -291,9 +291,8 @@ impl DocStore {
     /// [`StoreError::NotAnObject`] if `doc` is not an object,
     /// [`StoreError::DuplicateId`] if the id already exists.
     pub fn insert(&mut self, coll: &str, mut doc: Value) -> Result<String, StoreError> {
-        let obj = match &mut doc {
-            Value::Obj(m) => m,
-            _ => return Err(StoreError::NotAnObject),
+        let Value::Obj(obj) = &mut doc else {
+            return Err(StoreError::NotAnObject);
         };
         let id = match obj.get("_id").and_then(Value::as_str) {
             Some(s) => s.to_owned(),

@@ -1,7 +1,7 @@
 //! The etcd client: leader discovery, retries, and watch dispatch.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_net::{Addr, RpcError};
@@ -24,8 +24,8 @@ type WatchCb = Rc<dyn Fn(&mut Sim, &KvEvent)>;
 struct ClientState {
     leader_hint: Option<NodeId>,
     rr_cursor: u32,
-    watches: HashMap<u64, WatchCb>,
-    watch_meta: HashMap<u64, String>, // id -> prefix, for re-registration
+    watches: BTreeMap<u64, WatchCb>,
+    watch_meta: BTreeMap<u64, String>, // id -> prefix, for re-registration
     next_watch_id: u64,
 }
 
@@ -65,8 +65,8 @@ impl EtcdClient {
             state: Rc::new(RefCell::new(ClientState {
                 leader_hint: None,
                 rr_cursor: 0,
-                watches: HashMap::new(),
-                watch_meta: HashMap::new(),
+                watches: BTreeMap::new(),
+                watch_meta: BTreeMap::new(),
                 next_watch_id: 0,
             })),
         };
@@ -133,7 +133,7 @@ impl EtcdClient {
                     me.state.borrow_mut().leader_hint = Some(target);
                     done(sim, Ok(resp));
                 }
-                Err(RpcError::Timeout) | Err(RpcError::NoEndpoint(_)) => {
+                Err(RpcError::Timeout | RpcError::NoEndpoint(_)) => {
                     me.state.borrow_mut().leader_hint = None;
                     let me2 = me.clone();
                     sim.schedule_in(RETRY_BACKOFF, move |sim| {

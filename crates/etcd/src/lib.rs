@@ -38,6 +38,7 @@
 //! assert_eq!(got.borrow().as_deref(), Some("PROCESSING"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;

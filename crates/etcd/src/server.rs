@@ -6,7 +6,7 @@
 //! on restart — exactly the recovery model of real etcd.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_net::{Addr, Net, Responder, RpcLayer};
@@ -31,7 +31,7 @@ struct WatchReg {
 pub struct ServerCore {
     kv: KvState,
     watches: Vec<WatchReg>,
-    pending: HashMap<u64, Responder<EtcdRequest, EtcdResponse>>,
+    pending: BTreeMap<u64, Responder<EtcdRequest, EtcdResponse>>,
     next_req_id: u64,
     /// Server incarnation, bumped on restart; stale pendings die with it.
     incarnation: u64,
@@ -58,7 +58,7 @@ impl ServerCore {
         ServerCore {
             kv: KvState::new(),
             watches: Vec::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             // req_ids are namespaced by incarnation so a restarted server
             // never collides with commands it proposed before crashing.
             next_req_id: incarnation << 32,
@@ -209,14 +209,14 @@ impl EtcdServer {
     ) {
         match req {
             EtcdRequest::Put { key, value } => {
-                self.propose(sim, KvOp::Put { key, value }, responder)
+                self.propose(sim, KvOp::Put { key, value }, responder);
             }
             EtcdRequest::Delete { key } => self.propose(sim, KvOp::Delete { key }, responder),
             EtcdRequest::DeletePrefix { prefix } => {
-                self.propose(sim, KvOp::DeletePrefix { prefix }, responder)
+                self.propose(sim, KvOp::DeletePrefix { prefix }, responder);
             }
             EtcdRequest::Cas { key, expect, value } => {
-                self.propose(sim, KvOp::Cas { key, expect, value }, responder)
+                self.propose(sim, KvOp::Cas { key, expect, value }, responder);
             }
             EtcdRequest::Get { key } => {
                 self.linearizable_read(sim, responder, move |kv| EtcdResponse::Value {

@@ -188,7 +188,7 @@ fn watch_delivers_events_idempotently_with_revisions() {
 
     // Track latest value per key using revisions (the idempotent-consumer
     // pattern the platform uses).
-    let seen: Rc<RefCell<std::collections::HashMap<String, (u64, String)>>> =
+    let seen: Rc<RefCell<std::collections::BTreeMap<String, (u64, String)>>> =
         Rc::new(RefCell::new(Default::default()));
     let s = seen.clone();
     watcher.watch_prefix(&mut sim, "jobs/42/", move |_sim, ev| {

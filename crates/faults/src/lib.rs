@@ -44,6 +44,7 @@
 //! assert!(recovery < SimDuration::from_secs(10));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -22,6 +22,7 @@
 //! assert!(dlaas > bare * 0.9);         // …but not much (Fig. 2's point)
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod devices;

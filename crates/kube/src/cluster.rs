@@ -14,7 +14,7 @@
 //!   `kubectl delete pod` exercises — the paper's crash experiment.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -56,7 +56,7 @@ struct Node {
     /// new placements.
     cordoned: bool,
     allocated: Resources,
-    images: HashSet<String>,
+    images: BTreeSet<String>,
     nic: SharedLink,
 }
 
@@ -69,7 +69,7 @@ struct Pod {
     owner: Option<Owner>,
     ctxs: Vec<ProcessCtx>,
     cleanups: Vec<Cleanup>,
-    exited_ok: HashSet<String>,
+    exited_ok: BTreeSet<String>,
     ready_at: Option<SimTime>,
     started_at: Option<SimTime>,
     created_at: SimTime,
@@ -213,7 +213,7 @@ impl Kube {
                 ready: true,
                 cordoned: false,
                 allocated: Resources::default(),
-                images: HashSet::new(),
+                images: BTreeSet::new(),
                 nic,
             },
         );
@@ -353,7 +353,7 @@ impl Kube {
                     owner,
                     ctxs: Vec::new(),
                     cleanups: Vec::new(),
-                    exited_ok: HashSet::new(),
+                    exited_ok: BTreeSet::new(),
                     ready_at: None,
                     started_at: None,
                     created_at: sim.now(),

@@ -45,6 +45,7 @@
 //! assert_eq!(kube.pod_phase("web-0"), Some(PodPhase::Running));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;

@@ -11,7 +11,7 @@
 //! instance from the factory with a new incarnation id.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -124,7 +124,7 @@ pub type BehaviorFactory = Rc<dyn Fn(&mut Sim, ProcessCtx) -> Cleanup>;
 /// factories. Cloning shares the registry.
 #[derive(Clone, Default)]
 pub struct BehaviorRegistry {
-    factories: Rc<RefCell<HashMap<String, BehaviorFactory>>>,
+    factories: Rc<RefCell<BTreeMap<String, BehaviorFactory>>>,
 }
 
 impl fmt::Debug for BehaviorRegistry {

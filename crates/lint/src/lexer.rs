@@ -1,0 +1,462 @@
+//! A minimal Rust lexer: just enough fidelity for static-analysis rules.
+//!
+//! The lexer's contract is narrow but strict where it matters for lint
+//! correctness: comments and string/char literals must never leak their
+//! contents into the identifier stream (otherwise a forbidden name inside
+//! a doc example or a log message would trip a rule), and line numbers
+//! must be exact (findings and suppression comments are line-addressed).
+//! It therefore handles nested block comments, raw strings with arbitrary
+//! `#` fences, byte strings, and the `'a` lifetime vs `'a'` char literal
+//! ambiguity, while treating numeric literals loosely (they can never
+//! match a rule pattern, so splitting one into two tokens is harmless).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/number literal (contents opaque to rules).
+    Literal,
+    /// `// …` comment, text including the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested).
+    BlockComment,
+    /// `'a`-style lifetime.
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Raw text of the lexeme.
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for comment tokens (structure-transparent).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next()
+    }
+}
+
+/// Tokenizes `src`. Invalid input never panics: unrecognized bytes become
+/// `Punct` tokens and unterminated literals/comments run to end of file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => match cur.peek2() {
+                Some('/') => out.push(line_comment(&mut cur, line)),
+                Some('*') => out.push(block_comment(&mut cur, line)),
+                _ => {
+                    cur.bump();
+                    out.push(punct('/', line));
+                }
+            },
+            '"' => out.push(string_literal(&mut cur, line)),
+            '\'' => out.push(quote_token(&mut cur, line)),
+            'r' | 'b' => out.push(maybe_raw_or_byte(&mut cur, line)),
+            c if is_ident_start(c) => out.push(ident(&mut cur, line)),
+            c if c.is_ascii_digit() => out.push(number(&mut cur, line)),
+            c => {
+                cur.bump();
+                out.push(punct(c, line));
+            }
+        }
+    }
+    out
+}
+
+fn punct(c: char, line: u32) -> Token {
+    Token {
+        kind: TokenKind::Punct,
+        text: c.to_string(),
+        line,
+    }
+}
+
+fn line_comment(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line,
+    }
+}
+
+fn block_comment(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    text.push(cur.bump().unwrap_or('/'));
+    text.push(cur.bump().unwrap_or('*'));
+    let mut depth = 1u32;
+    while depth > 0 {
+        match cur.bump() {
+            None => break,
+            Some('/') if cur.peek() == Some('*') => {
+                cur.bump();
+                text.push_str("/*");
+                depth += 1;
+            }
+            Some('*') if cur.peek() == Some('/') => {
+                cur.bump();
+                text.push_str("*/");
+                depth -= 1;
+            }
+            Some(c) => text.push(c),
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line,
+    }
+}
+
+/// Consumes a `"…"` literal with escapes.
+fn string_literal(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokenKind::Literal,
+        text,
+        line,
+    }
+}
+
+/// Consumes a raw string starting at `r` / `b` / `br` with `#` fences.
+fn raw_string(cur: &mut Cursor, line: u32, mut text: String) -> Token {
+    let mut fences = 0usize;
+    while cur.peek() == Some('#') {
+        fences += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        text.push('"');
+        cur.bump();
+        // Scan for `"` followed by `fences` hashes.
+        'outer: while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut clone = cur.chars.clone();
+                for _ in 0..fences {
+                    if clone.next() != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fences {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Literal,
+        text,
+        line,
+    }
+}
+
+/// Disambiguates `r…`/`b…` between raw/byte literals and plain idents.
+fn maybe_raw_or_byte(cur: &mut Cursor, line: u32) -> Token {
+    let first = cur.peek().unwrap_or('r');
+    match (first, cur.peek2()) {
+        ('r', Some('"' | '#')) => {
+            cur.bump();
+            raw_string(cur, line, String::from("r"))
+        }
+        ('b', Some('"')) => {
+            cur.bump();
+            let mut t = string_literal(cur, line);
+            t.text.insert(0, 'b');
+            t
+        }
+        ('b', Some('\'')) => {
+            cur.bump();
+            let mut t = quote_token(cur, line);
+            t.text.insert(0, 'b');
+            t.kind = TokenKind::Literal;
+            t
+        }
+        ('b', Some('r')) => {
+            // `br"…"` / `br#"…"#` — peek past the `r`.
+            let mut clone = cur.chars.clone();
+            clone.next();
+            clone.next();
+            if matches!(clone.next(), Some('"' | '#')) {
+                cur.bump();
+                cur.bump();
+                raw_string(cur, line, String::from("br"))
+            } else {
+                ident(cur, line)
+            }
+        }
+        _ => ident(cur, line),
+    }
+}
+
+/// Consumes `'…` — either a lifetime (`'a`) or a char literal (`'a'`).
+fn quote_token(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('\'')); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\'' && text.len() > 2 {
+                    break;
+                }
+                if c == '\\' {
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                }
+            }
+            Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char literal; `'a` followed by anything else is a
+            // lifetime (including `'static`).
+            if cur.peek2() != Some('\'') {
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                }
+            } else {
+                text.push(cur.bump().unwrap_or(c));
+                if cur.peek() == Some('\'') {
+                    text.push('\'');
+                    cur.bump();
+                }
+                Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line,
+                }
+            }
+        }
+        _ => {
+            // `'('`-style char literal (or stray quote at EOF).
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+            }
+        }
+    }
+}
+
+fn ident(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    if text.is_empty() {
+        // Defensive: never loop forever on unexpected input.
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+    }
+}
+
+fn number(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `1.5` continues the literal; `1..5` does not.
+            let mut clone = cur.chars.clone();
+            clone.next();
+            if clone.next().is_some_and(|d| d.is_ascii_digit()) {
+                text.push('.');
+                cur.bump();
+            } else {
+                break;
+            }
+        } else if (c == '+' || c == '-') && text.ends_with(['e', 'E']) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Literal,
+        text,
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashMap"#;
+            let b = b"HashMap";
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'q'; m::<'static>() }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(!ids.contains(&"x".to_string()) || ids.contains(&"x".to_string()));
+        let toks = lex("'a 'x' '\\n' 'static");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Literal,
+                TokenKind::Literal,
+                TokenKind::Lifetime
+            ],
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        let toks = lex(r###"let x = r#"quote " inside"# ; after"###);
+        assert!(toks.iter().any(|t| t.text == "after"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "inside"));
+    }
+}

@@ -1,0 +1,47 @@
+//! `dlaas-lint` — the workspace determinism & dependability contract,
+//! machine-checked.
+//!
+//! Every result this reproduction stands on (byte-identical same-seed
+//! metrics, the fault-matrix campaign, the invariant checker) assumes the
+//! simulation is strictly deterministic and that platform processes never
+//! crash outside the modelled fault vocabulary. This crate is a
+//! from-scratch, offline static-analysis pass — a hand-rolled Rust lexer
+//! and token visitor, no external dependencies — that enforces that
+//! discipline:
+//!
+//! - **determinism**: no wall clocks, OS threads, hashed-collection
+//!   iteration, or seed-detached RNG streams in simulation crates;
+//! - **dependability**: no `unwrap`/`panic!` on `dlaas-core`
+//!   control-plane paths, `#![forbid(unsafe_code)]` in every crate;
+//! - **hygiene**: library code does not print.
+//!
+//! Violations at reviewed, sound sites are suppressed per-line with
+//! `// dlaas-lint: allow(<rule>): <justification>` — the justification is
+//! mandatory and itself lint-enforced.
+//!
+//! Run it with `cargo run -p dlaas-lint -- --workspace` (exits non-zero
+//! on findings); CI runs the same command as a required job.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlaas_lint::{classify, lint_source};
+//!
+//! let meta = classify("crates/core/src/demo.rs").unwrap();
+//! let report = lint_source(&meta, "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "panic-in-core");
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod lexer;
+mod report;
+mod rules;
+mod scopes;
+
+pub use engine::{classify, lint_source, lint_workspace, FileClass, FileMeta, Report, Suppressed};
+pub use lexer::{lex, Token, TokenKind};
+pub use report::{render_json, render_rules, render_text};
+pub use rules::{rule, Family, Finding, RuleInfo, DETERMINISM_CRATES, RULES};

@@ -1,0 +1,328 @@
+//! The rule registry: what `dlaas-lint` forbids, where, and why.
+//!
+//! Three families, mirroring the platform's dependability argument
+//! (Boag et al., DSN 2018 — bounded, *modelled* failure modes):
+//!
+//! - **determinism** — anything that could make two same-seed runs
+//!   diverge: wall clocks, OS threads, hashed-iteration order, RNG
+//!   streams not derived from the run seed.
+//! - **dependability** — platform processes must never crash outside the
+//!   modelled fault vocabulary: no `unwrap`/`panic!` on control-plane
+//!   paths, no `unsafe` anywhere.
+//! - **hygiene** — library code stays quiet; only binaries talk to a
+//!   terminal.
+
+use crate::engine::{FileClass, FileMeta};
+use crate::lexer::{Token, TokenKind};
+
+/// Rule family, for grouping in reports and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Same-seed reproducibility.
+    Determinism,
+    /// No crashes outside the modelled fault vocabulary.
+    Dependability,
+    /// Library code stays quiet.
+    Hygiene,
+}
+
+impl Family {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Determinism => "determinism",
+            Family::Dependability => "dependability",
+            Family::Hygiene => "hygiene",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, used in findings and `allow(...)` suppressions.
+    pub id: &'static str,
+    /// Family the rule belongs to.
+    pub family: Family,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why violating it is a dependability bug.
+    pub rationale: &'static str,
+}
+
+/// Crates whose non-test code must not use hashed collections: their
+/// iteration order feeds the event schedule, RPC emission order, or
+/// query results, so hash order becomes visible platform behavior.
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "net", "raft", "etcd", "kube", "core", "docstore"];
+
+/// All rules, in the order they are documented.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        family: Family::Determinism,
+        summary: "no SystemTime / Instant in simulation code",
+        rationale: "wall-clock reads differ across runs and hosts; all time must come from the \
+                    simulated clock (Sim::now) so same-seed runs replay byte-identically",
+    },
+    RuleInfo {
+        id: "thread-spawn",
+        family: Family::Determinism,
+        summary: "no std::thread / thread::spawn in simulation code",
+        rationale: "OS scheduling is nondeterministic; the simulation is single-threaded by \
+                    design and all concurrency is modelled as events",
+    },
+    RuleInfo {
+        id: "process-escape",
+        family: Family::Determinism,
+        summary: "no std::process in library code",
+        rationale: "spawning or exiting real processes escapes the simulation; only CLI \
+                    binaries may use process exit codes",
+    },
+    RuleInfo {
+        id: "hash-collections",
+        family: Family::Determinism,
+        summary: "no HashMap / HashSet in determinism-critical crates",
+        rationale: "hashed iteration order is randomized per process; iterating one feeds \
+                    nondeterministic order into RPC emission, watch re-registration, or query \
+                    results — use BTreeMap/BTreeSet or a sorted drain",
+    },
+    RuleInfo {
+        id: "unseeded-rng",
+        family: Family::Determinism,
+        summary: "no SimRng::new outside dlaas-sim",
+        rationale: "components must fork their stream from the run seed (sim.rng().fork(label)); \
+                    a privately-constructed generator breaks the one-seed-reproduces-everything \
+                    contract",
+    },
+    RuleInfo {
+        id: "panic-in-core",
+        family: Family::Dependability,
+        summary: "no unwrap/expect/panic!/todo!/unimplemented! in non-test dlaas-core code",
+        rationale: "a panic in a control-plane service is an unmodelled process crash: the \
+                    invariant checker cannot attribute it to a fault, and the paper's \
+                    dependability argument only covers modelled failure modes — degrade the job \
+                    (FAILED, invariant-visible) instead",
+    },
+    RuleInfo {
+        id: "forbid-unsafe",
+        family: Family::Dependability,
+        summary: "every workspace crate must declare #![forbid(unsafe_code)]",
+        rationale: "the workspace has zero unsafe today; forbidding it at the crate root makes \
+                    memory-safety regressions a compile error rather than a review hazard",
+    },
+    RuleInfo {
+        id: "debug-print",
+        family: Family::Hygiene,
+        summary: "no println!/eprintln!/print!/eprint!/dbg! in library code",
+        rationale: "library output pollutes benchmark tables and CI logs and tempts \
+                    wall-clock-style debugging; binaries, examples, and tests may print",
+    },
+    RuleInfo {
+        id: "suppression-missing-justification",
+        family: Family::Hygiene,
+        summary: "every dlaas-lint allow(...) must carry a written justification",
+        rationale: "a suppression is a reviewed exception to the determinism/dependability \
+                    contract; without a recorded reason it cannot be re-audited",
+    },
+    RuleInfo {
+        id: "suppression-unknown-rule",
+        family: Family::Hygiene,
+        summary: "allow(...) must name an existing rule",
+        rationale: "a typo in the rule id silently disables nothing and leaves the finding \
+                    unexplained",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A single rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+fn shipping_code(meta: &FileMeta) -> bool {
+    !matches!(meta.class, FileClass::Test | FileClass::Vendored)
+}
+
+/// Runs all token-level rules over one file. `in_test[i]` marks tokens
+/// inside `#[cfg(test)]` / `#[test]` scopes (exempt from every rule).
+pub fn check_tokens(meta: &FileMeta, tokens: &[Token], in_test: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !shipping_code(meta) || meta.krate == "lint" {
+        // The linter itself is an offline host-side tool, not simulation
+        // code; it is still covered by forbid-unsafe and the clippy gate.
+        return findings;
+    }
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let determinism_crate = DETERMINISM_CRATES.contains(&meta.krate.as_str());
+    let lib_like = matches!(meta.class, FileClass::Lib);
+
+    let ident_at = |k: usize| -> Option<&str> {
+        sig.get(k)
+            .map(|&i| &tokens[i])
+            .and_then(|t| (t.kind == TokenKind::Ident).then_some(t.text.as_str()))
+    };
+    let punct_at = |k: usize| -> Option<&str> {
+        sig.get(k)
+            .map(|&i| &tokens[i])
+            .and_then(|t| (t.kind == TokenKind::Punct).then_some(t.text.as_str()))
+    };
+
+    for (k, &i) in sig.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let mut push = |rule: &'static str, message: String| {
+            findings.push(Finding {
+                file: meta.path.clone(),
+                line: tok.line,
+                rule,
+                message,
+            });
+        };
+        match tok.text.as_str() {
+            "SystemTime" | "Instant" => push(
+                "wall-clock",
+                format!(
+                    "`{}` reads the host clock; use the simulated clock (`Sim::now`)",
+                    tok.text
+                ),
+            ),
+            "thread"
+                if punct_at(k + 1) == Some(":")
+                    && punct_at(k + 2) == Some(":")
+                    && ident_at(k + 3) == Some("spawn") =>
+            {
+                push(
+                    "thread-spawn",
+                    "`thread::spawn` introduces OS scheduling nondeterminism; model concurrency \
+                     as simulation events"
+                        .into(),
+                );
+            }
+            "std"
+                if punct_at(k + 1) == Some(":")
+                    && punct_at(k + 2) == Some(":")
+                    && ident_at(k + 3) == Some("thread") =>
+            {
+                push(
+                    "thread-spawn",
+                    "`std::thread` introduces OS scheduling nondeterminism; model concurrency \
+                     as simulation events"
+                        .into(),
+                );
+            }
+            "std"
+                if lib_like
+                    && punct_at(k + 1) == Some(":")
+                    && punct_at(k + 2) == Some(":")
+                    && ident_at(k + 3) == Some("process") =>
+            {
+                push(
+                    "process-escape",
+                    "`std::process` escapes the simulation; only CLI binaries may exit or spawn"
+                        .into(),
+                );
+            }
+            "HashMap" | "HashSet" if determinism_crate && lib_like => push(
+                "hash-collections",
+                format!(
+                    "`{}` has randomized iteration order; use `BTree{}` (or drain through a \
+                     sorted Vec) in determinism-critical crates",
+                    tok.text,
+                    if tok.text == "HashMap" { "Map" } else { "Set" },
+                ),
+            ),
+            "SimRng"
+                if meta.krate != "sim"
+                    && punct_at(k + 1) == Some(":")
+                    && punct_at(k + 2) == Some(":")
+                    && ident_at(k + 3) == Some("new") =>
+            {
+                push(
+                    "unseeded-rng",
+                    "`SimRng::new` creates a stream detached from the run seed; fork from the \
+                     simulation root instead (`sim.rng().fork(label)`)"
+                        .into(),
+                );
+            }
+            "unwrap" | "expect"
+                if meta.krate == "core" && lib_like && k > 0 && punct_at(k - 1) == Some(".") =>
+            {
+                push(
+                    "panic-in-core",
+                    format!(
+                        "`.{}()` can panic the platform process — an unmodelled crash; propagate \
+                         the error so the job degrades to FAILED instead",
+                        tok.text
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented"
+                if meta.krate == "core" && lib_like && punct_at(k + 1) == Some("!") =>
+            {
+                push(
+                    "panic-in-core",
+                    format!(
+                        "`{}!` crashes the platform process outside the modelled fault \
+                         vocabulary; return an error or fail the job",
+                        tok.text
+                    ),
+                );
+            }
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                if lib_like && punct_at(k + 1) == Some("!") =>
+            {
+                push(
+                    "debug-print",
+                    format!(
+                        "`{}!` in library code; route output through the caller (binaries and \
+                         tests may print)",
+                        tok.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Checks a crate-root file for `#![forbid(unsafe_code)]`.
+pub fn check_crate_root(meta: &FileMeta, tokens: &[Token]) -> Option<Finding> {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let found = sig.windows(4).any(|w| {
+        w[0].kind == TokenKind::Ident
+            && w[0].text == "forbid"
+            && w[1].text == "("
+            && w[2].text == "unsafe_code"
+            && w[3].text == ")"
+    });
+    if found {
+        None
+    } else {
+        Some(Finding {
+            file: meta.path.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        })
+    }
+}

@@ -1,0 +1,168 @@
+//! Marks which tokens live inside test-only code.
+//!
+//! Rules about determinism and panic-freedom apply to shipping code;
+//! `#[cfg(test)]` modules and `#[test]` functions are free to `unwrap`
+//! and to use hashed collections. This pass walks the token stream once,
+//! tracking brace depth, and returns a parallel `Vec<bool>` — `true`
+//! when the token is inside the body introduced by an item carrying a
+//! test attribute (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Returns `in_test[i] == true` iff `tokens[i]` is inside a test scope.
+pub fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    // Brace depths at which test regions opened.
+    let mut regions: Vec<u32> = Vec::new();
+    let mut brace_depth: u32 = 0;
+    // An attribute containing `test` was seen and we are waiting for the
+    // item body's `{` (cancelled by `;` — e.g. `#[cfg(test)] use x;`).
+    let mut pending = false;
+    // Paren/bracket nesting while pending (a `{` inside `(…)` belongs to
+    // a closure argument, not the item body).
+    let mut aux: i32 = 0;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_comment() {
+            in_test[i] = !regions.is_empty();
+            i += 1;
+            continue;
+        }
+        // Attribute: `#` (`!`)? `[` … `]` — collect its identifiers.
+        if tok.kind == TokenKind::Punct && tok.text == "#" {
+            let mut j = i + 1;
+            while j < tokens.len() && (tokens[j].is_comment() || tokens[j].text == "!") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "[" {
+                let mut depth = 0i32;
+                let mut has_test = false;
+                let mark = !regions.is_empty();
+                while j < tokens.len() {
+                    let t = &tokens[j];
+                    if t.kind == TokenKind::Punct {
+                        match t.text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    } else if t.kind == TokenKind::Ident && t.text == "test" {
+                        has_test = true;
+                    }
+                    j += 1;
+                }
+                let end = j.min(tokens.len().saturating_sub(1));
+                for flag in &mut in_test[i..=end] {
+                    *flag = mark;
+                }
+                if has_test {
+                    pending = true;
+                    aux = 0;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => {
+                    if pending && aux == 0 {
+                        regions.push(brace_depth);
+                        pending = false;
+                    }
+                    brace_depth += 1;
+                    in_test[i] = !regions.is_empty();
+                }
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    in_test[i] = !regions.is_empty();
+                    if regions.last() == Some(&brace_depth) {
+                        regions.pop();
+                    }
+                }
+                "(" | "[" => {
+                    if pending {
+                        aux += 1;
+                    }
+                    in_test[i] = !regions.is_empty();
+                }
+                ")" | "]" => {
+                    if pending {
+                        aux -= 1;
+                    }
+                    in_test[i] = !regions.is_empty();
+                }
+                ";" => {
+                    if pending && aux == 0 {
+                        pending = false;
+                    }
+                    in_test[i] = !regions.is_empty();
+                }
+                _ => in_test[i] = !regions.is_empty(),
+            }
+        } else {
+            in_test[i] = !regions.is_empty();
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_idents(src: &str) -> Vec<(String, bool)> {
+        let toks = lex(src);
+        let marks = mark_test_regions(&toks);
+        toks.iter()
+            .zip(marks)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, m)| (t.text.clone(), m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn shipping() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn more() { c(); }";
+        let marks = test_idents(src);
+        let get = |name: &str| marks.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("a"), Some(false));
+        assert_eq!(get("b"), Some(true));
+        assert_eq!(get("c"), Some(false));
+    }
+
+    #[test]
+    fn test_fn_is_marked() {
+        let src = "#[test]\nfn check() { inner(); }\nfn other() { outer(); }";
+        let marks = test_idents(src);
+        let get = |name: &str| marks.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("inner"), Some(true));
+        assert_eq!(get("outer"), Some(false));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn shipping() { x(); }";
+        let marks = test_idents(src);
+        let get = |name: &str| marks.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("x"), Some(false));
+    }
+
+    #[test]
+    fn nested_braces_close_correctly() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y(); } } }\nfn after() { z(); }";
+        let marks = test_idents(src);
+        let get = |name: &str| marks.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("y"), Some(true));
+        assert_eq!(get("z"), Some(false));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: suppression meta-rules. Both directives below are themselves
+// findings, and neither suppresses anything.
+
+pub fn unknown_rule() {
+    // dlaas-lint: allow(no-such-rule): this rule id does not exist.
+    let _t = std::time::Instant::now();
+}
+
+pub fn missing_justification() {
+    // dlaas-lint: allow(wall-clock)
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,14 @@
+// Fixture: a file that violates nothing — strings and comments that
+// merely *mention* forbidden constructs must not trip the lexer-based
+// rules.
+
+use std::collections::BTreeMap;
+
+/// Talks about `std::time::Instant::now()` and `HashMap` in docs only.
+pub fn narrate() -> String {
+    let mut m: BTreeMap<&str, &str> = BTreeMap::new();
+    // A comment naming thread::spawn and panic! is not a use of either.
+    m.insert("note", "the string \"HashMap::new()\" is data, not code");
+    m.insert("raw", r#"SystemTime::now() inside a raw string"#);
+    m.values().cloned().collect::<Vec<_>>().join("; ")
+}

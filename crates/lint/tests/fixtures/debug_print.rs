@@ -1,0 +1,22 @@
+// Fixture: debug-print rule (library code stays quiet).
+
+pub fn bad_println(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn bad_dbg(x: u32) -> u32 {
+    dbg!(x)
+}
+
+pub fn tolerated(x: u32) {
+    // dlaas-lint: allow(debug-print): fixture demonstrating a justified suppression.
+    eprintln!("x = {x}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("from a test");
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: hash-collections rule (determinism-critical crates only).
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    entries: HashMap<String, u64>,
+}
+
+pub fn tolerated() {
+    // dlaas-lint: allow(hash-collections): fixture demonstrating a justified suppression.
+    let _s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_hash() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

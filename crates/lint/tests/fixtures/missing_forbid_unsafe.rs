@@ -1,0 +1,4 @@
+//! A crate root without `#![forbid(unsafe_code)]` — linted under the
+//! path `crates/demo/src/lib.rs`, it must yield a forbid-unsafe finding.
+
+pub fn noop() {}

@@ -1,0 +1,30 @@
+// Fixture: panic-in-core rule (dlaas-core library code only).
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn tolerated(v: Option<u32>) -> u32 {
+    // dlaas-lint: allow(panic-in-core): fixture demonstrating a justified suppression.
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: thread-spawn and process-escape rules.
+
+pub fn bad_spawn() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle;
+}
+
+pub fn bad_exit() {
+    std::process::exit(1);
+}
+
+pub fn tolerated_exit() {
+    // dlaas-lint: allow(process-escape): fixture demonstrating a justified suppression.
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: unseeded-rng rule (forbidden outside dlaas-sim).
+
+pub fn bad_private_stream() -> u64 {
+    let mut rng = dlaas_sim::SimRng::new(42);
+    rng.next_u64()
+}
+
+pub fn tolerated(seed: u64) -> u64 {
+    // dlaas-lint: allow(unseeded-rng): fixture demonstrating a justified suppression.
+    let mut rng = dlaas_sim::SimRng::new(seed);
+    rng.next_u64()
+}

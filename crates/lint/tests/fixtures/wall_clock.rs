@@ -1,0 +1,23 @@
+// Fixture: wall-clock rule. Two live findings, one suppressed, one
+// exempt inside a test module.
+
+pub fn bad_instant() {
+    let _start = std::time::Instant::now();
+}
+
+pub fn bad_system_time() {
+    let _t = std::time::SystemTime::now();
+}
+
+pub fn tolerated() {
+    // dlaas-lint: allow(wall-clock): fixture demonstrating a justified suppression.
+    let _t = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

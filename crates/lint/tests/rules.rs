@@ -1,0 +1,217 @@
+//! Fixture-driven tests: every rule exercised with a positive case, a
+//! suppressed case, and a clean/exempt case, plus the self-referential
+//! checks (the workspace itself is clean; JSON output is stable).
+
+use std::path::Path;
+
+use dlaas_lint::{classify, lint_source, lint_workspace, render_json, FileMeta, Report};
+
+fn lint_fixture(fixture: &str, as_path: &str) -> Report {
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(fixture),
+    )
+    .expect("fixture readable");
+    let meta = classify(as_path).expect("classifiable path");
+    lint_source(&meta, &src)
+}
+
+fn rules_and_lines(r: &Report) -> Vec<(&'static str, u32)> {
+    r.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn suppressed_rules_and_lines(r: &Report) -> Vec<(&'static str, u32)> {
+    r.suppressed
+        .iter()
+        .map(|s| (s.finding.rule, s.finding.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_rule() {
+    let r = lint_fixture("wall_clock.rs", "crates/net/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("wall-clock", 5), ("wall-clock", 9)]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("wall-clock", 14)]);
+    assert!(r.suppressed[0].justification.contains("fixture"));
+}
+
+#[test]
+fn thread_and_process_rules() {
+    let r = lint_fixture("thread_process.rs", "crates/gpu/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("thread-spawn", 4), ("process-escape", 9)]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("process-escape", 14)]);
+}
+
+#[test]
+fn process_escape_exempt_in_binaries() {
+    let r = lint_fixture("thread_process.rs", "crates/gpu/src/main.rs");
+    // The CLI surface may exit, but OS threads stay forbidden everywhere.
+    assert_eq!(rules_and_lines(&r), vec![("thread-spawn", 4)]);
+}
+
+#[test]
+fn hash_collections_rule() {
+    let r = lint_fixture("hash_collections.rs", "crates/etcd/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("hash-collections", 3), ("hash-collections", 6)]
+    );
+    assert_eq!(
+        suppressed_rules_and_lines(&r),
+        vec![("hash-collections", 11)]
+    );
+}
+
+#[test]
+fn hash_collections_scoped_to_determinism_crates() {
+    // `gpu` is a pure model crate: its maps never feed the event order.
+    let r = lint_fixture("hash_collections.rs", "crates/gpu/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn unseeded_rng_rule() {
+    let r = lint_fixture("unseeded_rng.rs", "crates/bench/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![("unseeded-rng", 4)]);
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("unseeded-rng", 10)]);
+}
+
+#[test]
+fn unseeded_rng_exempt_inside_sim() {
+    let r = lint_fixture("unseeded_rng.rs", "crates/sim/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn panic_in_core_rule() {
+    let r = lint_fixture("panic_in_core.rs", "crates/core/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![
+            ("panic-in-core", 4),
+            ("panic-in-core", 8),
+            ("panic-in-core", 12),
+            ("panic-in-core", 16),
+        ]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("panic-in-core", 21)]);
+}
+
+#[test]
+fn panic_rule_scoped_to_core() {
+    let r = lint_fixture("panic_in_core.rs", "crates/net/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn debug_print_rule() {
+    let r = lint_fixture("debug_print.rs", "crates/obs/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("debug-print", 4), ("debug-print", 8)]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("debug-print", 13)]);
+}
+
+#[test]
+fn debug_print_exempt_in_binaries() {
+    let r = lint_fixture("debug_print.rs", "crates/obs/src/main.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn forbid_unsafe_rule() {
+    let r = lint_fixture("missing_forbid_unsafe.rs", "crates/demo/src/lib.rs");
+    assert_eq!(rules_and_lines(&r), vec![("forbid-unsafe", 1)]);
+    // The same text anywhere but a crate root is fine.
+    let r = lint_fixture("missing_forbid_unsafe.rs", "crates/demo/src/other.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn bad_suppressions_are_findings_and_suppress_nothing() {
+    let r = lint_fixture("bad_suppressions.rs", "crates/net/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![
+            ("suppression-unknown-rule", 5),
+            ("wall-clock", 6),
+            ("suppression-missing-justification", 10),
+            ("wall-clock", 11),
+        ]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn clean_file_stays_clean() {
+    let r = lint_fixture("clean.rs", "crates/net/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+    assert_eq!(suppressed_rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn test_files_are_exempt_from_token_rules() {
+    let r = lint_fixture("panic_in_core.rs", "crates/core/tests/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolvable")
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace lintable");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.clean(),
+        "dlaas-lint found violations in the workspace:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    // Every surviving suppression carries a written justification.
+    for s in &report.suppressed {
+        assert!(
+            !s.justification.is_empty(),
+            "unjustified allow at {}:{}",
+            s.finding.file,
+            s.finding.line
+        );
+    }
+}
+
+#[test]
+fn json_output_is_stable_across_runs() {
+    let root = workspace_root();
+    let a = render_json(&lint_workspace(&root).expect("first run"));
+    let b = render_json(&lint_workspace(&root).expect("second run"));
+    assert_eq!(a, b, "two lints of the same tree must render identically");
+    assert!(a.starts_with('{') && a.ends_with("}\n"));
+}
+
+#[test]
+fn fixture_meta_classification() {
+    let m: FileMeta = classify("crates/core/src/demo.rs").unwrap();
+    assert_eq!(m.krate, "core");
+    assert!(classify("README.md").is_none());
+    assert!(classify("src/weird.rs").is_none());
+}

@@ -11,7 +11,7 @@
 //! are never corrupted or duplicated by the network itself.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -55,11 +55,11 @@ struct Endpoint<M> {
 }
 
 struct State<M> {
-    endpoints: HashMap<Addr, Endpoint<M>>,
+    endpoints: BTreeMap<Addr, Endpoint<M>>,
     latency: LatencyModel,
     loss: f64,
-    blocked_pairs: HashSet<(Addr, Addr)>,
-    groups: Vec<HashSet<Addr>>,
+    blocked_pairs: BTreeSet<(Addr, Addr)>,
+    groups: Vec<BTreeSet<Addr>>,
     rng: SimRng,
     stats: NetStats,
 }
@@ -135,10 +135,10 @@ impl<M: 'static> Net<M> {
         let rng = sim.rng().fork("net");
         Net {
             state: Rc::new(RefCell::new(State {
-                endpoints: HashMap::new(),
+                endpoints: BTreeMap::new(),
                 latency,
                 loss: 0.0,
-                blocked_pairs: HashSet::new(),
+                blocked_pairs: BTreeSet::new(),
                 groups: Vec::new(),
                 rng,
                 stats: NetStats::default(),

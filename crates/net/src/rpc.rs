@@ -7,7 +7,7 @@
 //! Kubernetes service registry) rather than a fixed endpoint.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -110,14 +110,14 @@ struct Pending<Resp> {
 type ServerFn<Req, Resp> = Rc<dyn Fn(&mut Sim, Req, Responder<Req, Resp>)>;
 
 struct LayerState<Req: 'static, Resp: 'static> {
-    pending: HashMap<u64, Pending<Resp>>,
+    pending: BTreeMap<u64, Pending<Resp>>,
     next_id: u64,
     /// Addresses with a registered dispatch handler on the network. One
     /// endpoint can be both a server and a client (e.g. the API service
     /// serves users while calling the LCM), so the single per-address
     /// handler dispatches on the frame type.
-    endpoints: std::collections::HashSet<Addr>,
-    servers: HashMap<Addr, ServerFn<Req, Resp>>,
+    endpoints: std::collections::BTreeSet<Addr>,
+    servers: BTreeMap<Addr, ServerFn<Req, Resp>>,
 }
 
 /// Typed request/response RPC over a [`Net`]. Cloning shares the layer.
@@ -177,10 +177,10 @@ impl<Req: 'static, Resp: 'static> RpcLayer<Req, Resp> {
         RpcLayer {
             net: Net::new(sim, latency),
             state: Rc::new(RefCell::new(LayerState {
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 next_id: 0,
                 endpoints: Default::default(),
-                servers: HashMap::new(),
+                servers: BTreeMap::new(),
             })),
         }
     }
@@ -639,7 +639,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let rpc = layer(&mut sim);
         rpc.serve(Addr::new("lcm"), |sim, _req: String, r| {
-            r.ok(sim, "lcm-ok".into())
+            r.ok(sim, "lcm-ok".into());
         });
         let middle = rpc.clone();
         rpc.serve(Addr::new("api"), move |sim, req: String, r| {
@@ -693,7 +693,7 @@ mod tests {
         let mut sim = Sim::new(2);
         let rpc = layer(&mut sim);
         rpc.serve(Addr::new("s"), |sim, _req: String, r| {
-            r.ok(sim, "v1".into())
+            r.ok(sim, "v1".into());
         });
         rpc.stop_serving(&Addr::new("s"));
         let dead = Rc::new(RefCell::new(None));
@@ -710,7 +710,7 @@ mod tests {
         assert_eq!(*dead.borrow(), Some(Err(RpcError::Timeout)));
 
         rpc.serve(Addr::new("s"), |sim, _req: String, r| {
-            r.ok(sim, "v2".into())
+            r.ok(sim, "v2".into());
         });
         let live = Rc::new(RefCell::new(None));
         let l = live.clone();

@@ -40,6 +40,7 @@
 //! assert!(sim.now() >= dlaas_sim::SimTime::from_millis(900));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::RefCell;

@@ -27,6 +27,7 @@
 //! assert!(reg.expose().contains(r#"jobs_submitted_total{tenant="acme"} 1"#));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod histogram;

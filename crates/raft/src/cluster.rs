@@ -129,7 +129,7 @@ impl<C: Clone + 'static> RaftCluster<C> {
             .iter()
             .filter(|n| n.is_alive() && n.role() == Role::Leader)
             .max_by_key(|n| n.term())
-            .map(|n| n.id())
+            .map(super::node::Raft::id)
     }
 
     /// Handle to the current leader, if any.
@@ -179,15 +179,15 @@ impl<C: Clone + 'static> RaftCluster<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     type Cmd = u64;
-    type Applied = Rc<RefCell<HashMap<NodeId, Vec<(u64, Cmd)>>>>;
+    type Applied = Rc<RefCell<BTreeMap<NodeId, Vec<(u64, Cmd)>>>>;
 
     /// Builds a cluster whose state machines record applied commands into a
     /// shared map keyed by node id.
     fn test_cluster(sim: &mut Sim, n: u32) -> (RaftCluster<Cmd>, Applied) {
-        let applied: Applied = Rc::new(RefCell::new(HashMap::new()));
+        let applied: Applied = Rc::new(RefCell::new(BTreeMap::new()));
         let a = applied.clone();
         let factory: ApplyFactory<Cmd> = Rc::new(move |id| {
             // A restart rebuilds the state machine from scratch.
@@ -410,7 +410,7 @@ mod tests {
         let logs: Vec<_> = (0..5)
             .map(|i| cluster.disk(i).borrow().log.clone())
             .collect();
-        let min_len = logs.iter().map(|l| l.len()).min().unwrap();
+        let min_len = logs.iter().map(std::vec::Vec::len).min().unwrap();
         for i in 0..min_len {
             let first = &logs[0][i];
             for log in &logs[1..] {

@@ -45,6 +45,7 @@
 //! assert!(cluster.node(leader).commit_index() >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;

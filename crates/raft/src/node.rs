@@ -8,7 +8,7 @@
 //! `current_term`, `voted_for`, and the log — and nothing else.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -71,7 +71,7 @@ pub type ReadFn = Box<dyn FnOnce(&mut Sim, bool)>;
 struct PendingRead {
     read_index: LogIndex,
     min_seq: u64,
-    acks: HashSet<NodeId>,
+    acks: BTreeSet<NodeId>,
     done: ReadFn,
 }
 
@@ -87,9 +87,9 @@ struct NodeState<C> {
     leader_hint: Option<NodeId>,
     commit_index: LogIndex,
     last_applied: LogIndex,
-    votes: HashSet<NodeId>,
-    next_index: HashMap<NodeId, LogIndex>,
-    match_index: HashMap<NodeId, LogIndex>,
+    votes: BTreeSet<NodeId>,
+    next_index: BTreeMap<NodeId, LogIndex>,
+    match_index: BTreeMap<NodeId, LogIndex>,
     timer_gen: u64,
     hb_gen: u64,
     hb_seq: u64,
@@ -202,9 +202,9 @@ impl<C: Clone + 'static> Raft<C> {
                 leader_hint: None,
                 commit_index: 0,
                 last_applied: 0,
-                votes: HashSet::new(),
-                next_index: HashMap::new(),
-                match_index: HashMap::new(),
+                votes: BTreeSet::new(),
+                next_index: BTreeMap::new(),
+                match_index: BTreeMap::new(),
                 timer_gen: 0,
                 hb_gen: 0,
                 hb_seq: 0,
@@ -357,7 +357,7 @@ impl<C: Clone + 'static> Raft<C> {
             let read = PendingRead {
                 read_index: s.commit_index,
                 min_seq: s.hb_seq + 1,
-                acks: HashSet::from([me]),
+                acks: BTreeSet::from([me]),
                 done: Box::new(done),
             };
             s.pending_reads.push(read);

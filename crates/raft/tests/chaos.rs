@@ -11,7 +11,7 @@
 //! * **Election safety** — at most one leader per term, ever.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_net::LatencyModel;
@@ -45,14 +45,14 @@ fn op_strategy() -> impl Strategy<Value = ChaosOp> {
 }
 
 /// Per-node applied log: `(index, command)` in application order.
-type AppliedLog = Rc<RefCell<HashMap<NodeId, Vec<(u64, Cmd)>>>>;
+type AppliedLog = Rc<RefCell<BTreeMap<NodeId, Vec<(u64, Cmd)>>>>;
 
 struct Harness {
     sim: Sim,
     cluster: RaftCluster<Cmd>,
     applied: AppliedLog,
     /// `(term, leader)` observations, for election safety.
-    leaders_seen: HashMap<u64, NodeId>,
+    leaders_seen: BTreeMap<u64, NodeId>,
     next_cmd_tag: u64,
 }
 
@@ -60,7 +60,7 @@ impl Harness {
     fn new(seed: u64, n: u32) -> Self {
         let mut sim = Sim::new(seed);
         sim.trace_mut().set_enabled(false);
-        let applied: AppliedLog = Rc::new(RefCell::new(HashMap::new()));
+        let applied: AppliedLog = Rc::new(RefCell::new(BTreeMap::new()));
         let a = applied.clone();
         let factory: dlaas_raft::ApplyFactory<Cmd> = Rc::new(move |id| {
             a.borrow_mut().insert(id, Vec::new());
@@ -81,7 +81,7 @@ impl Harness {
             sim,
             cluster,
             applied,
-            leaders_seen: HashMap::new(),
+            leaders_seen: BTreeMap::new(),
             next_cmd_tag: 0,
         }
     }
@@ -187,7 +187,7 @@ impl Harness {
         let logs: Vec<_> = (0..self.cluster.len() as NodeId)
             .map(|i| self.cluster.disk(i).borrow().log.clone())
             .collect();
-        let min_len = logs.iter().map(|l| l.len()).min().unwrap_or(0);
+        let min_len = logs.iter().map(std::vec::Vec::len).min().unwrap_or(0);
         for idx in 0..min_len {
             for log in &logs[1..] {
                 assert_eq!(
@@ -204,7 +204,7 @@ impl Harness {
             "no leader after healing and 10s of quiet time"
         );
         let applied = self.applied.borrow();
-        let max_applied = applied.values().map(|v| v.len()).max().unwrap_or(0);
+        let max_applied = applied.values().map(std::vec::Vec::len).max().unwrap_or(0);
         for (id, seq) in applied.iter() {
             assert_eq!(
                 seq.len(),

@@ -3,7 +3,7 @@
 //! holds under chaos with compaction enabled.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_net::LatencyModel;
@@ -20,10 +20,10 @@ struct Counter {
     applied: u64,
 }
 
-type Counters = Rc<RefCell<HashMap<NodeId, Rc<RefCell<Counter>>>>>;
+type Counters = Rc<RefCell<BTreeMap<NodeId, Rc<RefCell<Counter>>>>>;
 
 fn build(sim: &mut Sim, n: u32, threshold: usize) -> (RaftCluster<Cmd>, Counters) {
-    let counters: Counters = Rc::new(RefCell::new(HashMap::new()));
+    let counters: Counters = Rc::new(RefCell::new(BTreeMap::new()));
     let c1 = counters.clone();
     let apply_factory: dlaas_raft::ApplyFactory<Cmd> = Rc::new(move |id| {
         // Fresh state machine per incarnation.

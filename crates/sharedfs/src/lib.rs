@@ -33,6 +33,7 @@
 //! # Ok::<(), dlaas_sharedfs::NfsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
@@ -302,7 +303,7 @@ impl Mount {
 
     /// Number of lines currently in a file (0 if absent).
     pub fn line_count(&self, path: &str) -> usize {
-        self.with_volume(|vol, _| Ok(vol.files.get(path).map_or(0, |f| f.len())))
+        self.with_volume(|vol, _| Ok(vol.files.get(path).map_or(0, std::vec::Vec::len)))
             .unwrap_or(0)
     }
 

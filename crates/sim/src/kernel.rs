@@ -13,7 +13,7 @@
 //! schedules the call with [`Sim::defer`] instead of invoking it inline.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use dlaas_obs::{Registry, Stopwatch};
 
@@ -74,7 +74,7 @@ pub struct Sim {
     queue: BinaryHeap<Scheduled>,
     seq: u64,
     next_id: u64,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     rng: SimRng,
     trace: Trace,
     metrics: Registry,
@@ -99,7 +99,7 @@ impl Sim {
             queue: BinaryHeap::new(),
             seq: 0,
             next_id: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             rng: SimRng::new(seed),
             trace: Trace::new(),
             metrics: Registry::new(),

@@ -32,6 +32,7 @@
 //! assert!(sim.trace().first_containing("processed").is_some());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -105,6 +105,7 @@ impl Trace {
             message: message.into(),
         };
         if self.echo {
+            // dlaas-lint: allow(debug-print): opt-in echo mode streams trace events to the operator's terminal for interactive debugging; off by default and side-effect-free for the simulation state.
             println!("{ev}");
         }
         self.events.push(ev);

@@ -1,6 +1,8 @@
 //! Shared helpers for the cross-crate integration tests (the tests
 //! themselves live in `tests/tests/`).
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -74,3 +74,27 @@ fn same_seed_same_history_under_chaos() {
 fn different_seeds_diverge() {
     assert_ne!(run_fingerprint(902, true), run_fingerprint(903, true));
 }
+
+/// The acceptance gate for the BTreeMap migration: a full fault-matrix
+/// campaign aggregates metrics from dozens of platform boots, so any
+/// surviving hashed-iteration order (RPC emission, watch re-registration,
+/// docstore queries) shows up as a diff in the exposition text.
+#[test]
+fn same_seed_fault_matrix_exposes_identical_metrics() {
+    let fingerprint = |seed: u64| {
+        let run = dlaas_bench::matrix::sweep(seed, 1);
+        let mut out = run.metrics.expose();
+        for o in &run.outcomes {
+            out.push_str(&o.describe());
+            out.push('\n');
+        }
+        out
+    };
+    let a = fingerprint(910);
+    let b = fingerprint(910);
+    assert_eq!(a, b, "same-seed fault-matrix runs must be byte-identical");
+    assert!(
+        a.contains("bench_matrix_recovery_seconds"),
+        "campaign recorded no recovery observations"
+    );
+}

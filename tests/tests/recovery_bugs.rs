@@ -86,7 +86,9 @@ fn guardian_crash_during_storing_never_clobbers_store_done() {
             break;
         }
         assert!(
-            !platform.job_status(&job).is_some_and(|s| s.is_terminal()),
+            !platform
+                .job_status(&job)
+                .is_some_and(dlaas_core::JobStatus::is_terminal),
             "job went terminal before the crash could be staged"
         );
         sim.run_for(SimDuration::from_millis(100));
@@ -112,7 +114,10 @@ fn guardian_crash_during_storing_never_clobbers_store_done() {
         if let Some(v) = store_value(&platform) {
             assert_ne!(v, "go", "store handshake regressed from done to go");
         }
-        if platform.job_status(&job).is_some_and(|s| s.is_terminal()) {
+        if platform
+            .job_status(&job)
+            .is_some_and(dlaas_core::JobStatus::is_terminal)
+        {
             break;
         }
         assert!(sim.now() < deadline, "{job} lost after crash");

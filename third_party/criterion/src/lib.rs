@@ -7,6 +7,8 @@
 //! with `std::time::Instant` over `sample_size` samples and prints
 //! mean/min/max — no statistics, plots, or baseline comparisons.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
@@ -83,6 +85,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine` once per sample.
+    // Measuring host wall-clock time is this vendored harness's entire
+    // purpose; it never runs inside the simulation.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..self.sample_size {
             let start = Instant::now();

@@ -12,6 +12,8 @@
 //! - there is no shrinking — a failing case panics with its assertion
 //!   message directly (`max_shrink_iters` is accepted and ignored).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod prelude;
 pub mod strategy;
