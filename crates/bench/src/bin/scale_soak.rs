@@ -1,0 +1,277 @@
+//! Scale soak: N concurrent training jobs through the full platform, for
+//! N across three orders of magnitude, reporting where the control-plane
+//! hot paths spend their work. The three cost series come straight from
+//! the `dlaas-obs` work-count histograms the hot paths emit:
+//!
+//! * `etcd_watch_fanout_examined` — watch registrations examined per
+//!   committed etcd command (the prefix-indexed registry),
+//! * `kube_kick_pending_examined` — pods examined per scheduler kick
+//!   (the incrementally-maintained pending queue),
+//! * `mongo_docs_examined{op="find"}` — candidate documents examined per
+//!   LCM sweep query (the `status` secondary index).
+//!
+//! Dividing each histogram's total by N gives a per-job cost that must
+//! stay flat as N grows — the soak asserts the largest N is within 2× of
+//! the smallest. Everything is measured inside the deterministic sim, so
+//! the emitted `BENCH_scale.json` is byte-identical for a given seed.
+//!
+//! Usage: `cargo run --release -p dlaas-bench --bin scale_soak [seed] [N1,N2,...] [out.json]`
+//! Defaults: seed 2018, N ∈ {100, 1000, 10000}, `BENCH_scale.json`.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use dlaas_bench::harness::{print_table, BENCH_KEY};
+use dlaas_core::{DlaasPlatform, GpuNodeSpec, JobStatus, PlatformConfig, Tenant, TrainingManifest};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_sim::{Sim, SimDuration};
+
+/// Fixed measurement horizon. Identical for every N so periodic work
+/// (LCM sweeps, guardian polls) contributes the same number of rounds
+/// and the per-job costs are comparable across N.
+const HORIZON: SimDuration = SimDuration::from_hours(4);
+
+/// One work-count series, summarized from its `dlaas-obs` histogram.
+struct Series {
+    name: &'static str,
+    count: u64,
+    sum: f64,
+    mean: f64,
+    max: f64,
+    per_job: f64,
+}
+
+struct Run {
+    n: u64,
+    completed: u64,
+    failed: u64,
+    unfinished: u64,
+    watch_events_total: u64,
+    events_per_sim_sec: f64,
+    series: Vec<Series>,
+}
+
+fn soak_manifest(name: &str) -> TrainingManifest {
+    TrainingManifest::builder(name)
+        .framework(Framework::TensorFlow)
+        .model(DlModel::Resnet50)
+        .gpus(GpuKind::K80, 1)
+        .learners(1)
+        .data("scale-data", "d/", 200_000_000)
+        .results("scale-results")
+        .iterations(100)
+        .build()
+        // dlaas-lint: allow(panic-in-core): static manifest in a bench binary, not platform control-plane code.
+        .unwrap()
+}
+
+fn run_one(seed: u64, n: u64) -> Run {
+    let mut sim = Sim::new(seed);
+    sim.trace_mut().set_enabled(false);
+    // Capacity scales with N (≥ N K80s) so concurrency — not parking —
+    // is what grows; the soak measures control-plane cost, not queueing.
+    let cfg = PlatformConfig {
+        core_nodes: 4,
+        gpu_nodes: vec![GpuNodeSpec {
+            kind: GpuKind::K80,
+            count: (n.div_ceil(4)).max(2) as u32,
+            gpus_each: 4,
+        }],
+        ..PlatformConfig::default()
+    };
+    let platform = DlaasPlatform::new(&mut sim, cfg);
+    platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
+    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform.seed_dataset("scale-data", "d/", 200_000_000);
+    platform.create_bucket("scale-results");
+    let client = platform.client("scale", BENCH_KEY);
+
+    // Spread submissions over a fixed 20-minute window regardless of N,
+    // so arrival *rate* scales with N but the workload shape does not.
+    let window = SimDuration::from_mins(20);
+    let jobs = Rc::new(RefCell::new(Vec::with_capacity(n as usize)));
+    for i in 0..n {
+        let at = SimDuration::from_micros(window.as_micros() * i / n);
+        let client = client.clone();
+        let jobs = jobs.clone();
+        sim.schedule_in(at, move |sim| {
+            client.submit(sim, soak_manifest(&format!("scale-{i}")), move |_sim, r| {
+                if let Ok(job) = r {
+                    jobs.borrow_mut().push(job);
+                }
+            });
+        });
+    }
+    sim.run_for(HORIZON);
+
+    let (mut completed, mut failed, mut unfinished) = (0u64, 0u64, 0u64);
+    for job in jobs.borrow().iter() {
+        match platform.job_info(job).map(|i| i.status) {
+            Some(JobStatus::Completed) => completed += 1,
+            Some(JobStatus::Failed | JobStatus::Killed) => failed += 1,
+            _ => unfinished += 1,
+        }
+    }
+
+    let m = platform.metrics();
+    let series = [
+        (
+            "etcd_watch_fanout_examined",
+            m.histogram_merged("etcd_watch_fanout_examined"),
+        ),
+        (
+            "kube_kick_pending_examined",
+            m.histogram_merged("kube_kick_pending_examined"),
+        ),
+        (
+            "lcm_sweep_docs_examined",
+            m.histogram("mongo_docs_examined", &[("op", "find")]),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, h)| {
+        let (count, sum, mean, max) = h
+            .map(|h| {
+                (
+                    h.count(),
+                    h.sum(),
+                    h.mean().unwrap_or(0.0),
+                    h.max().unwrap_or(0.0),
+                )
+            })
+            .unwrap_or((0, 0.0, 0.0, 0.0));
+        Series {
+            name,
+            count,
+            sum,
+            mean,
+            max,
+            per_job: sum / n as f64,
+        }
+    })
+    .collect();
+
+    let watch_events_total = m.counter_total("etcd_watch_events_total");
+    Run {
+        n,
+        completed,
+        failed,
+        unfinished,
+        watch_events_total,
+        events_per_sim_sec: watch_events_total as f64 / HORIZON.as_secs_f64(),
+        series,
+    }
+}
+
+/// Hand-rolled JSON with fixed key order and fixed-precision floats, so
+/// the artifact is byte-identical across same-seed runs.
+fn render_json(seed: u64, runs: &[Run]) -> String {
+    let mut out = String::new();
+    // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
+    let mut w = |s: &str| out.push_str(s);
+    w("{\n");
+    w(&format!("  \"bench\": \"scale_soak\",\n  \"seed\": {seed},\n  \"horizon_secs\": {:.6},\n  \"runs\": [\n", HORIZON.as_secs_f64()));
+    for (ri, r) in runs.iter().enumerate() {
+        w("    {\n");
+        w(&format!(
+            "      \"n\": {},\n      \"completed\": {},\n      \"failed\": {},\n      \"unfinished\": {},\n      \"watch_events_total\": {},\n      \"events_per_sim_sec\": {:.6},\n",
+            r.n, r.completed, r.failed, r.unfinished, r.watch_events_total, r.events_per_sim_sec
+        ));
+        w("      \"series\": {\n");
+        for (si, s) in r.series.iter().enumerate() {
+            let mut line = String::new();
+            // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
+            write!(
+                line,
+                "        \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"per_job\": {:.6}}}",
+                s.name, s.count, s.sum, s.mean, s.max, s.per_job
+            )
+            .unwrap();
+            w(&line);
+            w(if si + 1 < r.series.len() { ",\n" } else { "\n" });
+        }
+        w("      }\n");
+        w(if ri + 1 < runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    w("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2018);
+    let ns: Vec<u64> = args
+        .next()
+        .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![100, 1000, 10000]);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_scale.json".into());
+
+    let mut runs = Vec::new();
+    for &n in &ns {
+        // dlaas-lint: allow(debug-print): bench progress output.
+        eprintln!("soaking {n} concurrent jobs (seed {seed})…");
+        runs.push(run_one(seed, n));
+    }
+
+    let mut rows = Vec::new();
+    for r in &runs {
+        rows.push(vec![
+            r.n.to_string(),
+            format!("{}/{}/{}", r.completed, r.failed, r.unfinished),
+            format!("{:.1}", r.events_per_sim_sec),
+            format!("{:.2}", r.series[0].per_job),
+            format!("{:.2}", r.series[1].per_job),
+            format!("{:.2}", r.series[2].per_job),
+        ]);
+    }
+    print_table(
+        "Scale soak: per-job control-plane cost (work items / job)",
+        &[
+            "N",
+            "done/failed/unfinished",
+            "watch ev/s",
+            "fanout/job",
+            "kick/job",
+            "sweep/job",
+        ],
+        &rows,
+    );
+
+    let json = render_json(seed, &runs);
+    // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    // dlaas-lint: allow(debug-print): bench result output.
+    println!("\nwrote {out_path}");
+
+    // The flat-curve criterion: per-job cost at the largest N must stay
+    // within 2× of the smallest N for every series (+1 guards emptiness).
+    if let (Some(lo), Some(hi)) = (
+        runs.iter().min_by_key(|r| r.n),
+        runs.iter().max_by_key(|r| r.n),
+    ) {
+        if lo.n < hi.n {
+            for (a, b) in lo.series.iter().zip(hi.series.iter()) {
+                let ratio = (b.per_job + 1.0) / (a.per_job + 1.0);
+                // dlaas-lint: allow(debug-print): bench result output.
+                println!(
+                    "{}: {:.2}/job @ N={} vs {:.2}/job @ N={} (×{:.2})",
+                    a.name, a.per_job, lo.n, b.per_job, hi.n, ratio
+                );
+                // dlaas-lint: allow(panic-in-core): bench binary asserting its acceptance criterion.
+                assert!(
+                    ratio <= 2.0,
+                    "{}: per-job cost grew ×{ratio:.2} from N={} to N={}",
+                    a.name,
+                    lo.n,
+                    hi.n
+                );
+            }
+        }
+    }
+}

@@ -324,72 +324,90 @@ fn submit(
                 }
                 Err(e) => return responder.err(sim, e.to_string()),
             };
-            // Quota: sum GPUs of the tenant's active jobs.
+            // Quota: sum GPUs of the tenant's active jobs. An unlimited
+            // tenant (max_gpus == 0) skips the scan entirely — fetching
+            // every active job document just to ignore it is the single
+            // largest per-submission cost at scale.
+            if tenant.max_gpus == 0 {
+                return record_and_deploy(sim, &h, &meta2, &tenant.id, manifest, from, responder);
+            }
             let quota_filter = Filter::and(vec![
                 Filter::eq("tenant", tenant.id.clone()),
                 Filter::In("status".into(), active_statuses()),
             ]);
+            let h2 = h.clone();
             let meta3 = meta2.clone();
             meta2.find(sim, JOBS, quota_filter, move |sim, r| {
                 let docs = match r {
                     Ok(d) => d,
                     Err(e) => return responder.err(sim, e.to_string()),
                 };
-                if tenant.max_gpus > 0 {
-                    let in_use: u32 = docs
-                        .iter()
-                        .filter_map(|d| d.path("manifest")?.as_str())
-                        .filter_map(|s| TrainingManifest::from_json(s).ok())
-                        .map(|m| m.total_gpus())
-                        .sum();
-                    if in_use + manifest.total_gpus() > tenant.max_gpus {
-                        sim.metrics().inc(
-                            crate::metrics::API_SUBMISSIONS,
-                            &[("outcome", "rejected_quota")],
-                        );
-                        return responder.err(
-                            sim,
-                            format!(
-                                "quota exceeded: {} GPUs in use, {} requested, limit {}",
-                                in_use,
-                                manifest.total_gpus(),
-                                tenant.max_gpus
-                            ),
-                        );
-                    }
-                }
-                // Durably record, then acknowledge, then hand to the LCM.
-                let doc = MetaClient::job_document(&tenant.id, &manifest, sim.now().as_micros());
-                meta3.insert(sim, JOBS, doc, move |sim, r| {
-                    let id = match r {
-                        Ok(id) => JobId::new(id),
-                        Err(e) => {
-                            sim.metrics()
-                                .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "error")]);
-                            return responder.err(sim, e.to_string());
-                        }
-                    };
-                    sim.metrics()
-                        .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "accepted")]);
-                    sim.record("api", format!("job {id} recorded; acknowledging"));
-                    responder.ok(sim, CoreResponse::Submitted { job: id.clone() });
-
-                    // Fire-and-forget: the LCM scan is the dependability
-                    // backstop if this message (or the LCM) is lost.
-                    let resolver = h.kube.service_resolver(LCM_SERVICE);
-                    h.rpc.call_service(
-                        sim,
-                        from,
-                        LCM_SERVICE.into(),
-                        resolver,
-                        CoreRequest::DeployJob { job: id },
-                        h.config.rpc_timeout,
-                        10,
-                        SimDuration::from_millis(400),
-                        |_sim, _r| {},
+                let in_use: u32 = docs
+                    .iter()
+                    .filter_map(|d| d.path("manifest")?.as_str())
+                    .filter_map(|s| TrainingManifest::from_json(s).ok())
+                    .map(|m| m.total_gpus())
+                    .sum();
+                if in_use + manifest.total_gpus() > tenant.max_gpus {
+                    sim.metrics().inc(
+                        crate::metrics::API_SUBMISSIONS,
+                        &[("outcome", "rejected_quota")],
                     );
-                });
+                    return responder.err(
+                        sim,
+                        format!(
+                            "quota exceeded: {} GPUs in use, {} requested, limit {}",
+                            in_use,
+                            manifest.total_gpus(),
+                            tenant.max_gpus
+                        ),
+                    );
+                }
+                record_and_deploy(sim, &h2, &meta3, &tenant.id, manifest, from, responder);
             });
         },
     );
+}
+
+/// Durably record the job, acknowledge the client, then hand the job id to
+/// the LCM fire-and-forget (the LCM scan is the dependability backstop if
+/// that message — or the LCM itself — is lost).
+fn record_and_deploy(
+    sim: &mut Sim,
+    h: &Handles,
+    meta: &Rc<MetaClient>,
+    tenant_id: &str,
+    manifest: TrainingManifest,
+    from: dlaas_net::Addr,
+    responder: Resp,
+) {
+    let doc = MetaClient::job_document(tenant_id, &manifest, sim.now().as_micros());
+    let h = h.clone();
+    meta.insert(sim, JOBS, doc, move |sim, r| {
+        let id = match r {
+            Ok(id) => JobId::new(id),
+            Err(e) => {
+                sim.metrics()
+                    .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "error")]);
+                return responder.err(sim, e.to_string());
+            }
+        };
+        sim.metrics()
+            .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "accepted")]);
+        sim.record("api", format!("job {id} recorded; acknowledging"));
+        responder.ok(sim, CoreResponse::Submitted { job: id.clone() });
+
+        let resolver = h.kube.service_resolver(LCM_SERVICE);
+        h.rpc.call_service(
+            sim,
+            from,
+            LCM_SERVICE.into(),
+            resolver,
+            CoreRequest::DeployJob { job: id },
+            h.config.rpc_timeout,
+            10,
+            SimDuration::from_millis(400),
+            |_sim, _r| {},
+        );
+    });
 }

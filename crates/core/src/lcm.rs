@@ -140,6 +140,9 @@ fn job_ids(docs: &[Value]) -> Vec<JobId> {
 }
 
 /// When the job most recently entered DEPLOYING, per its status history.
+/// A negative `t_us` is a malformed (platform-written) record: `None`,
+/// never a silent wrap to a far-future time that would mask deploy-stuck
+/// detection (or trip it spuriously).
 fn deploying_since(doc: &Value) -> Option<SimTime> {
     let history = doc.path("history")?.as_arr()?;
     history
@@ -148,7 +151,8 @@ fn deploying_since(doc: &Value) -> Option<SimTime> {
         .find(|e| e.path("status").and_then(Value::as_str) == Some("DEPLOYING"))
         .and_then(|e| e.path("t_us"))
         .and_then(Value::as_i64)
-        .map(|us| SimTime::from_micros(us as u64))
+        .and_then(|us| u64::try_from(us).ok())
+        .map(SimTime::from_micros)
 }
 
 fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
@@ -162,10 +166,21 @@ fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
         move |sim, r| {
             let Ok(docs) = r else { return };
             for doc in &docs {
-                let submitted = doc
-                    .path("submitted_us")
-                    .and_then(Value::as_i64)
-                    .unwrap_or(0) as u64;
+                // A negative submitted_us is store corruption: skip the
+                // document like the other malformed-record paths instead
+                // of wrapping it to a huge timestamp (which would pin the
+                // job's age at zero and strand it forever).
+                let Ok(submitted) = u64::try_from(
+                    doc.path("submitted_us")
+                        .and_then(Value::as_i64)
+                        .unwrap_or(0),
+                ) else {
+                    sim.metrics().inc(
+                        crate::metrics::LCM_MALFORMED_RECORDS,
+                        &[("field", "submitted_us")],
+                    );
+                    continue;
+                };
                 let age = sim
                     .now()
                     .saturating_duration_since(SimTime::from_micros(submitted));
@@ -317,6 +332,26 @@ mod tests {
         assert_eq!(deploying_since(&doc), None);
         assert_eq!(deploying_since(&obj! {"_id" => "j"}), None);
         assert_eq!(deploying_since(&Value::Null), None);
+    }
+
+    #[test]
+    fn deploying_since_rejects_negative_timestamp() {
+        // Regression: `t_us as i64 as u64` used to wrap -1 to u64::MAX,
+        // a far-future time that made every DEPLOYING job look fresh.
+        let doc = obj! {
+            "_id" => "j",
+            "history" => vec![obj! {"status" => "DEPLOYING", "t_us" => -1}],
+        };
+        assert_eq!(deploying_since(&doc), None);
+        // A later well-formed entry still wins over an earlier corrupt one.
+        let doc = obj! {
+            "_id" => "j",
+            "history" => vec![
+                obj! {"status" => "DEPLOYING", "t_us" => -5},
+                obj! {"status" => "DEPLOYING", "t_us" => 40},
+            ],
+        };
+        assert_eq!(deploying_since(&doc), Some(SimTime::from_micros(40)));
     }
 
     #[test]

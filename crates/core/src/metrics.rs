@@ -29,6 +29,9 @@ pub const LCM_SCAN_REDEPLOYS: &str = "dlaas_lcm_scan_redeploys_total";
 pub const LCM_SCAN_FAILURES: &str = "dlaas_lcm_scan_failures_total";
 /// Terminal jobs whose leftovers the scan garbage-collected.
 pub const LCM_SCAN_GC: &str = "dlaas_lcm_scan_gc_total";
+/// Job documents the LCM skipped as malformed (e.g. negative timestamps),
+/// by field. Platform-written fields, so nonzero means store corruption.
+pub const LCM_MALFORMED_RECORDS: &str = "dlaas_lcm_malformed_records_total";
 
 /// Deployment attempts started by Guardians (first try and retries).
 pub const GUARDIAN_DEPLOY_ATTEMPTS: &str = "dlaas_guardian_deploy_attempts_total";
@@ -62,6 +65,16 @@ pub const DATA_STAGED: &str = "dlaas_data_staged_total";
 /// Trained models uploaded by store-results.
 pub const RESULTS_STORED: &str = "dlaas_results_stored_total";
 
+/// Watch registrations examined per committed etcd command (work count;
+/// emitted by `dlaas-etcd`, which sits below this crate, hence the bare
+/// name — the scale soak reads it to prove fan-out stays sub-linear).
+pub const ETCD_WATCH_FANOUT_EXAMINED: &str = "etcd_watch_fanout_examined";
+/// Pods examined per scheduler kick (work count; emitted by `dlaas-kube`).
+pub const KUBE_KICK_EXAMINED: &str = "kube_kick_pending_examined";
+/// Candidate documents examined per metadata-store query, by op (work
+/// count; emitted by `dlaas-docstore`'s server).
+pub const MONGO_DOCS_EXAMINED: &str = "mongo_docs_examined";
+
 /// Describes every control-plane metric in `registry` (help text and,
 /// for histograms, bucket bounds). Purely cosmetic for counters — series
 /// are created on first use either way — but keeps the exposition page
@@ -92,6 +105,10 @@ pub fn register(registry: &Registry) {
     c(
         LCM_SCAN_GC,
         "terminal-job leftovers garbage-collected by the scan",
+    );
+    c(
+        LCM_MALFORMED_RECORDS,
+        "malformed job documents skipped by the LCM, by field",
     );
     c(
         GUARDIAN_DEPLOY_ATTEMPTS,
@@ -139,4 +156,22 @@ pub fn register(registry: &Registry) {
         Histogram,
         "seconds training stalled per checkpoint upload",
     );
+    let buckets = dlaas_obs::count_buckets();
+    for (name, help) in [
+        (
+            ETCD_WATCH_FANOUT_EXAMINED,
+            "watch registrations examined per committed etcd command",
+        ),
+        (
+            KUBE_KICK_EXAMINED,
+            "pods examined per scheduler kick of the pending queue",
+        ),
+        (
+            MONGO_DOCS_EXAMINED,
+            "candidate documents examined per metadata query, by op",
+        ),
+    ] {
+        registry.describe(name, Histogram, help);
+        registry.set_buckets(name, &buckets);
+    }
 }

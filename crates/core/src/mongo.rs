@@ -314,7 +314,9 @@ impl MetaClient {
                 arr.iter()
                     .filter_map(|e| {
                         let s: JobStatus = e.path("status")?.as_str()?.parse().ok()?;
-                        let t = e.path("t_us")?.as_i64()? as u64;
+                        // Negative t_us = corrupt entry; drop it rather
+                        // than wrapping it to a far-future timestamp.
+                        let t = u64::try_from(e.path("t_us")?.as_i64()?).ok()?;
                         Some((s, t))
                     })
                     .collect()
@@ -325,11 +327,16 @@ impl MetaClient {
             name,
             status,
             history,
-            iteration: doc.path("iteration").and_then(Value::as_i64).unwrap_or(0) as u64,
+            iteration: doc
+                .path("iteration")
+                .and_then(Value::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .unwrap_or(0),
             learner_restarts: doc
                 .path("learner_restarts")
                 .and_then(Value::as_i64)
-                .unwrap_or(0) as u64,
+                .and_then(|v| u64::try_from(v).ok())
+                .unwrap_or(0),
             images_per_sec: doc.path("images_per_sec").and_then(Value::as_f64),
             learners: doc
                 .path("learners")
@@ -370,5 +377,27 @@ mod tests {
         // The stored manifest round-trips.
         let stored = doc.path("manifest").unwrap().as_str().unwrap();
         assert_eq!(TrainingManifest::from_json(stored).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_job_info_drops_negative_counters_and_timestamps() {
+        use dlaas_docstore::obj;
+        // Regression: `as i64 as u64` wrapped negative values to huge
+        // u64s (a -1 iteration became 2^64-1). Corrupt history entries
+        // are dropped; corrupt counters degrade to zero.
+        let doc = obj! {
+            "_id" => "j1",
+            "status" => "PROCESSING",
+            "iteration" => -3,
+            "learner_restarts" => -1,
+            "history" => vec![
+                obj! {"status" => "PENDING", "t_us" => -7},
+                obj! {"status" => "PROCESSING", "t_us" => 99},
+            ],
+        };
+        let info = MetaClient::parse_job_info(&doc).unwrap();
+        assert_eq!(info.iteration, 0);
+        assert_eq!(info.learner_restarts, 0);
+        assert_eq!(info.history, vec![(JobStatus::Processing, 99)]);
     }
 }

@@ -132,6 +132,13 @@ impl DlaasPlatform {
         let rpc: CoreRpc = RpcLayer::new(sim, LatencyModel::datacenter());
         let mongo_rpc: MongoRpc = RpcLayer::new(sim, LatencyModel::datacenter());
         let mongo = MongoServer::new(mongo_rpc.clone());
+        // The LCM sweeps and quota counts pin `status`; index it up front
+        // (journaled, so it survives crash/recovery) to keep those queries
+        // proportional to the matching set, not the whole jobs collection.
+        mongo
+            .store()
+            .borrow_mut()
+            .create_index(crate::mongo::JOBS, "status");
         let etcd = Rc::new(EtcdCluster::new_3way(sim));
         let objstore = ObjectStore::new(cfg.objstore_bytes_per_sec);
         let nfs = NfsServer::new();

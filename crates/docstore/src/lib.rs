@@ -8,8 +8,10 @@
 //!
 //! * [`Value`] / [`obj!`] — JSON/BSON-like documents,
 //! * [`Filter`] / [`Update`] — queries and mutations over dotted paths,
-//! * [`DocStore`] — collections with secondary indexes and a write-ahead
-//!   [`Journal`]; [`DocStore::recover`] rebuilds state after a crash,
+//! * [`DocStore`] — collections with secondary indexes (equality *and*
+//!   `In` filters route through them, preserving scan order) and a
+//!   write-ahead [`Journal`]; [`DocStore::recover`] rebuilds state after
+//!   a crash,
 //! * [`MongoServer`] — the store as an RPC service with modelled
 //!   journal-write/read latencies and crash/recover.
 //!

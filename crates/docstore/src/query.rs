@@ -107,6 +107,17 @@ impl Filter {
             _ => None,
         }
     }
+
+    /// If this filter restricts `path` to a fixed set of values via `In`
+    /// (directly or inside an `And`), returns that set — used for index
+    /// lookups that union the per-value posting lists.
+    pub fn pinned_in(&self, path: &str) -> Option<&[Value]> {
+        match self {
+            Filter::In(p, vs) if p == path => Some(vs),
+            Filter::And(fs) => fs.iter().find_map(|f| f.pinned_in(path)),
+            _ => None,
+        }
+    }
 }
 
 /// A document mutation, applied field-by-field.
@@ -270,6 +281,26 @@ mod tests {
         assert_eq!(f.pinned_eq("status"), Some(&Value::from("PROCESSING")));
         assert_eq!(f.pinned_eq("learners"), None);
         assert_eq!(Filter::True.pinned_eq("status"), None);
+    }
+
+    #[test]
+    fn pinned_in_extraction() {
+        let vs: Vec<Value> = vec!["PENDING".into(), "DEPLOYING".into()];
+        let f = Filter::and(vec![
+            Filter::gt("learners", 1),
+            Filter::In("status".into(), vs.clone()),
+        ]);
+        assert_eq!(f.pinned_in("status"), Some(vs.as_slice()));
+        assert_eq!(f.pinned_in("learners"), None);
+        assert_eq!(
+            Filter::In("status".into(), vs.clone()).pinned_in("status"),
+            Some(vs.as_slice())
+        );
+        assert_eq!(Filter::True.pinned_in("status"), None);
+        // `In` under an `Or` must not be treated as pinning: the other arm
+        // can match documents outside the listed set.
+        let or = Filter::or(vec![Filter::In("status".into(), vs), Filter::True]);
+        assert_eq!(or.pinned_in("status"), None);
     }
 
     #[test]

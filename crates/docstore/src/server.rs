@@ -249,6 +249,17 @@ impl MongoServer {
         } else {
             self.timings.read
         };
+        // Work-count label for query-bearing ops (None: no candidate scan).
+        let op_label = match &req {
+            MongoRequest::InsertOne { .. } | MongoRequest::CreateIndex { .. } => None,
+            MongoRequest::FindOne { .. } => Some("find_one"),
+            MongoRequest::Find { .. } => Some("find"),
+            MongoRequest::UpdateOne { .. } => Some("update_one"),
+            MongoRequest::UpdateMany { .. } => Some("update_many"),
+            MongoRequest::DeleteOne { .. } => Some("delete_one"),
+            MongoRequest::DeleteMany { .. } => Some("delete_many"),
+            MongoRequest::Count { .. } => Some("count"),
+        };
         let me = self.clone();
         sim.schedule_in(delay, move |sim| {
             if !*me.up.borrow() {
@@ -294,7 +305,12 @@ impl MongoServer {
                     MongoResponse::Ok
                 }
             };
+            let examined = store.last_examined();
             drop(store);
+            if let Some(op) = op_label {
+                sim.metrics()
+                    .observe("mongo_docs_examined", &[("op", op)], examined as f64);
+            }
             responder.ok(sim, resp);
         });
     }

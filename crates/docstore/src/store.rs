@@ -163,6 +163,20 @@ impl Collection {
                     .unwrap_or_default();
             }
         }
+        // `In`-pinned filters union the posting lists of every listed
+        // value; the BTreeSet keeps candidate order identical to a scan.
+        for path in self.indexes.keys() {
+            if let Some(vs) = filter.pinned_in(path) {
+                let idx = &self.indexes[path];
+                let mut ids: BTreeSet<String> = BTreeSet::new();
+                for v in vs {
+                    if let Some(set) = idx.get(&Self::index_key(v)) {
+                        ids.extend(set.iter().cloned());
+                    }
+                }
+                return ids.into_iter().collect();
+            }
+        }
         self.docs.keys().cloned().collect()
     }
 }
@@ -190,6 +204,9 @@ pub struct DocStore {
     collections: BTreeMap<String, Collection>,
     journal: Journal,
     next_auto_id: u64,
+    /// Candidate documents examined by the most recent query-bearing
+    /// operation — the per-query work count an RPC server can export.
+    last_examined: std::cell::Cell<u64>,
 }
 
 impl Default for DocStore {
@@ -205,6 +222,7 @@ impl DocStore {
             collections: BTreeMap::new(),
             journal: Journal::new(),
             next_auto_id: 0,
+            last_examined: std::cell::Cell::new(0),
         }
     }
 
@@ -215,6 +233,7 @@ impl DocStore {
             collections: BTreeMap::new(),
             journal: Journal::new(), // temporarily empty to avoid re-journaling
             next_auto_id: 0,
+            last_examined: std::cell::Cell::new(0),
         };
         let ops = journal.snapshot();
         for op in &ops {
@@ -322,9 +341,12 @@ impl DocStore {
     /// All documents matching `filter`, in id order.
     pub fn find(&self, coll: &str, filter: &Filter) -> Vec<Value> {
         let Some(c) = self.collections.get(coll) else {
+            self.last_examined.set(0);
             return Vec::new();
         };
-        c.candidates(filter)
+        let cands = c.candidates(filter);
+        self.last_examined.set(cands.len() as u64);
+        cands
             .into_iter()
             .filter_map(|id| c.docs.get(&id))
             .filter(|d| filter.matches(d))
@@ -364,12 +386,25 @@ impl DocStore {
 
     /// First matching document in id order, if any.
     pub fn find_one(&self, coll: &str, filter: &Filter) -> Option<Value> {
-        let c = self.collections.get(coll)?;
-        c.candidates(filter)
+        let Some(c) = self.collections.get(coll) else {
+            self.last_examined.set(0);
+            return None;
+        };
+        let cands = c.candidates(filter);
+        self.last_examined.set(cands.len() as u64);
+        cands
             .into_iter()
             .filter_map(|id| c.docs.get(&id))
             .find(|d| filter.matches(d))
             .cloned()
+    }
+
+    /// Candidate documents examined by the most recent `find*`, `count`,
+    /// `update_*` or `delete_*` call. With a usable index this is the
+    /// posting-list size; without one it is the collection size — the
+    /// number the scale soak tracks to prove queries stay sub-linear.
+    pub fn last_examined(&self) -> u64 {
+        self.last_examined.get()
     }
 
     /// Number of matching documents.
@@ -390,10 +425,12 @@ impl DocStore {
 
     fn update_impl(&mut self, coll: &str, filter: &Filter, update: &Update, one: bool) -> usize {
         let Some(c) = self.collections.get_mut(coll) else {
+            self.last_examined.set(0);
             return 0;
         };
-        let ids: Vec<String> = c
-            .candidates(filter)
+        let cands = c.candidates(filter);
+        self.last_examined.set(cands.len() as u64);
+        let ids: Vec<String> = cands
             .into_iter()
             .filter(|id| c.docs.get(id).is_some_and(|d| filter.matches(d)))
             .collect();
@@ -433,10 +470,12 @@ impl DocStore {
 
     fn delete_impl(&mut self, coll: &str, filter: &Filter, one: bool) -> usize {
         let Some(c) = self.collections.get_mut(coll) else {
+            self.last_examined.set(0);
             return 0;
         };
-        let ids: Vec<String> = c
-            .candidates(filter)
+        let cands = c.candidates(filter);
+        self.last_examined.set(cands.len() as u64);
+        let ids: Vec<String> = cands
             .into_iter()
             .filter(|id| c.docs.get(id).is_some_and(|d| filter.matches(d)))
             .collect();
@@ -622,6 +661,70 @@ mod tests {
         assert_eq!(db.find("jobs", &Filter::eq("status", "C")).len(), 7);
         db.delete_many("jobs", &Filter::eq("status", "C"));
         assert!(db.find("jobs", &Filter::eq("status", "C")).is_empty());
+    }
+
+    #[test]
+    fn in_filters_route_through_index_and_match_scan() {
+        let mut indexed = DocStore::new();
+        indexed.create_index("jobs", "status");
+        let mut plain = DocStore::new();
+        for i in 0..30 {
+            let status = ["PENDING", "DEPLOYING", "PROCESSING", "COMPLETED"][i % 4];
+            indexed
+                .insert("jobs", job(&format!("j{i:02}"), status, i as i64))
+                .unwrap();
+            plain
+                .insert("jobs", job(&format!("j{i:02}"), status, i as i64))
+                .unwrap();
+        }
+        let active = Filter::In(
+            "status".into(),
+            vec!["PENDING".into(), "DEPLOYING".into(), "PROCESSING".into()],
+        );
+        let via_index = indexed.find("jobs", &active);
+        let via_scan = plain.find("jobs", &active);
+        assert_eq!(
+            via_index, via_scan,
+            "index must not change results or order"
+        );
+        // The indexed store examined only the union of the posting lists.
+        assert_eq!(indexed.last_examined(), via_index.len() as u64);
+        assert_eq!(plain.last_examined(), 30);
+
+        // `In` nested under `And` also routes through the index.
+        let compound = Filter::and(vec![active.clone(), Filter::gt("learners", 10)]);
+        let got = indexed.find("jobs", &compound);
+        assert_eq!(got, plain.find("jobs", &compound));
+        assert!(indexed.last_examined() < 30);
+
+        // Updates through an In-pinned filter keep the index consistent.
+        let n = indexed.update_many("jobs", &active, &Update::set("status", "KILLED"));
+        assert_eq!(n, via_index.len());
+        assert!(indexed.find("jobs", &active).is_empty());
+        assert_eq!(
+            indexed.find("jobs", &Filter::eq("status", "KILLED")).len(),
+            n
+        );
+    }
+
+    #[test]
+    fn last_examined_tracks_candidate_set_size() {
+        let mut db = DocStore::new();
+        db.create_index("jobs", "status");
+        for i in 0..8 {
+            let status = if i < 2 { "A" } else { "B" };
+            db.insert("jobs", job(&format!("j{i}"), status, i)).unwrap();
+        }
+        db.find("jobs", &Filter::True);
+        assert_eq!(db.last_examined(), 8);
+        db.find("jobs", &Filter::eq("status", "A"));
+        assert_eq!(db.last_examined(), 2);
+        db.find_one("jobs", &Filter::eq("_id", "j5"));
+        assert_eq!(db.last_examined(), 1);
+        db.find("ghost", &Filter::True);
+        assert_eq!(db.last_examined(), 0);
+        db.delete_many("jobs", &Filter::eq("status", "A"));
+        assert_eq!(db.last_examined(), 2);
     }
 
     #[test]

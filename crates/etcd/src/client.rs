@@ -1,7 +1,7 @@
 //! The etcd client: leader discovery, retries, and watch dispatch.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use dlaas_net::{Addr, RpcError};
@@ -27,6 +27,12 @@ struct ClientState {
     watches: BTreeMap<u64, WatchCb>,
     watch_meta: BTreeMap<u64, String>, // id -> prefix, for re-registration
     next_watch_id: u64,
+    /// Watch cancels a server has not acknowledged yet, per server. A
+    /// `WatchCancel` lost to a partition or crash leaves a stale
+    /// registration live on that server, which double-notifies once it
+    /// rejoins — so un-acked cancels are retried on every failover signal
+    /// and from `rewatch` until the server acks.
+    pending_cancels: BTreeMap<NodeId, BTreeSet<u64>>,
 }
 
 /// Handle used by DLaaS components to talk to etcd. Cloning shares the
@@ -68,6 +74,7 @@ impl EtcdClient {
                 watches: BTreeMap::new(),
                 watch_meta: BTreeMap::new(),
                 next_watch_id: 0,
+                pending_cancels: BTreeMap::new(),
             })),
         };
         // Receive watch notifications at our address.
@@ -124,6 +131,9 @@ impl EtcdClient {
                         let mut s = me.state.borrow_mut();
                         s.leader_hint = hint.filter(|h| *h != target);
                     }
+                    // Leadership moved: any cancel the old topology lost
+                    // gets another best-effort delivery now.
+                    me.flush_pending_cancels(sim);
                     let me2 = me.clone();
                     sim.schedule_in(RETRY_BACKOFF, move |sim| {
                         me2.request(sim, req, attempts_left - 1, done);
@@ -135,6 +145,7 @@ impl EtcdClient {
                 }
                 Err(RpcError::Timeout | RpcError::NoEndpoint(_)) => {
                     me.state.borrow_mut().leader_hint = None;
+                    me.flush_pending_cancels(sim);
                     let me2 = me.clone();
                     sim.schedule_in(RETRY_BACKOFF, move |sim| {
                         me2.request(sim, req, attempts_left - 1, done);
@@ -315,6 +326,55 @@ impl EtcdClient {
         for (id, prefix) in metas {
             self.register_watch_everywhere(sim, id, prefix);
         }
+        // The same servers that need re-registration may also hold stale
+        // registrations whose cancel they never acked.
+        self.flush_pending_cancels(sim);
+    }
+
+    /// Re-sends every `WatchCancel` not yet acknowledged by its server.
+    /// Best-effort and idempotent (watch ids are never reused): called on
+    /// failover signals and from [`EtcdClient::rewatch`], so a cancel lost
+    /// while a server was partitioned lands once the server is reachable
+    /// again, instead of the old registration double-notifying forever.
+    pub fn flush_pending_cancels(&self, sim: &mut Sim) {
+        let pending: Vec<(NodeId, u64)> = self
+            .state
+            .borrow()
+            .pending_cancels
+            .iter()
+            .flat_map(|(server, ids)| ids.iter().map(|id| (*server, *id)))
+            .collect();
+        for (server, watch_id) in pending {
+            self.send_cancel(sim, server, watch_id);
+        }
+    }
+
+    /// Sends one `WatchCancel` to one server; the pending entry is cleared
+    /// only when that server acks.
+    fn send_cancel(&self, sim: &mut Sim, server: NodeId, watch_id: u64) {
+        let req = EtcdRequest::WatchCancel {
+            watch_id,
+            watcher: self.addr.clone(),
+        };
+        let st = self.state.clone();
+        self.rpc.call(
+            sim,
+            self.addr.clone(),
+            etcd_addr(server),
+            req,
+            RPC_TIMEOUT,
+            move |_sim, result| {
+                if matches!(result, Ok(EtcdResponse::WatchAck)) {
+                    let mut s = st.borrow_mut();
+                    if let Some(ids) = s.pending_cancels.get_mut(&server) {
+                        ids.remove(&watch_id);
+                        if ids.is_empty() {
+                            s.pending_cancels.remove(&server);
+                        }
+                    }
+                }
+            },
+        );
     }
 
     /// Shuts the client down: cancels every watch on every server and
@@ -330,26 +390,23 @@ impl EtcdClient {
         self.watch_net.unregister(&self.addr);
     }
 
-    /// Cancels a watch locally and on all servers.
+    /// Cancels a watch locally and on all servers. Each server's cancel is
+    /// tracked until acked, so a server that misses it (crashed or
+    /// partitioned) is retried on the next failover signal or `rewatch`.
     pub fn unwatch(&self, sim: &mut Sim, watch_id: u64) {
         {
             let mut s = self.state.borrow_mut();
             s.watches.remove(&watch_id);
             s.watch_meta.remove(&watch_id);
+            for server in 0..self.cluster_size {
+                s.pending_cancels
+                    .entry(server)
+                    .or_default()
+                    .insert(watch_id);
+            }
         }
         for server in 0..self.cluster_size {
-            let req = EtcdRequest::WatchCancel {
-                watch_id,
-                watcher: self.addr.clone(),
-            };
-            self.rpc.call(
-                sim,
-                self.addr.clone(),
-                etcd_addr(server),
-                req,
-                RPC_TIMEOUT,
-                |_sim, _result| {},
-            );
+            self.send_cancel(sim, server, watch_id);
         }
     }
 }

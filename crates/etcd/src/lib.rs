@@ -11,7 +11,9 @@
 //! * [`KvState`] / [`KvCommand`] — the deterministic state machine
 //!   replicated through [`dlaas_raft`],
 //! * [`EtcdServer`] — per-node server: proposes writes, serves ReadIndex
-//!   reads, fans out watch events,
+//!   reads, fans out watch events through a prefix-indexed registry
+//!   (idempotent registration, O(log n) cancel, per-commit dispatch that
+//!   examines only the event key's own prefixes),
 //! * [`EtcdCluster`] — harness owning Raft + servers, with crash/restart,
 //! * [`EtcdClient`] — leader discovery, retries, watches.
 //!

@@ -6,7 +6,7 @@
 //! on restart — exactly the recovery model of real etcd.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use dlaas_net::{Addr, Net, Responder, RpcLayer};
@@ -21,16 +21,87 @@ pub type EtcdRpc = RpcLayer<EtcdRequest, EtcdResponse>;
 /// One-way channel type for watch notifications.
 pub type WatchNet = Net<WatchNotify>;
 
-struct WatchReg {
-    watch_id: u64,
-    prefix: String,
-    watcher: Addr,
+/// Watch registrations indexed by prefix, so commit-time fan-out visits
+/// only the registrations whose prefix actually matches a changed key
+/// instead of scanning every registration on every committed command.
+///
+/// Dispatch enumerates the key's own prefixes (each char boundary of the
+/// key, including the empty prefix) and looks each up exactly: every
+/// registration prefix that prefixes the key is one of them, so the walk
+/// is complete without a fallback scan, in `O(len(key) · log n)`.
+#[derive(Debug, Default)]
+struct WatchIndex {
+    /// prefix → registrations listening on it, in `(watcher, id)` order.
+    by_prefix: BTreeMap<String, BTreeSet<(Addr, u64)>>,
+    /// `(watcher, id)` → its registered prefix. Makes registration
+    /// idempotent (an RPC retry of `WatchCreate` after a timed-out ack
+    /// must not double-register) and cancellation `O(log n)`.
+    by_key: BTreeMap<(Addr, u64), String>,
+}
+
+impl WatchIndex {
+    fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Registers `(watcher, watch_id)` on `prefix`. Idempotent: re-sending
+    /// the same registration replaces it instead of duplicating delivery,
+    /// and a changed prefix supersedes the old one.
+    fn register(&mut self, watch_id: u64, prefix: String, watcher: Addr) {
+        let key = (watcher, watch_id);
+        if let Some(old) = self.by_key.get(&key) {
+            if *old == prefix {
+                return;
+            }
+            let stale = old.clone();
+            if let Some(set) = self.by_prefix.get_mut(&stale) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_prefix.remove(&stale);
+                }
+            }
+        }
+        self.by_prefix
+            .entry(prefix.clone())
+            .or_default()
+            .insert(key.clone());
+        self.by_key.insert(key, prefix);
+    }
+
+    /// Drops the `(watcher, watch_id)` registration if present.
+    fn cancel(&mut self, watch_id: u64, watcher: &Addr) {
+        let key = (watcher.clone(), watch_id);
+        if let Some(prefix) = self.by_key.remove(&key) {
+            if let Some(set) = self.by_prefix.get_mut(&prefix) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_prefix.remove(&prefix);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every registration matching `key`, in
+    /// `(watcher, id)` order per prefix bucket (shortest prefix first).
+    /// Returns how many registrations were visited (the fan-out work).
+    fn for_matching(&self, key: &str, mut f: impl FnMut(&Addr, u64)) -> u64 {
+        let mut examined = 0;
+        for l in (0..=key.len()).filter(|&l| key.is_char_boundary(l)) {
+            if let Some(set) = self.by_prefix.get(&key[..l]) {
+                for (watcher, id) in set {
+                    examined += 1;
+                    f(watcher, *id);
+                }
+            }
+        }
+        examined
+    }
 }
 
 /// Volatile per-server state, dropped wholesale on crash.
 pub struct ServerCore {
     kv: KvState,
-    watches: Vec<WatchReg>,
+    watches: WatchIndex,
     pending: BTreeMap<u64, Responder<EtcdRequest, EtcdResponse>>,
     next_req_id: u64,
     /// Server incarnation, bumped on restart; stale pendings die with it.
@@ -54,10 +125,26 @@ impl ServerCore {
         Self::new(incarnation)
     }
 
+    /// Snapshot of the live watch registrations as
+    /// `(prefix, watcher, watch_id)` triples, sorted — lets the cluster
+    /// harness and regression tests assert exactly which registrations a
+    /// server holds (e.g. no duplicates after an RPC retry, no stale
+    /// entries after a failover cancel).
+    pub fn watch_registrations(&self) -> Vec<(String, Addr, u64)> {
+        let mut v: Vec<_> = self
+            .watches
+            .by_key
+            .iter()
+            .map(|((watcher, id), prefix)| (prefix.clone(), watcher.clone(), *id))
+            .collect();
+        v.sort();
+        v
+    }
+
     fn new(incarnation: u64) -> Self {
         ServerCore {
             kv: KvState::new(),
-            watches: Vec::new(),
+            watches: WatchIndex::default(),
             pending: BTreeMap::new(),
             // req_ids are namespaced by incarnation so a restarted server
             // never collides with commands it proposed before crashing.
@@ -126,30 +213,33 @@ impl EtcdServer {
         self_addr: Addr,
     ) -> dlaas_raft::ApplyFn<KvCommand> {
         Box::new(move |sim, _idx, cmd| {
-            let (outcome, notifications, responder) = {
+            let (outcome, notifications, examined, responder) = {
                 let mut c = core.borrow_mut();
                 let outcome = c.kv.apply(cmd);
-                let mut notifications = Vec::new();
-                for w in &c.watches {
-                    let events: Vec<_> = outcome
-                        .events
-                        .iter()
-                        .filter(|e| e.key().starts_with(&w.prefix))
-                        .cloned()
-                        .collect();
-                    if !events.is_empty() {
-                        notifications.push((
-                            w.watcher.clone(),
-                            WatchNotify {
-                                watch_id: w.watch_id,
-                                events,
-                            },
-                        ));
-                    }
+                // Group matched events per registration so each watcher
+                // still receives one notification per committed command,
+                // in deterministic (watcher, id) order.
+                let mut per_reg: BTreeMap<(Addr, u64), Vec<crate::kv::KvEvent>> = BTreeMap::new();
+                let mut examined = 0;
+                for e in &outcome.events {
+                    examined += c.watches.for_matching(e.key(), |watcher, id| {
+                        per_reg
+                            .entry((watcher.clone(), id))
+                            .or_default()
+                            .push(e.clone());
+                    });
                 }
+                let notifications: Vec<_> = per_reg
+                    .into_iter()
+                    .map(|((watcher, watch_id), events)| {
+                        (watcher, WatchNotify { watch_id, events })
+                    })
+                    .collect();
                 let responder = c.pending.remove(&cmd.req_id);
-                (outcome, notifications, responder)
+                (outcome, notifications, examined, responder)
             };
+            sim.metrics()
+                .observe("etcd_watch_fanout_examined", &[], examined as f64);
             for (watcher, notify) in notifications {
                 sim.metrics()
                     .inc_by("etcd_watch_events_total", &[], notify.events.len() as u64);
@@ -235,18 +325,14 @@ impl EtcdServer {
                 watcher,
                 watch_id,
             } => {
-                self.core.borrow_mut().watches.push(WatchReg {
-                    watch_id,
-                    prefix,
-                    watcher,
-                });
-                responder.ok(sim, EtcdResponse::WatchAck);
-            }
-            EtcdRequest::WatchCancel { watch_id, watcher } => {
                 self.core
                     .borrow_mut()
                     .watches
-                    .retain(|w| !(w.watch_id == watch_id && w.watcher == watcher));
+                    .register(watch_id, prefix, watcher);
+                responder.ok(sim, EtcdResponse::WatchAck);
+            }
+            EtcdRequest::WatchCancel { watch_id, watcher } => {
+                self.core.borrow_mut().watches.cancel(watch_id, &watcher);
                 responder.ok(sim, EtcdResponse::WatchAck);
             }
         }

@@ -416,6 +416,138 @@ fn log_compaction_bounds_the_raft_log_and_preserves_state() {
     );
 }
 
+/// Regression: a client RPC retry of `WatchCreate` after a timed-out ack
+/// re-sends the identical `(watcher, watch_id)` registration. The server
+/// used to push it unconditionally, so every subsequent event was
+/// delivered once per duplicate. Registration must be idempotent.
+#[test]
+fn watch_create_retry_does_not_double_register_or_double_deliver() {
+    let (mut sim, etcd) = boot(47);
+    let watcher = etcd.client("w");
+    let writer = etcd.client("c");
+    let count = Rc::new(RefCell::new(0u32));
+    let c = count.clone();
+    let id = watcher.watch_prefix(&mut sim, "k/", move |_s, _e| *c.borrow_mut() += 1);
+    sim.run_for(SimDuration::from_secs(1));
+
+    // Simulate the retry: the identical WatchCreate sent again to every
+    // server (the guardian's periodic `rewatch` does the same thing).
+    for server in 0..3 {
+        etcd.rpc().call(
+            &mut sim,
+            watcher.addr().clone(),
+            dlaas_etcd::etcd_addr(server),
+            dlaas_etcd::EtcdRequest::WatchCreate {
+                prefix: "k/".into(),
+                watcher: watcher.addr().clone(),
+                watch_id: id,
+            },
+            SimDuration::from_millis(500),
+            |_, _| {},
+        );
+    }
+    watcher.rewatch(&mut sim);
+    sim.run_for(SimDuration::from_secs(1));
+
+    for server in 0..3 {
+        assert_eq!(
+            etcd.core(server).borrow().watch_registrations().len(),
+            1,
+            "server {server} must hold exactly one registration after retries"
+        );
+    }
+
+    writer.put(&mut sim, "k/a", "1", |_, r| {
+        r.unwrap();
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        *count.borrow(),
+        3,
+        "one delivery per live server (at-least-once), not per duplicate registration"
+    );
+}
+
+/// Regression: a `WatchCancel` lost to a partitioned server left its
+/// registration live forever — once the server rejoined, it kept fanning
+/// out notifications for the cancelled watch. The client must re-deliver
+/// un-acked cancels after failover/heal.
+#[test]
+fn lost_watch_cancel_is_redelivered_after_partition_heals() {
+    let (mut sim, etcd) = boot(53);
+    let watcher = etcd.client("w");
+    let writer = etcd.client("c");
+    let count = Rc::new(RefCell::new(0u32));
+    let c = count.clone();
+    let id = watcher.watch_prefix(&mut sim, "k/", move |_s, _e| *c.borrow_mut() += 1);
+    sim.run_for(SimDuration::from_secs(1));
+
+    // Cut the watcher's client traffic to one follower. Raft peer traffic
+    // uses its own network, so the isolated server keeps applying commits
+    // — its watch registry (including our registration) stays live.
+    let leader = etcd.leader_id().unwrap();
+    let isolated = (0..3).find(|i| *i != leader).unwrap();
+    etcd.rpc().net().partition(vec![
+        vec![watcher.addr().clone()],
+        vec![dlaas_etcd::etcd_addr(isolated)],
+    ]);
+
+    // The cancel reaches every server except the isolated one.
+    watcher.unwatch(&mut sim, id);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        etcd.core(isolated).borrow().watch_registrations().len(),
+        1,
+        "isolated server still holds the stale registration"
+    );
+    for server in (0..3).filter(|s| *s != isolated) {
+        assert_eq!(
+            etcd.core(server).borrow().watch_registrations().len(),
+            0,
+            "reachable server {server} must have dropped the registration"
+        );
+    }
+
+    // While stale, the rejoined-server registration double-notifies on the
+    // wire (the client drops unknown ids, but the fan-out cost is real).
+    let sent_before = sim.metrics().counter_total("etcd_watch_events_total");
+    writer.put(&mut sim, "k/x", "1", |_, r| {
+        r.unwrap();
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    assert!(
+        sim.metrics().counter_total("etcd_watch_events_total") > sent_before,
+        "stale registration keeps emitting wire notifications"
+    );
+
+    // Heal; the next rewatch (the guardian runs one periodically) flushes
+    // the un-acked cancel to the previously unreachable server.
+    etcd.rpc().net().heal();
+    watcher.rewatch(&mut sim);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        etcd.core(isolated).borrow().watch_registrations().len(),
+        0,
+        "healed server must drop the registration once the cancel lands"
+    );
+
+    let sent_after_heal = sim.metrics().counter_total("etcd_watch_events_total");
+    writer.put(&mut sim, "k/y", "2", |_, r| {
+        r.unwrap();
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        sim.metrics().counter_total("etcd_watch_events_total"),
+        sent_after_heal,
+        "no server may notify for a cancelled watch after heal"
+    );
+    assert_eq!(
+        *count.borrow(),
+        0,
+        "the client must never surface events for a cancelled watch"
+    );
+}
+
 #[test]
 fn deterministic_across_reruns() {
     fn run() -> Vec<(String, String)> {

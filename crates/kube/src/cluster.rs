@@ -126,6 +126,12 @@ struct ClusterState {
     rng: SimRng,
     nodes: BTreeMap<String, Node>,
     pods: BTreeMap<String, Pod>,
+    /// Incrementally-maintained queue of schedulable pods. Invariant:
+    /// contains exactly the pods with `phase == Pending && node == None`.
+    /// Kept in sync by [`ClusterState::sync_pending`] at every mutation of
+    /// a pod's phase, node binding, or existence, so [`Kube::kick_pending`]
+    /// never rescans the full pod table.
+    pending: BTreeSet<String>,
     deployments: BTreeMap<String, DeploymentState>,
     jobs: BTreeMap<String, JobState>,
     statefulsets: BTreeMap<String, StatefulSetState>,
@@ -136,6 +142,20 @@ struct ClusterState {
 }
 
 impl ClusterState {
+    /// Re-evaluates one pod's membership in the pending queue. Must run
+    /// after any change to that pod's phase, node binding, or existence.
+    fn sync_pending(&mut self, name: &str) {
+        let waiting = self
+            .pods
+            .get(name)
+            .is_some_and(|p| p.phase == PodPhase::Pending && p.node.is_none());
+        if waiting {
+            self.pending.insert(name.to_owned());
+        } else {
+            self.pending.remove(name);
+        }
+    }
+
     fn jittered(&mut self, d: SimDuration) -> SimDuration {
         let j = self.config.jitter;
         if j <= 0.0 {
@@ -182,6 +202,7 @@ impl Kube {
                 rng,
                 nodes: BTreeMap::new(),
                 pods: BTreeMap::new(),
+                pending: BTreeSet::new(),
                 deployments: BTreeMap::new(),
                 jobs: BTreeMap::new(),
                 statefulsets: BTreeMap::new(),
@@ -359,6 +380,7 @@ impl Kube {
                     created_at: sim.now(),
                 },
             );
+            s.sync_pending(&name);
             uid
         };
         self.event(sim, format!("pod/{name}"), "Created", format!("uid {uid}"));
@@ -410,6 +432,7 @@ impl Kube {
                 &[],
                 wait.as_micros(),
             );
+            s.sync_pending(&name);
             let d = s.config.schedule_delay;
             let d = s.jittered(d);
             (uid, d)
@@ -486,6 +509,7 @@ impl Kube {
             if let Some(p) = s.pods.get_mut(&name) {
                 p.phase = PodPhase::Starting;
             }
+            s.sync_pending(&name);
         }
         self.event(sim, format!("pod/{name}"), "Starting", desc);
         let me = self.clone();
@@ -509,6 +533,7 @@ impl Kube {
             pod.started_at = Some(sim.now());
             pod.ready_at = Some(sim.now() + readiness);
             pod.exited_ok.clear();
+            s.sync_pending(&name);
             (containers, node_name, nic, readiness)
         };
         self.event(
@@ -585,6 +610,7 @@ impl Kube {
                 node.allocated = node.allocated.minus(&req);
             }
         }
+        s.sync_pending(name);
     }
 
     /// A container exited voluntarily (via `ProcessCtx::exit`).
@@ -642,7 +668,9 @@ impl Kube {
             };
             pod.phase = phase;
             pod.ready_at = None;
-            (pod.owner.clone(), pod.spec.restart_policy, pod.restarts)
+            let out = (pod.owner.clone(), pod.spec.restart_policy, pod.restarts);
+            s.sync_pending(&name);
+            out
         };
         self.event(
             sim,
@@ -717,6 +745,7 @@ impl Kube {
             let pod = s.pods.get_mut(&name).expect("checked");
             pod.uid = uid;
             let n = pod.restarts;
+            s.sync_pending(&name);
             let backoff = if n <= 1 {
                 SimDuration::ZERO
             } else {
@@ -772,6 +801,7 @@ impl Kube {
         let owner = {
             let mut s = self.state.borrow_mut();
             let pod = s.pods.remove(name).expect("checked");
+            s.sync_pending(name);
             pod.owner
         };
         self.event(sim, format!("pod/{name}"), "Deleted", "".into());
@@ -821,7 +851,9 @@ impl Kube {
             for v in victims {
                 let owner = {
                     let mut s = me.state.borrow_mut();
-                    match s.pods.remove(&v) {
+                    let removed = s.pods.remove(&v);
+                    s.sync_pending(&v);
+                    match removed {
                         Some(pod) => pod.owner,
                         None => continue,
                     }
@@ -915,19 +947,37 @@ impl Kube {
         true
     }
 
+    /// Retries every parked pod. Reads the incrementally-maintained
+    /// pending queue instead of rescanning the whole pod table, so the
+    /// work here is proportional to the number of pods actually waiting.
     fn kick_pending(&self, sim: &mut Sim) {
         let pending: Vec<String> = {
             let s = self.state.borrow();
-            s.pods
-                .iter()
-                .filter(|(_, p)| p.phase == PodPhase::Pending && p.node.is_none())
-                .map(|(n, _)| n.clone())
-                .collect()
+            s.pending.iter().cloned().collect()
         };
+        sim.metrics()
+            .observe("kube_kick_pending_examined", &[], pending.len() as f64);
         for name in pending {
             let me = self.clone();
             sim.defer(move |sim| me.try_schedule(sim, name));
         }
+    }
+
+    /// The incrementally-maintained pending queue (sorted pod names).
+    /// Exposed for tests that check it against [`Self::pending_queue_scan`].
+    pub fn pending_queue(&self) -> Vec<String> {
+        self.state.borrow().pending.iter().cloned().collect()
+    }
+
+    /// From-scratch recomputation of what the pending queue must contain:
+    /// every pod that is `Pending` with no node binding, in name order.
+    pub fn pending_queue_scan(&self) -> Vec<String> {
+        let s = self.state.borrow();
+        s.pods
+            .iter()
+            .filter(|(_, p)| p.phase == PodPhase::Pending && p.node.is_none())
+            .map(|(n, _)| n.clone())
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -1017,7 +1067,11 @@ impl Kube {
         }
         self.stop_processes(sim, name);
         self.release_node(name);
-        self.state.borrow_mut().pods.remove(name);
+        {
+            let mut s = self.state.borrow_mut();
+            s.pods.remove(name);
+            s.sync_pending(name);
+        }
         self.event(
             sim,
             format!("pod/{name}"),

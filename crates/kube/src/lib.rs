@@ -15,7 +15,9 @@
 //!   platform services and from other tenants (§II).
 //!
 //! This crate implements those semantics over the discrete-event kernel:
-//! a GPU-aware scheduler, per-node image caches with pull times, pod
+//! a GPU-aware scheduler with an incrementally-maintained pending-pod
+//! queue (capacity changes retry only the pods actually waiting, never a
+//! full pod-table rescan), per-node image caches with pull times, pod
 //! start chains (mounts, object-store binding, cold start, readiness),
 //! kubelet in-place restarts with crash-loop backoff, controller-driven
 //! pod replacement, and fault operations (`crash_pod`, `delete_pod`,

@@ -9,6 +9,15 @@ pub fn default_buckets() -> Vec<f64> {
     ]
 }
 
+/// Bucket upper bounds for work-count histograms (items examined per
+/// operation, not seconds): powers of two from 1 up past 64k, sized for
+/// hot-path fan-out/scan costs at the 10k-concurrent-job scale soak.
+/// Remember [`crate::Registry::set_buckets`] only affects series created
+/// afterwards — apply these at boot, before the first observation.
+pub fn count_buckets() -> Vec<f64> {
+    (0..=16).map(|i| f64::from(1u32 << i)).collect()
+}
+
 /// A fixed-bucket histogram: per-bucket counts plus sum/count/min/max.
 ///
 /// Quantiles are answered by linear interpolation inside the bucket that

@@ -33,7 +33,7 @@
 mod histogram;
 mod snapshot;
 
-pub use histogram::{default_buckets, Histogram};
+pub use histogram::{count_buckets, default_buckets, Histogram};
 pub use snapshot::{Snapshot, SnapshotDiff};
 
 use std::cell::RefCell;

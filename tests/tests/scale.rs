@@ -72,6 +72,50 @@ fn ten_concurrent_jobs_all_complete() {
 }
 
 #[test]
+fn hot_path_work_counters_populate_and_pending_queue_stays_consistent() {
+    // The scale-soak cost series must exist on any full-platform run:
+    // watch fan-out per etcd commit, pods examined per scheduler kick,
+    // and docs examined per metadata query. And the kube scheduler's
+    // incremental pending queue must agree with a from-scratch scan.
+    let (mut sim, platform) = big_platform(105);
+    let client = platform.client("hot", KEY);
+    let jobs: Vec<_> = (0..4)
+        .map(|i| submit_blocking(&mut sim, &client, small_manifest(&format!("hot-{i}"))))
+        .collect();
+    for job in &jobs {
+        let end = platform.wait_for_status(
+            &mut sim,
+            job,
+            JobStatus::Completed,
+            SimDuration::from_hours(8),
+        );
+        assert_eq!(end, Some(JobStatus::Completed), "{job}");
+    }
+    // Let at least one LCM scan pass over the terminal jobs.
+    sim.run_for(SimDuration::from_mins(10));
+
+    let m = platform.metrics();
+    let fanout = m
+        .histogram_merged("etcd_watch_fanout_examined")
+        .expect("etcd commits must record fan-out work");
+    assert!(fanout.count() > 0);
+    let kick = m
+        .histogram_merged("kube_kick_pending_examined")
+        .expect("teardown deletes must kick the pending queue");
+    assert!(kick.count() > 0);
+    let sweep = m
+        .histogram("mongo_docs_examined", &[("op", "find")])
+        .expect("LCM sweeps must record candidate-set sizes");
+    assert!(sweep.count() > 0);
+
+    assert_eq!(
+        platform.kube().pending_queue(),
+        platform.kube().pending_queue_scan(),
+        "incremental pending queue diverged from a from-scratch scan"
+    );
+}
+
+#[test]
 fn demand_exceeding_capacity_queues_and_drains() {
     // 6 nodes x 4 GPUs = 24 GPUs; submit 10 jobs x 4 GPUs = 40 GPUs.
     // Excess jobs park (learner Pending) and run as capacity frees.
