@@ -4,30 +4,51 @@
 //! checking.
 //!
 //! Usage:
-//!   cargo run --release -p dlaas-bench --bin fault_matrix [--seeds N] [--base-seed S] [--soak HOURS]
+//!   cargo run --release -p dlaas-bench --bin fault_matrix [--seeds N] [--base-seed S]
+//!       [--threads T] [--sim-budget-secs B] [--out FILE]
+//!   cargo run --release -p dlaas-bench --bin fault_matrix -- --trial FAULT/POINT --seed S
+//!   cargo run --release -p dlaas-bench --bin fault_matrix -- --soak HOURS [--seeds N] [--seed S]
 //!
-//! Without `--soak` the full matrix runs and the process exits non-zero
-//! if any cell fails (job did not complete, the fault never fired, or an
-//! invariant was violated afterwards). With `--soak HOURS` a randomized
-//! chaos soak runs instead, with the invariant monitor checking every
+//! Trials shard across `--threads` workers (each in its own `Sim`);
+//! reports and the `--out` artifact are byte-identical for any thread
+//! count. The process exits non-zero if any cell fails (job did not
+//! complete, the fault never fired, or an invariant was violated
+//! afterwards) **or** any trial was recorded abnormal — `TIMEOUT` past
+//! the per-trial sim budget, or a panic converted into a failure record.
+//! Abnormal records print the exact single-threaded repro command, which
+//! is what `--trial FAULT/POINT --seed S` replays.
+//!
+//! With `--soak HOURS` a randomized chaos soak runs instead (or `--seeds
+//! N` of them in parallel), with the invariant monitor checking every
 //! simulated minute.
 
 use dlaas_bench::harness::print_table;
 use dlaas_bench::matrix::{
-    soak, sweep, CellOutcome, FaultKind, InjectionPoint, MATRIX_RECOVERY_SECONDS,
+    render_matrix_json, run_cell, soak, soak_parallel, sweep_parallel, CellOutcome, FaultKind,
+    InjectionPoint, MatrixCampaign, MATRIX_RECOVERY_SECONDS,
 };
+use dlaas_sim::SimDuration;
+
+/// Default per-trial sim budget for matrix cells: a healthy cell tops out
+/// near 65 simulated minutes (60s boot + 1h status wait + GC settle), so
+/// 2h flags genuine runaways without ever clipping a passing trial.
+const MATRIX_BUDGET: SimDuration = SimDuration::from_hours(2);
 
 fn main() {
-    let mut seeds: u64 = 5;
+    let mut seeds: Option<u64> = None;
     let mut base_seed: u64 = 2018;
     let mut soak_hours: Option<u64> = None;
+    let mut threads: usize = 1;
+    let mut sim_budget: Option<SimDuration> = Some(MATRIX_BUDGET);
+    let mut trial: Option<String> = None;
+    let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
-                seeds = args.next().and_then(|s| s.parse().ok()).expect("--seeds N");
+                seeds = Some(args.next().and_then(|s| s.parse().ok()).expect("--seeds N"));
             }
-            "--base-seed" => {
+            "--base-seed" | "--seed" => {
                 base_seed = args
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -40,21 +61,103 @@ fn main() {
                         .expect("--soak HOURS"),
                 );
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads T");
+            }
+            "--sim-budget-secs" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sim-budget-secs B");
+                sim_budget = (secs > 0).then(|| SimDuration::from_secs(secs));
+            }
+            "--trial" => {
+                trial = Some(args.next().expect("--trial FAULT/POINT"));
+            }
+            "--out" => {
+                out_path = Some(args.next().expect("--out FILE"));
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
 
-    if let Some(hours) = soak_hours {
-        run_soak(base_seed, hours);
+    if let Some(spec) = trial {
+        run_single(base_seed, &spec);
+    } else if let Some(hours) = soak_hours {
+        run_soak(base_seed, seeds.unwrap_or(1), hours, threads, sim_budget);
     } else {
-        run_matrix(base_seed, seeds);
+        run_matrix(
+            base_seed,
+            seeds.unwrap_or(5),
+            threads,
+            sim_budget,
+            out_path.as_deref(),
+        );
     }
 }
 
-fn run_matrix(base_seed: u64, seeds: u64) {
+/// Replays one matrix cell alone, single-threaded — the repro mode the
+/// campaign's failure records point at.
+fn run_single(seed: u64, spec: &str) {
+    let (kind, point) = parse_trial(spec);
+    eprintln!("single trial: {kind} at {point} (seed {seed})…");
+    let out = run_cell(seed, kind, point);
+    println!("{}", out.describe());
+    for v in &out.violations {
+        println!("  VIOLATION {v}");
+    }
+    if !out.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn parse_trial(spec: &str) -> (FaultKind, InjectionPoint) {
+    let parse = || {
+        let (fault, point) = spec.split_once('/')?;
+        Some((
+            FaultKind::from_label(fault)?,
+            InjectionPoint::from_label(point)?,
+        ))
+    };
+    parse().unwrap_or_else(|| {
+        let kinds: Vec<_> = FaultKind::all().iter().map(FaultKind::label).collect();
+        let points: Vec<_> = InjectionPoint::all()
+            .iter()
+            .map(InjectionPoint::label)
+            .collect();
+        panic!("--trial expects FAULT/POINT with FAULT in {kinds:?} and POINT in {points:?}")
+    })
+}
+
+/// Prints every abnormal (timeout/panic) record with its repro command
+/// and returns whether any exist.
+fn report_abnormal(records: &[String]) -> bool {
+    if records.is_empty() {
+        return false;
+    }
+    eprintln!("\n{} abnormal trials:", records.len());
+    for r in records {
+        eprintln!("  {r}");
+    }
+    true
+}
+
+fn run_matrix(
+    base_seed: u64,
+    seeds: u64,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+    out_path: Option<&str>,
+) {
     let cells = FaultKind::all().len() * InjectionPoint::all().len();
-    eprintln!("fault matrix: {cells} cells x {seeds} seeds (base seed {base_seed})…");
-    let run = sweep(base_seed, seeds);
+    eprintln!(
+        "fault matrix: {cells} cells x {seeds} seeds (base seed {base_seed}, {threads} thread(s))…"
+    );
+    let campaign = sweep_parallel(base_seed, seeds, threads, sim_budget);
+    let run = &campaign.run;
 
     // One row per (fault, point): pass count and recovery range from the
     // aggregated obs histogram.
@@ -89,15 +192,18 @@ fn run_matrix(base_seed: u64, seeds: u64) {
         &rows,
     );
 
-    let failures = run.failures();
-    if !failures.is_empty() {
-        eprintln!("\n{} failing cells:", failures.len());
-        for f in &failures {
-            eprintln!("  FAIL {}", f.describe());
-            for v in &f.violations {
-                eprintln!("       {v}");
-            }
-        }
+    if let Some(path) = out_path {
+        let json = render_matrix_json(base_seed, seeds, &campaign);
+        // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
+        std::fs::write(path, &json).expect("write fault-matrix report");
+        // dlaas-lint: allow(debug-print): bench result output.
+        println!("\nwrote {path}");
+    }
+    // Wall-clock goes to stderr only — never into the byte-compared
+    // report or artifact.
+    eprintln!("{}", campaign.report.wall_summary("fault_matrix"));
+
+    if !exit_matrix_clean(&campaign) {
         std::process::exit(1);
     }
     println!(
@@ -106,7 +212,26 @@ fn run_matrix(base_seed: u64, seeds: u64) {
     );
 }
 
-fn run_soak(seed: u64, hours: u64) {
+fn exit_matrix_clean(campaign: &MatrixCampaign) -> bool {
+    let abnormal = report_abnormal(&campaign.report.failure_records());
+    let failures = campaign.run.failures();
+    if !failures.is_empty() {
+        eprintln!("\n{} failing cells:", failures.len());
+        for f in &failures {
+            eprintln!("  FAIL {}", f.describe());
+            for v in &f.violations {
+                eprintln!("       {v}");
+            }
+        }
+    }
+    !abnormal && failures.is_empty()
+}
+
+fn run_soak(seed: u64, seeds: u64, hours: u64, threads: usize, sim_budget: Option<SimDuration>) {
+    if seeds > 1 {
+        run_soak_campaign(seed, seeds, hours, threads, sim_budget);
+        return;
+    }
     eprintln!("randomized soak: {hours} simulated hours (seed {seed})…");
     let out = soak(seed, hours);
     print_table(
@@ -147,4 +272,63 @@ fn run_soak(seed: u64, hours: u64) {
         std::process::exit(1);
     }
     println!("\nsoak finished with every platform invariant intact.");
+}
+
+fn run_soak_campaign(
+    base_seed: u64,
+    seeds: u64,
+    hours: u64,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) {
+    eprintln!(
+        "soak campaign: {seeds} soaks x {hours} simulated hours \
+         (base seed {base_seed}, {threads} thread(s))…"
+    );
+    let report = soak_parallel(base_seed, seeds, hours, threads, sim_budget);
+    let rows: Vec<Vec<String>> = report
+        .results()
+        .map(|s| {
+            vec![
+                s.seed.to_string(),
+                s.submitted.to_string(),
+                format!("{}/{}/{}", s.completed, s.failed, s.unfinished),
+                s.violations_during.to_string(),
+                s.final_violations.len().to_string(),
+                s.pod_restarts.to_string(),
+                if s.clean() { "clean" } else { "DIRTY" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Chaos soak campaign",
+        &[
+            "seed",
+            "submitted",
+            "done/failed/unfinished",
+            "viol (during)",
+            "viol (final)",
+            "pod restarts",
+            "verdict",
+        ],
+        &rows,
+    );
+    eprintln!("{}", report.wall_summary("chaos_soak"));
+
+    let abnormal = report_abnormal(&report.failure_records());
+    let dirty: Vec<String> = report
+        .results()
+        .filter(|s| !s.clean())
+        .map(dlaas_bench::matrix::SoakSummary::describe)
+        .collect();
+    if !dirty.is_empty() {
+        eprintln!("\n{} dirty soaks:", dirty.len());
+        for d in &dirty {
+            eprintln!("  DIRTY {d}");
+        }
+    }
+    if abnormal || !dirty.is_empty() {
+        std::process::exit(1);
+    }
+    println!("\nall {seeds} soaks finished with every platform invariant intact.");
 }

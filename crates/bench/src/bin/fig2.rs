@@ -1,26 +1,53 @@
 //! Regenerates Figure 2: DLaaS vs IBM Cloud bare metal on K80s.
 //!
-//! Usage: `cargo run -p dlaas-bench --bin fig2 [seed] [iterations]`
+//! Usage: `cargo run -p dlaas-bench --bin fig2 [seed] [iterations] [trials] [--threads T]`
 //!
 //! Each paper cell was a single measured run; `seed` plays the role of
-//! "which day the experiment ran" (it draws the per-run jitter).
+//! "which day the experiment ran" (it draws the per-run jitter). The
+//! (repetition, cell) trials shard across `--threads` workers; the table
+//! is byte-identical at any thread count.
 
 use dlaas_bench::fig2;
 use dlaas_bench::harness::print_table;
 
 fn main() {
+    let mut threads: usize = 1;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2018);
-    let iterations: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(400);
-    let trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--threads T");
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let seed: u64 = positional
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2018);
+    let iterations: u64 = positional
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let trials: u64 = positional.next().and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!(
-        "running {} full-stack training jobs (seed {seed}, {iterations} iters, {trials} trial(s))…",
+        "running {} full-stack training jobs (seed {seed}, {iterations} iters, {trials} trial(s), {threads} thread(s))…",
         8 * trials
     );
-    let trial_results: Vec<Vec<fig2::Fig2Result>> = (0..trials)
-        .map(|t| fig2::run_all(seed + t, iterations))
-        .collect();
+    let report = fig2::run_parallel(seed, iterations, trials, threads);
+    eprintln!("{}", report.wall_summary("fig2"));
+    let Some(trial_results) = fig2::by_repetition(&report, trials) else {
+        eprintln!("\n{} abnormal trials:", report.abnormal().len());
+        for r in report.failure_records() {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    };
 
     let rows: Vec<Vec<String>> = (0..trial_results[0].len())
         .map(|i| {

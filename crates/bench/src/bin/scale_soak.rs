@@ -12,17 +12,21 @@
 //!
 //! Dividing each histogram's total by N gives a per-job cost that must
 //! stay flat as N grows — the soak asserts the largest N is within 2× of
-//! the smallest. Everything is measured inside the deterministic sim, so
-//! the emitted `BENCH_scale.json` is byte-identical for a given seed.
+//! the smallest. Everything is measured inside the deterministic sim and
+//! each N runs as one trial of the seed-parallel campaign runner, so the
+//! emitted `BENCH_scale.json` is byte-identical for a given seed at any
+//! `--threads` value. The process exits non-zero if any trial times out,
+//! panics, or is malformed (lost submissions or unfinished jobs).
 //!
-//! Usage: `cargo run --release -p dlaas-bench --bin scale_soak [seed] [N1,N2,...] [out.json]`
-//! Defaults: seed 2018, N ∈ {100, 1000, 10000}, `BENCH_scale.json`.
+//! Usage: `cargo run --release -p dlaas-bench --bin scale_soak [--threads T] [seed] [N1,N2,...] [out.json]`
+//! Defaults: 1 thread, seed 2018, N ∈ {100, 1000, 10000}, `BENCH_scale.json`.
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
 use dlaas_bench::harness::{print_table, BENCH_KEY};
+use dlaas_bench::runner::{CampaignRunner, Trial, TrialRun};
 use dlaas_core::{DlaasPlatform, GpuNodeSpec, JobStatus, PlatformConfig, Tenant, TrainingManifest};
 use dlaas_gpu::{DlModel, Framework, GpuKind};
 use dlaas_sim::{Sim, SimDuration};
@@ -44,12 +48,24 @@ struct Series {
 
 struct Run {
     n: u64,
+    /// Jobs the platform acknowledged; fewer than `n` means submissions
+    /// were lost and the trial is malformed.
+    submitted: u64,
     completed: u64,
     failed: u64,
     unfinished: u64,
     watch_events_total: u64,
     events_per_sim_sec: f64,
     series: Vec<Series>,
+}
+
+impl Run {
+    /// A trial is malformed when submissions were lost or jobs are still
+    /// in limbo after the horizon — aggregate assertions must not paper
+    /// over either.
+    fn malformed(&self) -> bool {
+        self.submitted != self.n || self.unfinished > 0
+    }
 }
 
 fn soak_manifest(name: &str) -> TrainingManifest {
@@ -66,7 +82,7 @@ fn soak_manifest(name: &str) -> TrainingManifest {
         .unwrap()
 }
 
-fn run_one(seed: u64, n: u64) -> Run {
+fn run_one(seed: u64, n: u64) -> TrialRun<Run> {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     // Capacity scales with N (≥ N K80s) so concurrency — not parking —
@@ -153,20 +169,29 @@ fn run_one(seed: u64, n: u64) -> Run {
     .collect();
 
     let watch_events_total = m.counter_total("etcd_watch_events_total");
-    Run {
+    let submitted = jobs.borrow().len() as u64;
+    let run = Run {
         n,
+        submitted,
         completed,
         failed,
         unfinished,
         watch_events_total,
         events_per_sim_sec: watch_events_total as f64 / HORIZON.as_secs_f64(),
         series,
+    };
+    TrialRun {
+        result: run,
+        sim_elapsed: sim
+            .now()
+            .saturating_duration_since(dlaas_sim::SimTime::ZERO),
     }
 }
 
 /// Hand-rolled JSON with fixed key order and fixed-precision floats, so
-/// the artifact is byte-identical across same-seed runs.
-fn render_json(seed: u64, runs: &[Run]) -> String {
+/// the artifact is byte-identical across same-seed runs (and across any
+/// `--threads` value — it contains no thread count and no wall-clock).
+fn render_json(seed: u64, runs: &[&Run]) -> String {
     let mut out = String::new();
     // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
     let mut w = |s: &str| out.push_str(s);
@@ -203,21 +228,51 @@ fn render_json(seed: u64, runs: &[Run]) -> String {
 }
 
 fn main() {
+    let mut threads: usize = 1;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2018);
-    let ns: Vec<u64> = args
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--threads T");
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let seed: u64 = positional
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2018);
+    let ns: Vec<u64> = positional
         .next()
         .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
         .filter(|v: &Vec<u64>| !v.is_empty())
         .unwrap_or_else(|| vec![100, 1000, 10000]);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_scale.json".into());
+    let out_path = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_scale.json".into());
 
-    let mut runs = Vec::new();
-    for &n in &ns {
-        // dlaas-lint: allow(debug-print): bench progress output.
-        eprintln!("soaking {n} concurrent jobs (seed {seed})…");
-        runs.push(run_one(seed, n));
-    }
+    // dlaas-lint: allow(debug-print): bench progress output.
+    eprintln!("scale soak: N in {ns:?} (seed {seed}, {threads} thread(s))…");
+    let trials: Vec<Trial<u64>> = ns
+        .iter()
+        .map(|&n| Trial {
+            label: format!("n{n}"),
+            repro: format!(
+                "cargo run --release -p dlaas-bench --bin scale_soak -- {seed} {n} scale-repro.json"
+            ),
+            spec: n,
+        })
+        .collect();
+    // Every trial simulates boot + the fixed 4h horizon, so anything past
+    // 5h of sim time is a runaway.
+    let report = CampaignRunner::new("scale_soak", threads)
+        .with_sim_budget(HORIZON + SimDuration::from_hours(1))
+        .run(trials, |&n, _ctx| run_one(seed, n));
+    let runs: Vec<&Run> = report.results().collect();
 
     let mut rows = Vec::new();
     for r in &runs {
@@ -248,6 +303,32 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     // dlaas-lint: allow(debug-print): bench result output.
     println!("\nwrote {out_path}");
+    // Wall-clock to stderr only — never into the byte-compared artifact.
+    eprintln!("{}", report.wall_summary("scale_soak"));
+
+    // No trial may be dropped, malformed, or out of budget: CI must not
+    // go green over a lost submission even when the aggregates look fine.
+    let mut dirty = false;
+    let abnormal = report.failure_records();
+    if !abnormal.is_empty() {
+        eprintln!("\n{} abnormal trials:", abnormal.len());
+        for r in &abnormal {
+            eprintln!("  {r}");
+        }
+        dirty = true;
+    }
+    for r in &runs {
+        if r.malformed() {
+            eprintln!(
+                "  MALFORMED N={}: submitted={} (expected {}), unfinished={}",
+                r.n, r.submitted, r.n, r.unfinished
+            );
+            dirty = true;
+        }
+    }
+    if dirty {
+        std::process::exit(1);
+    }
 
     // The flat-curve criterion: per-job cost at the largest N must stay
     // within 2× of the smallest N for every series (+1 guards emptiness).

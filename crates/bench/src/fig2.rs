@@ -20,10 +20,12 @@
 //! the job. That is what this experiment must reproduce.
 
 use dlaas_gpu::{DlModel, ExecEnv, Framework, GpuKind};
+use dlaas_sim::SimDuration;
 
 use crate::harness::{
     bare_metal_images_per_sec, measure_dlaas_throughput, pct_diff, throughput_manifest,
 };
+use crate::runner::{CampaignReport, CampaignRunner, Trial, TrialRun};
 
 /// One cell of the Fig. 2 table.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +84,13 @@ pub struct Fig2Result {
 /// streaming its data from the object store exactly as the paper's
 /// baseline did.
 pub fn run_cell(seed: u64, cell: &Fig2Cell, iterations: u64) -> Fig2Result {
+    run_cell_timed(seed, cell, iterations).result
+}
+
+/// Like [`run_cell`], also reporting the simulated time the DLaaS arm
+/// consumed (what the campaign runner's sim-time budget is checked
+/// against).
+pub fn run_cell_timed(seed: u64, cell: &Fig2Cell, iterations: u64) -> TrialRun<Fig2Result> {
     let manifest = throughput_manifest(
         cell.model,
         cell.framework,
@@ -102,11 +111,14 @@ pub fn run_cell(seed: u64, cell: &Fig2Cell, iterations: u64) -> Fig2Result {
         ExecEnv::bare_metal_streaming(0.117e9),
         0.015,
     );
-    Fig2Result {
-        cell: cell.clone(),
-        bare_metal,
-        dlaas,
-        measured_pct: pct_diff(bare_metal, dlaas),
+    TrialRun {
+        result: Fig2Result {
+            cell: cell.clone(),
+            bare_metal,
+            dlaas,
+            measured_pct: pct_diff(bare_metal, dlaas),
+        },
+        sim_elapsed: SimDuration::from_secs_f64(run.wall_secs),
     }
 }
 
@@ -116,6 +128,53 @@ pub fn run_all(seed: u64, iterations: u64) -> Vec<Fig2Result> {
         .iter()
         .map(|c| run_cell(seed, c, iterations))
         .collect()
+}
+
+/// Runs `trials` independent repetitions of the whole table (trial `t`
+/// uses seed `seed + t`) on `threads` workers, one runner trial per
+/// (repetition, cell). The canonical trial enumeration is
+/// repetition-major, so record `t * cells + c` is repetition `t` of
+/// cell `c` — byte-identical at any thread count.
+pub fn run_parallel(
+    seed: u64,
+    iterations: u64,
+    trials: u64,
+    threads: usize,
+) -> CampaignReport<Fig2Result> {
+    let mut specs = Vec::new();
+    for t in 0..trials {
+        for cell in cells() {
+            specs.push(Trial {
+                label: format!("t{t}/{}-{}-x{}", cell.model, cell.framework, cell.gpus),
+                repro: format!(
+                    "cargo run --release -p dlaas-bench --bin fig2 -- {} {iterations} 1",
+                    seed + t
+                ),
+                spec: (seed + t, cell),
+            });
+        }
+    }
+    CampaignRunner::new("fig2", threads).run(specs, |(trial_seed, cell), _ctx| {
+        run_cell_timed(*trial_seed, cell, iterations)
+    })
+}
+
+/// Regroups a clean campaign's records repetition-major: `out[t][c]` is
+/// repetition `t` of cell `c`. `None` when any trial was abnormal
+/// (timeout/panic) — callers must report the failure records instead.
+pub fn by_repetition(
+    report: &CampaignReport<Fig2Result>,
+    trials: u64,
+) -> Option<Vec<Vec<Fig2Result>>> {
+    if !report.abnormal().is_empty() {
+        return None;
+    }
+    let per = cells().len();
+    let all: Vec<Fig2Result> = report.results().cloned().collect();
+    if all.len() != per * trials as usize {
+        return None;
+    }
+    Some(all.chunks(per).map(<[Fig2Result]>::to_vec).collect())
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use dlaas_gpu::{DlModel, Framework, GpuKind};
 use dlaas_sim::{Sim, SimDuration, SimTime};
 
 use crate::harness::{experiment_platform, BENCH_KEY};
+use crate::runner::{CampaignRunner, Trial, TrialRun};
 
 /// The components of Fig. 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +236,63 @@ pub fn run_all(seed: u64, trials: u32) -> Fig4Run {
         results,
         metrics: rig.sim.metrics().clone(),
     }
+}
+
+/// Runs `trials` recoveries for one component on its own fresh rig,
+/// reporting the simulated time consumed. The unit of parallelism for
+/// [`run_parallel`]: each component's measurements are independent of
+/// every other component's because nothing carries over between rigs.
+pub fn measure_component(seed: u64, component: Component, trials: u32) -> TrialRun<Fig4Result> {
+    let mut rig = rig(seed);
+    let mut stats = RecoveryStats::new();
+    for _ in 0..trials {
+        if let Some(d) = measure_once(&mut rig, component) {
+            stats.push(d);
+        }
+    }
+    TrialRun {
+        result: Fig4Result { component, stats },
+        sim_elapsed: rig.sim.now().saturating_duration_since(SimTime::ZERO),
+    }
+}
+
+/// Runs every component's `trials` recoveries on `threads` workers, one
+/// runner trial per component, each on a fresh rig booted from the same
+/// seed. Records merge in `Component::all()` order and the recovery
+/// histogram is replayed from the merged samples, so the table and
+/// metrics exposition are byte-identical at any thread count. Panics if
+/// any trial was recorded abnormal — the repro command is in the message.
+pub fn run_parallel(seed: u64, trials: u32, threads: usize) -> Fig4Run {
+    let specs: Vec<Trial<Component>> = Component::all()
+        .into_iter()
+        .map(|c| Trial {
+            label: format!("fig4/{}", c.label()),
+            repro: format!("cargo run --release -p dlaas-bench --bin fig4 -- {seed} {trials}"),
+            spec: c,
+        })
+        .collect();
+    let report = CampaignRunner::new("fig4", threads)
+        .run(specs, |&c, _ctx| measure_component(seed, c, trials));
+    let abnormal = report.failure_records();
+    assert!(
+        abnormal.is_empty(),
+        "fig4 campaign had abnormal trials:\n{}",
+        abnormal.join("\n")
+    );
+    let metrics = dlaas_sim::Registry::new();
+    let results: Vec<Fig4Result> = report.results().cloned().collect();
+    // Replay every sample into the aggregate histogram in merged
+    // (component-major) order.
+    for r in &results {
+        for d in r.stats.samples() {
+            metrics.observe_duration_us(
+                RECOVERY_SECONDS,
+                &[("component", r.component.label())],
+                d.as_micros(),
+            );
+        }
+    }
+    Fig4Run { results, metrics }
 }
 
 /// The §III-d side claim: "Creation of the Guardian is a very quick

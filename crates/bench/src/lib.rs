@@ -11,6 +11,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod harness;
 pub mod matrix;
+pub mod runner;
 pub mod workload;
 
 pub use harness::{measure_dlaas_throughput, JobRun};

@@ -16,6 +16,14 @@
 //! full matrix and aggregates recovery times into a histogram;
 //! [`soak`] runs a randomized long-duration campaign with the
 //! [`InvariantMonitor`] checking continuously.
+//!
+//! Campaigns parallelise over seeds: [`sweep_parallel`] and
+//! [`soak_parallel`] shard their trials across the
+//! [`CampaignRunner`](crate::runner::CampaignRunner) and merge the
+//! records by trial id, so every aggregate here — tables, the
+//! [`render_matrix_json`] artifact, the replayed
+//! [`MATRIX_RECOVERY_SECONDS`] histogram — is byte-identical for any
+//! thread count.
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
@@ -32,6 +40,7 @@ use dlaas_raft::raft_addr;
 use dlaas_sim::{Sim, SimDuration, SimTime};
 
 use crate::harness::{experiment_platform, throughput_manifest, BENCH_KEY};
+use crate::runner::{CampaignReport, CampaignRunner, Trial, TrialRun};
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
 
 /// Histogram of fault-to-terminal times, labelled by fault kind and
@@ -88,6 +97,11 @@ impl FaultKind {
             FaultKind::NfsOutage => "nfs_outage",
             FaultKind::Partition => "partition",
         }
+    }
+
+    /// Parses a metric label back into the kind (`None` when unknown).
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        FaultKind::all().into_iter().find(|k| k.label() == label)
     }
 
     /// Applies the fault to a live platform.
@@ -177,6 +191,13 @@ impl InjectionPoint {
             InjectionPoint::CreateLearners => "create_learners",
             InjectionPoint::ApplyPolicies => "apply_policies",
         }
+    }
+
+    /// Parses a metric label back into the point (`None` when unknown).
+    pub fn from_label(label: &str) -> Option<InjectionPoint> {
+        InjectionPoint::all()
+            .into_iter()
+            .find(|p| p.label() == label)
     }
 
     /// The trigger predicate: `true` once the step's side effect is
@@ -273,6 +294,10 @@ impl CellOutcome {
 /// to a terminal state, let GC settle past the invariant grace period,
 /// then check every platform invariant.
 pub fn run_cell(seed: u64, kind: FaultKind, point: InjectionPoint) -> CellOutcome {
+    run_cell_inner(seed, kind, point).0
+}
+
+fn run_cell_inner(seed: u64, kind: FaultKind, point: InjectionPoint) -> (CellOutcome, SimTime) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     let platform = experiment_platform(&mut sim, GpuKind::K80, 1);
@@ -331,7 +356,7 @@ pub fn run_cell(seed: u64, kind: FaultKind, point: InjectionPoint) -> CellOutcom
     sim.run_for(platform.handles().config.lcm_scan * 6);
     let report = check_invariants(&sim, &platform);
 
-    CellOutcome {
+    let outcome = CellOutcome {
         kind,
         point,
         seed,
@@ -343,7 +368,8 @@ pub fn run_cell(seed: u64, kind: FaultKind, point: InjectionPoint) -> CellOutcom
             .iter()
             .map(std::string::ToString::to_string)
             .collect(),
-    }
+    };
+    (outcome, sim.now())
 }
 
 /// A full matrix campaign: outcomes plus an aggregate registry holding
@@ -364,26 +390,185 @@ impl MatrixRun {
 }
 
 /// Runs the full matrix: every fault kind × every deployment step ×
-/// `seeds` seeds starting at `base_seed`.
+/// `seeds` seeds starting at `base_seed`. Sequential (one thread, no
+/// budget) — the parallel entry point is [`sweep_parallel`].
 pub fn sweep(base_seed: u64, seeds: u64) -> MatrixRun {
-    let metrics = dlaas_sim::Registry::new();
-    let mut outcomes = Vec::new();
+    sweep_parallel(base_seed, seeds, 1, None).run
+}
+
+/// The spec of one matrix trial — plain `Send + Clone` data a worker
+/// thread rebuilds the whole trial from.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixSpec {
+    /// The simulation seed.
+    pub seed: u64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// The deployment step to target.
+    pub point: InjectionPoint,
+}
+
+/// The exact command that reruns one matrix cell alone, single-threaded.
+pub fn matrix_repro(kind: FaultKind, point: InjectionPoint, seed: u64) -> String {
+    format!(
+        "cargo run --release -p dlaas-bench --bin fault_matrix -- --trial {}/{} --seed {seed}",
+        kind.label(),
+        point.label()
+    )
+}
+
+/// The canonical trial enumeration of a matrix campaign: fault kind ×
+/// injection point × seed, in that nesting order. Trial ids (positions
+/// in this list) key the deterministic sorted merge.
+pub fn matrix_trials(base_seed: u64, seeds: u64) -> Vec<Trial<MatrixSpec>> {
+    let mut trials = Vec::new();
     for kind in FaultKind::all() {
         for point in InjectionPoint::all() {
             for i in 0..seeds {
-                let out = run_cell(base_seed + i, kind, point);
-                if let Some(d) = out.recovery {
-                    metrics.observe_duration_us(
-                        MATRIX_RECOVERY_SECONDS,
-                        &[("fault", kind.label()), ("point", point.label())],
-                        d.as_micros(),
-                    );
-                }
-                outcomes.push(out);
+                let seed = base_seed + i;
+                trials.push(Trial {
+                    label: format!("{}/{}/{seed}", kind.label(), point.label()),
+                    repro: matrix_repro(kind, point, seed),
+                    spec: MatrixSpec { seed, kind, point },
+                });
             }
         }
     }
-    MatrixRun { outcomes, metrics }
+    trials
+}
+
+/// Like [`run_cell`], also reporting the total simulated time the trial
+/// consumed (what the runner's sim-time budget is checked against).
+pub fn run_cell_timed(seed: u64, kind: FaultKind, point: InjectionPoint) -> TrialRun<CellOutcome> {
+    let (outcome, end) = run_cell_inner(seed, kind, point);
+    TrialRun {
+        result: outcome,
+        sim_elapsed: end.saturating_duration_since(SimTime::ZERO),
+    }
+}
+
+/// A matrix campaign executed through the runner: the aggregate
+/// [`MatrixRun`] (completed cells only) plus the full per-trial report
+/// with any `TIMEOUT`/panic records.
+#[derive(Debug)]
+pub struct MatrixCampaign {
+    /// Aggregated outcomes and recovery histogram over completed trials.
+    pub run: MatrixRun,
+    /// The per-trial report, sorted by trial id.
+    pub report: CampaignReport<CellOutcome>,
+}
+
+impl MatrixCampaign {
+    /// `true` when every trial completed, passed, and stayed in budget.
+    pub fn clean(&self) -> bool {
+        self.report.abnormal().is_empty() && self.run.failures().is_empty()
+    }
+}
+
+/// Runs the full matrix campaign on `threads` workers. Records merge by
+/// trial id, and the recovery histogram is replayed from the merged
+/// sequence on the calling thread, so every output — including the
+/// registry exposition — is byte-identical for any `threads`, including 1.
+pub fn sweep_parallel(
+    base_seed: u64,
+    seeds: u64,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) -> MatrixCampaign {
+    let mut runner = CampaignRunner::new("fault_matrix", threads);
+    if let Some(b) = sim_budget {
+        runner = runner.with_sim_budget(b);
+    }
+    let report = runner.run(matrix_trials(base_seed, seeds), |spec, _ctx| {
+        run_cell_timed(spec.seed, spec.kind, spec.point)
+    });
+
+    // Replay the merged records into a fresh registry. Histogram bucket
+    // counts are commutative, but replaying in trial-id order makes the
+    // determinism argument trivial: same sorted inputs, same exposition.
+    let metrics = dlaas_sim::Registry::new();
+    let mut outcomes = Vec::new();
+    for out in report.results() {
+        if let Some(d) = out.recovery {
+            metrics.observe_duration_us(
+                MATRIX_RECOVERY_SECONDS,
+                &[("fault", out.kind.label()), ("point", out.point.label())],
+                d.as_micros(),
+            );
+        }
+        outcomes.push(out.clone());
+    }
+    MatrixCampaign {
+        run: MatrixRun { outcomes, metrics },
+        report,
+    }
+}
+
+/// Renders a matrix campaign as a byte-stable JSON artifact: one object
+/// per cell in trial-id order, abnormal (timeout/panic) records with
+/// their repro commands, and the full metrics exposition. Contains no
+/// thread count and no wall-clock reading, so the artifact is identical
+/// for any `--threads` value.
+pub fn render_matrix_json(base_seed: u64, seeds: u64, campaign: &MatrixCampaign) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"campaign\": \"fault_matrix\",\n");
+    out.push_str(&format!("  \"base_seed\": {base_seed},\n"));
+    out.push_str(&format!("  \"seeds\": {seeds},\n"));
+    out.push_str("  \"cells\": [\n");
+    let cells: Vec<String> = campaign
+        .run
+        .outcomes
+        .iter()
+        .map(|o| {
+            let status = o.status.map_or("null".to_owned(), |s| format!("\"{s:?}\""));
+            let recovery = o
+                .recovery
+                .map_or("null".to_owned(), |d| d.as_micros().to_string());
+            format!(
+                "    {{\"fault\": \"{}\", \"point\": \"{}\", \"seed\": {}, \"status\": {status}, \
+                 \"fired\": {}, \"recovery_us\": {recovery}, \"violations\": {}, \"passed\": {}}}",
+                o.kind.label(),
+                o.point.label(),
+                o.seed,
+                o.fault_fired,
+                o.violations.len(),
+                o.passed()
+            )
+        })
+        .collect();
+    out.push_str(&cells.join(",\n"));
+    out.push_str("\n  ],\n");
+    let failures: Vec<String> = campaign
+        .run
+        .failures()
+        .iter()
+        .map(|o| format!("    \"{}\"", json_escape(&o.describe())))
+        .collect();
+    out.push_str("  \"failures\": [\n");
+    out.push_str(&failures.join(",\n"));
+    out.push_str("\n  ],\n");
+    let abnormal: Vec<String> = campaign
+        .report
+        .failure_records()
+        .iter()
+        .map(|d| format!("    \"{}\"", json_escape(d)))
+        .collect();
+    out.push_str("  \"abnormal\": [\n");
+    out.push_str(&abnormal.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"metrics\": \"{}\"\n",
+        json_escape(&campaign.run.metrics.expose())
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Results of one randomized soak (see [`soak`]).
@@ -420,6 +605,10 @@ impl SoakOutcome {
 /// After `hours` the faults stop, the platform drains, and a final
 /// strict check runs.
 pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
+    soak_inner(seed, hours).0
+}
+
+fn soak_inner(seed: u64, hours: u64) -> (SoakOutcome, SimTime) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     let cfg = PlatformConfig {
@@ -503,7 +692,7 @@ pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
     let violations_during = monitor.violations_seen();
     monitor.cancel();
 
-    SoakOutcome {
+    let outcome = SoakOutcome {
         submitted,
         completed,
         failed,
@@ -515,7 +704,112 @@ pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
             .map(std::string::ToString::to_string)
             .collect(),
         metrics: sim.metrics().clone(),
+    };
+    (outcome, sim.now())
+}
+
+/// The `Send` digest of one soak trial: everything the campaign tables
+/// and artifacts need, extracted on the worker thread because the full
+/// [`SoakOutcome`] carries a (non-`Send`) registry handle.
+#[derive(Debug, Clone)]
+pub struct SoakSummary {
+    /// The soak's seed.
+    pub seed: u64,
+    /// Chaos hours before the drain.
+    pub hours: u64,
+    /// Jobs acknowledged by the platform.
+    pub submitted: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that ended FAILED or KILLED.
+    pub failed: usize,
+    /// Jobs still non-terminal after the drain (must be zero).
+    pub unfinished: usize,
+    /// Distinct (job, invariant) violations the continuous monitor saw.
+    pub violations_during: usize,
+    /// Violations of the final post-drain check, rendered.
+    pub final_violations: Vec<String>,
+    /// Pod restarts observed platform-wide during the soak.
+    pub pod_restarts: u64,
+}
+
+impl SoakSummary {
+    /// Mirrors [`SoakOutcome::clean`].
+    pub fn clean(&self) -> bool {
+        self.unfinished == 0 && self.violations_during == 0 && self.final_violations.is_empty()
     }
+
+    /// One summary line for tables and failure messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "soak seed {} ({}h): submitted={} completed={} failed={} unfinished={} \
+             violations_during={} final_violations={} pod_restarts={}",
+            self.seed,
+            self.hours,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.unfinished,
+            self.violations_during,
+            self.final_violations.len(),
+            self.pod_restarts
+        )
+    }
+}
+
+/// The exact command that reruns one soak trial alone, single-threaded.
+pub fn soak_repro(seed: u64, hours: u64) -> String {
+    format!("cargo run --release -p dlaas-bench --bin fault_matrix -- --soak {hours} --seed {seed}")
+}
+
+/// Runs one soak and digests it into a `Send` summary plus the simulated
+/// time consumed.
+pub fn soak_summary_timed(seed: u64, hours: u64) -> TrialRun<SoakSummary> {
+    let (out, end) = soak_inner(seed, hours);
+    let pod_restarts = out.metrics.counter_total("kube_pod_restarts_total");
+    TrialRun {
+        result: SoakSummary {
+            seed,
+            hours,
+            submitted: out.submitted,
+            completed: out.completed,
+            failed: out.failed,
+            unfinished: out.unfinished,
+            violations_during: out.violations_during,
+            final_violations: out.final_violations,
+            pod_restarts,
+        },
+        sim_elapsed: end.saturating_duration_since(SimTime::ZERO),
+    }
+}
+
+/// Runs a campaign of independent soaks (seeds `base_seed..base_seed +
+/// seeds`, each `hours` of chaos) on `threads` workers, merged by trial
+/// id.
+pub fn soak_parallel(
+    base_seed: u64,
+    seeds: u64,
+    hours: u64,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) -> CampaignReport<SoakSummary> {
+    let trials: Vec<Trial<(u64, u64)>> = (0..seeds)
+        .map(|i| {
+            let seed = base_seed + i;
+            Trial {
+                label: format!("soak/{seed}"),
+                repro: soak_repro(seed, hours),
+                spec: (seed, hours),
+            }
+        })
+        .collect();
+    let mut runner = CampaignRunner::new("chaos_soak", threads);
+    if let Some(b) = sim_budget {
+        runner = runner.with_sim_budget(b);
+    }
+    runner.run(trials, |&(seed, hours), _ctx| {
+        soak_summary_timed(seed, hours)
+    })
 }
 
 #[cfg(test)]

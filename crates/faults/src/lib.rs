@@ -92,6 +92,13 @@ impl fmt::Display for FaultAction {
 }
 
 /// A deterministic schedule of faults.
+///
+/// Plans are plain data — `Send` and cheap to `Clone` — on purpose: the
+/// seed-parallel campaign runner in `dlaas-bench` ships one cloned plan
+/// per trial spec to a worker thread, where it is armed against that
+/// trial's private `Sim`. A plan never captures a simulation handle, so
+/// carrying one across threads is safe by construction (and enforced by
+/// the `fault_specs_are_send_and_clone` test below).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     entries: Vec<(SimTime, FaultAction)>,
@@ -273,6 +280,12 @@ impl RecoveryStats {
     /// `true` when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
+    }
+
+    /// The raw samples, in insertion order — what a campaign replays
+    /// into an aggregate histogram after its sorted merge.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
     }
 
     /// Smallest sample.
@@ -614,6 +627,34 @@ mod tests {
             SimDuration::from_secs(30),
         );
         assert_eq!(r, None, "Never-restart pod cannot recover");
+    }
+
+    #[test]
+    fn fault_specs_are_send_and_clone() {
+        // The campaign runner moves trial specs (seed + fault plan) to
+        // worker threads and clones a fresh plan per trial. These bounds
+        // are part of the crate's contract; a field that captures a
+        // simulation handle (Rc, RefCell, …) would break the build here.
+        fn assert_spec<T: Send + Clone + 'static>() {}
+        assert_spec::<FaultPlan>();
+        assert_spec::<FaultAction>();
+        assert_spec::<RecoveryStats>();
+
+        let plan =
+            FaultPlan::new().at(SimTime::from_secs(1), FaultAction::CrashPod("svc-0".into()));
+        let cloned = plan.clone();
+        assert_eq!(cloned.len(), plan.len());
+    }
+
+    #[test]
+    fn stats_samples_expose_insertion_order() {
+        let mut st = RecoveryStats::new();
+        st.push(SimDuration::from_secs(5));
+        st.push(SimDuration::from_secs(3));
+        assert_eq!(
+            st.samples(),
+            &[SimDuration::from_secs(5), SimDuration::from_secs(3)]
+        );
     }
 
     #[test]

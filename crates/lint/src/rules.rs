@@ -67,9 +67,11 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "thread-spawn",
         family: Family::Determinism,
-        summary: "no std::thread / thread::spawn in simulation code",
+        summary: "no std::thread / thread::spawn outside the bench campaign runner",
         rationale: "OS scheduling is nondeterministic; the simulation is single-threaded by \
-                    design and all concurrency is modelled as events",
+                    design and all concurrency is modelled as events. The single sanctioned \
+                    exemption is crates/bench/src/runner.rs, which shards whole (still \
+                    single-threaded) Sims across workers and merges results deterministically",
     },
     RuleInfo {
         id: "process-escape",
@@ -155,6 +157,15 @@ fn shipping_code(meta: &FileMeta) -> bool {
     !matches!(meta.class, FileClass::Test | FileClass::Vendored)
 }
 
+/// The single module allowed to touch OS threads: the campaign runner in
+/// `dlaas-bench`. It parallelises across *whole* `Sim` instances (each
+/// one still single-threaded) and merges results by trial id, so the
+/// determinism contract holds at any thread count. Everywhere else,
+/// `thread-spawn` fires.
+fn bench_runner_module(meta: &FileMeta) -> bool {
+    meta.krate == "bench" && meta.path.ends_with("src/runner.rs")
+}
+
 /// Runs all token-level rules over one file. `in_test[i]` marks tokens
 /// inside `#[cfg(test)]` / `#[test]` scopes (exempt from every rule).
 pub fn check_tokens(meta: &FileMeta, tokens: &[Token], in_test: &[bool]) -> Vec<Finding> {
@@ -169,6 +180,7 @@ pub fn check_tokens(meta: &FileMeta, tokens: &[Token], in_test: &[bool]) -> Vec<
         .collect();
     let determinism_crate = DETERMINISM_CRATES.contains(&meta.krate.as_str());
     let lib_like = matches!(meta.class, FileClass::Lib);
+    let runner_exempt = bench_runner_module(meta);
 
     let ident_at = |k: usize| -> Option<&str> {
         sig.get(k)
@@ -206,26 +218,30 @@ pub fn check_tokens(meta: &FileMeta, tokens: &[Token], in_test: &[bool]) -> Vec<
                 ),
             ),
             "thread"
-                if punct_at(k + 1) == Some(":")
+                if !runner_exempt
+                    && punct_at(k + 1) == Some(":")
                     && punct_at(k + 2) == Some(":")
                     && ident_at(k + 3) == Some("spawn") =>
             {
                 push(
                     "thread-spawn",
                     "`thread::spawn` introduces OS scheduling nondeterminism; model concurrency \
-                     as simulation events"
+                     as simulation events, or route campaign fan-out through \
+                     `dlaas_bench::runner`"
                         .into(),
                 );
             }
             "std"
-                if punct_at(k + 1) == Some(":")
+                if !runner_exempt
+                    && punct_at(k + 1) == Some(":")
                     && punct_at(k + 2) == Some(":")
                     && ident_at(k + 3) == Some("thread") =>
             {
                 push(
                     "thread-spawn",
                     "`std::thread` introduces OS scheduling nondeterminism; model concurrency \
-                     as simulation events"
+                     as simulation events, or route campaign fan-out through \
+                     `dlaas_bench::runner`"
                         .into(),
                 );
             }

@@ -1,0 +1,13 @@
+// Fixture: OS-thread tokens, sanctioned only in the bench campaign runner.
+
+pub fn fan_out() {
+    std::thread::scope(|scope| {
+        let h = scope.spawn(|| 7);
+        let _ = h.join();
+    });
+}
+
+pub fn plain_spawn() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

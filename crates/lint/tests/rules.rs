@@ -50,6 +50,34 @@ fn thread_and_process_rules() {
 }
 
 #[test]
+fn thread_spawn_exempt_in_bench_campaign_runner() {
+    // The one sanctioned home for OS threads: the seed-parallel campaign
+    // runner, which shards whole Sims and merges results by trial id.
+    let r = lint_fixture("parallel_runner.rs", "crates/bench/src/runner.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn thread_spawn_fires_everywhere_else_in_bench() {
+    let r = lint_fixture("parallel_runner.rs", "crates/bench/src/matrix.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("thread-spawn", 4), ("thread-spawn", 11)]
+    );
+}
+
+#[test]
+fn thread_spawn_exemption_does_not_cover_other_crates_runner_rs() {
+    // Only `crates/bench/src/runner.rs` is exempt; a runner.rs elsewhere
+    // still violates the single-threaded-sim contract.
+    let r = lint_fixture("parallel_runner.rs", "crates/sim/src/runner.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("thread-spawn", 4), ("thread-spawn", 11)]
+    );
+}
+
+#[test]
 fn process_escape_exempt_in_binaries() {
     let r = lint_fixture("thread_process.rs", "crates/gpu/src/main.rs");
     // The CLI surface may exit, but OS threads stay forbidden everywhere.

@@ -32,6 +32,8 @@
 
 mod histogram;
 mod snapshot;
+#[cfg(feature = "wallclock")]
+pub mod wallclock;
 
 pub use histogram::{count_buckets, default_buckets, Histogram};
 pub use snapshot::{Snapshot, SnapshotDiff};
