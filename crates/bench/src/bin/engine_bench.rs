@@ -1,0 +1,135 @@
+//! Engine throughput bench: emits `BENCH_engine.json` with kernel events
+//! per wall-second for a pure-kernel churn workload and the full-platform
+//! `scale_soak`-shaped N-job soak. See `dlaas_bench::engine` for the
+//! workload definitions and the artifact's (wall-derived, not
+//! byte-stable) nature.
+//!
+//! Usage:
+//!   cargo run --release -p dlaas-bench --bin engine_bench -- \
+//!     [--seed S] [--n N] [--actors A] [--events E] [--out PATH] \
+//!     [--skip-platform] [--check BASELINE.json] [--tolerance F]
+//!
+//! Defaults: seed 2018, N=10000 platform jobs, 10000 churn actors,
+//! 2,000,000 churn events, out `BENCH_engine.json`, tolerance 0.10.
+//! With `--check`, exits non-zero if any workload's events/wall-sec falls
+//! more than the tolerance below the committed baseline.
+
+use dlaas_bench::engine::{self, EngineRun};
+use dlaas_bench::harness::print_table;
+
+struct Args {
+    seed: u64,
+    n: u64,
+    actors: u64,
+    events: u64,
+    out: String,
+    skip_platform: bool,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        seed: 2018,
+        n: 10_000,
+        actors: 10_000,
+        events: 2_000_000,
+        out: "BENCH_engine.json".into(),
+        skip_platform: false,
+        check: None,
+        tolerance: 0.10,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        // dlaas-lint: allow(panic-in-core): bench binary rejecting malformed CLI flags.
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => parsed.seed = next("--seed").parse().expect("--seed u64"),
+            "--n" => parsed.n = next("--n").parse().expect("--n u64"),
+            "--actors" => parsed.actors = next("--actors").parse().expect("--actors u64"),
+            "--events" => parsed.events = next("--events").parse().expect("--events u64"),
+            "--out" => parsed.out = next("--out"),
+            "--skip-platform" => parsed.skip_platform = true,
+            "--check" => parsed.check = Some(next("--check")),
+            "--tolerance" => {
+                parsed.tolerance = next("--tolerance").parse().expect("--tolerance f64");
+            }
+            // dlaas-lint: allow(panic-in-core): bench binary rejecting malformed CLI flags.
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    // dlaas-lint: allow(debug-print): bench progress output.
+    eprintln!(
+        "engine bench: kernel_churn ({} actors, {} events){} (seed {})…",
+        args.actors,
+        args.events,
+        if args.skip_platform {
+            String::new()
+        } else {
+            format!(" + platform_soak N={}", args.n)
+        },
+        args.seed
+    );
+
+    let mut runs: Vec<EngineRun> = Vec::new();
+    runs.push(engine::kernel_churn(args.seed, args.actors, args.events));
+    if !args.skip_platform {
+        runs.push(engine::platform_soak(args.seed, args.n));
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.events.to_string(),
+                format!("{:.1}", r.sim_secs),
+                format!("{:.2}", r.wall_secs),
+                format!("{:.0}", r.events_per_wall_sec()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Engine throughput (kernel events per host wall-second)",
+        &["workload", "events", "sim s", "wall s", "ev/wall-s"],
+        &rows,
+    );
+
+    let json = engine::render_json(args.seed, &runs);
+    // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
+    std::fs::write(&args.out, &json).expect("write BENCH_engine.json");
+    // dlaas-lint: allow(debug-print): bench result output.
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = args.check {
+        // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        match engine::check_against_baseline(&json, &baseline, args.tolerance) {
+            Ok(report) => {
+                for line in report {
+                    // dlaas-lint: allow(debug-print): bench result output.
+                    println!("{line}");
+                }
+            }
+            Err(violations) => {
+                for line in violations {
+                    eprintln!("{line}");
+                }
+                eprintln!(
+                    "engine bench regression vs {baseline_path} (tolerance {:.0}%)",
+                    args.tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -7,8 +7,9 @@
 //!   committed etcd command (the prefix-indexed registry),
 //! * `kube_kick_pending_examined` — pods examined per scheduler kick
 //!   (the incrementally-maintained pending queue),
-//! * `mongo_docs_examined{op="find"}` — candidate documents examined per
-//!   LCM sweep query (the `status` secondary index).
+//! * `mongo_docs_examined{op="find_changed"}` — changed documents
+//!   delivered per LCM sweep by the docstore change feed (watch-driven
+//!   sweep: work scales with churn, not with N).
 //!
 //! Dividing each histogram's total by N gives a per-job cost that must
 //! stay flat as N grows — the soak asserts the largest N is within 2× of
@@ -142,7 +143,7 @@ fn run_one(seed: u64, n: u64) -> TrialRun<Run> {
         ),
         (
             "lcm_sweep_docs_examined",
-            m.histogram("mongo_docs_examined", &[("op", "find")]),
+            m.histogram("mongo_docs_examined", &[("op", "find_changed")]),
         ),
     ]
     .into_iter()

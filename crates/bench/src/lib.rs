@@ -6,6 +6,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -14,8 +14,20 @@
 //!   right after the API acknowledged) are picked up and deployed,
 //! * jobs whose Guardian exhausted its K8s backoff limit are failed,
 //! * terminal jobs with leftover cluster resources are garbage-collected.
+//!
+//! The scan is watch-driven: each tick pulls the jobs collection's change
+//! feed above a watermark (`FindChanged`) into in-memory watchlists and
+//! sweeps only those, so per-tick work is proportional to what changed
+//! plus what is actually being watched — not to the total number of jobs
+//! ever submitted. The watchlists are a cache, not state: an LCM restart
+//! begins at watermark 0, which replays the full feed and rebuilds them,
+//! preserving the statelessness the paper's recovery story relies on.
 
-use dlaas_docstore::{Filter, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use dlaas_docstore::Value;
 use dlaas_kube::{
     labels, pod_addr, Cleanup, ContainerSpec, ImageRef, JobStatus as KubeJobStatus, PodSpec,
     ProcessCtx, Resources,
@@ -61,16 +73,19 @@ pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
         }
     });
 
-    // The background scan.
+    // The background scan. The watchlist cache dies with this
+    // incarnation; a successor starts at watermark 0 and rebuilds it
+    // from the full change feed.
     let scan_period = h.config.lcm_scan;
     let h3 = h.clone();
     let meta3 = meta.clone();
     let alive = ctx.alive_flag();
+    let state = Rc::new(RefCell::new(ScanState::default()));
     let timer = dlaas_sim::every(sim, scan_period, move |sim, _n| {
         if !alive.get() {
             return false;
         }
-        scan(sim, &h3, &meta3);
+        scan(sim, &h3, &meta3, &state);
         true
     });
 
@@ -132,13 +147,6 @@ pub(crate) fn teardown_job(sim: &mut Sim, h: &Handles, job: &JobId, delete_guard
         .delete_prefix(sim, paths::etcd_job_prefix(job), |_sim, _r| {});
 }
 
-fn job_ids(docs: &[Value]) -> Vec<JobId> {
-    docs.iter()
-        .filter_map(|d| d.path("_id").and_then(Value::as_str))
-        .map(JobId::new)
-        .collect()
-}
-
 /// When the job most recently entered DEPLOYING, per its status history.
 /// A negative `t_us` is a malformed (platform-written) record: `None`,
 /// never a silent wrap to a far-future time that would mask deploy-stuck
@@ -155,154 +163,218 @@ fn deploying_since(doc: &Value) -> Option<SimTime> {
         .map(SimTime::from_micros)
 }
 
-fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient) {
-    // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
-    let h2 = h.clone();
-    let redeploy_after = h.config.pending_redeploy_after;
-    meta.find(
-        sim,
-        JOBS,
-        Filter::eq("status", JobStatus::Pending.to_string()),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for doc in &docs {
-                // A negative submitted_us is store corruption: skip the
-                // document like the other malformed-record paths instead
-                // of wrapping it to a huge timestamp (which would pin the
-                // job's age at zero and strand it forever).
-                let Ok(submitted) = u64::try_from(
-                    doc.path("submitted_us")
-                        .and_then(Value::as_i64)
-                        .unwrap_or(0),
-                ) else {
+/// The scan's watchlists, keyed off the metadata store's change feed.
+///
+/// Everything here is a cache of the jobs collection: a fresh incarnation
+/// (watermark 0) rebuilds it from the full feed, so losing it in an LCM
+/// crash costs one wide scan, never correctness.
+#[derive(Debug, Default)]
+struct ScanState {
+    /// Change-feed sequence number the next scan resumes from.
+    watermark: u64,
+    /// PENDING jobs and when they were submitted (redeploy backstop).
+    pending: BTreeMap<JobId, SimTime>,
+    /// DEPLOYING jobs and when they entered that state (deploy timeout).
+    deploying: BTreeMap<JobId, SimTime>,
+    /// All non-terminal jobs (Guardian gave-up watch).
+    active: BTreeSet<JobId>,
+    /// Terminal jobs not yet confirmed free of cluster leftovers.
+    terminal_gc: BTreeSet<JobId>,
+}
+
+/// Folds one changed job document into the watchlists.
+fn ingest(sim: &mut Sim, st: &mut ScanState, doc: &Value) {
+    let Some(id) = doc.path("_id").and_then(Value::as_str) else {
+        return;
+    };
+    let job = JobId::new(id);
+    st.pending.remove(&job);
+    st.deploying.remove(&job);
+    st.active.remove(&job);
+    st.terminal_gc.remove(&job);
+    let status: Option<JobStatus> = doc
+        .path("status")
+        .and_then(Value::as_str)
+        .and_then(|s| s.parse().ok());
+    match status {
+        Some(JobStatus::Pending) => {
+            st.active.insert(job.clone());
+            // A negative submitted_us is store corruption: leave the job
+            // off the redeploy watchlist like the other malformed-record
+            // paths instead of wrapping it to a huge timestamp (which
+            // would pin the job's age at zero and strand it forever).
+            match u64::try_from(
+                doc.path("submitted_us")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0),
+            ) {
+                Ok(submitted) => {
+                    st.pending.insert(job, SimTime::from_micros(submitted));
+                }
+                Err(_) => {
                     sim.metrics().inc(
                         crate::metrics::LCM_MALFORMED_RECORDS,
                         &[("field", "submitted_us")],
                     );
-                    continue;
-                };
-                let age = sim
-                    .now()
-                    .saturating_duration_since(SimTime::from_micros(submitted));
-                let Some(id) = doc.path("_id").and_then(Value::as_str) else {
-                    continue;
-                };
-                let job = JobId::new(id);
-                if age >= redeploy_after && h2.kube.job_status(&paths::guardian_job(&job)).is_none()
-                {
-                    sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
-                    sim.metrics().inc(crate::metrics::LCM_SCAN_REDEPLOYS, &[]);
-                    ensure_guardian(sim, &h2, &job);
                 }
             }
-        },
-    );
+        }
+        Some(JobStatus::Deploying) => {
+            st.active.insert(job.clone());
+            if let Some(since) = deploying_since(doc) {
+                st.deploying.insert(job, since);
+            }
+        }
+        Some(JobStatus::Processing | JobStatus::Storing) => {
+            st.active.insert(job);
+        }
+        Some(JobStatus::Completed | JobStatus::Failed | JobStatus::Killed) => {
+            st.terminal_gc.insert(job);
+        }
+        // Unparseable status: watch nothing; the document re-enters the
+        // feed if it is ever repaired.
+        None => {}
+    }
+}
+
+fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanState>>) {
+    let since = state.borrow().watermark;
+    let h2 = h.clone();
+    let meta2 = meta.clone();
+    let state2 = state.clone();
+    meta.find_changed(sim, JOBS, since, move |sim, r| {
+        // Store unreachable: keep the old watermark and retry next tick.
+        let Ok((docs, gone, high_water)) = r else {
+            return;
+        };
+        {
+            let mut st = state2.borrow_mut();
+            st.watermark = high_water;
+            for doc in &docs {
+                ingest(sim, &mut st, doc);
+            }
+            for job in gone.iter().map(JobId::new) {
+                st.pending.remove(&job);
+                st.deploying.remove(&job);
+                st.active.remove(&job);
+                st.terminal_gc.remove(&job);
+            }
+        }
+        sweep(sim, &h2, &meta2, &state2);
+    });
+}
+
+/// Walks the watchlists (not the whole collection) and applies the three
+/// self-healing rules.
+fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanState>>) {
+    // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
+    let redeploy_after = h.config.pending_redeploy_after;
+    let pending: Vec<(JobId, SimTime)> = state
+        .borrow()
+        .pending
+        .iter()
+        .map(|(j, t)| (j.clone(), *t))
+        .collect();
+    for (job, submitted) in pending {
+        let age = sim.now().saturating_duration_since(submitted);
+        if age >= redeploy_after && h.kube.job_status(&paths::guardian_job(&job)).is_none() {
+            sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
+            sim.metrics().inc(crate::metrics::LCM_SCAN_REDEPLOYS, &[]);
+            ensure_guardian(sim, h, &job);
+        }
+    }
 
     // 2. Fail jobs whose Guardian exhausted its K8s backoff limit, and
     //    jobs stuck in DEPLOYING past the deploy timeout (undeployable:
-    //    e.g. they request hardware the cluster does not have).
-    let h3 = h.clone();
-    let meta2 = meta.clone();
+    //    e.g. they request hardware the cluster does not have). Both
+    //    checks read local Kubernetes/watchlist state only.
     let deploy_timeout = h.config.deploy_timeout;
-    let active: Vec<Value> = [
-        JobStatus::Pending,
-        JobStatus::Deploying,
-        JobStatus::Processing,
-        JobStatus::Storing,
-    ]
-    .iter()
-    .map(|s| Value::from(s.to_string()))
-    .collect();
-    meta.find(
-        sim,
-        JOBS,
-        Filter::In("status".into(), active),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for doc in &docs {
-                let Some(id) = doc.path("_id").and_then(Value::as_str) else {
-                    continue;
-                };
-                let job = JobId::new(id);
-                let guardian_gave_up =
-                    h3.kube.job_status(&paths::guardian_job(&job)) == Some(KubeJobStatus::Failed);
-
-                let status: Option<JobStatus> = doc
-                    .path("status")
-                    .and_then(Value::as_str)
-                    .and_then(|s| s.parse().ok());
-                let deploy_stuck = status == Some(JobStatus::Deploying)
-                    && deploying_since(doc).is_some_and(|since| {
-                        sim.now().saturating_duration_since(since) >= deploy_timeout
-                    });
-
-                if guardian_gave_up || deploy_stuck {
-                    let reason = if guardian_gave_up {
-                        "guardian gave up"
-                    } else {
-                        "deploy timeout (resources unschedulable?)"
-                    };
-                    sim.record("lcm", format!("scan: failing {job}: {reason}"));
-                    let reason_label = if guardian_gave_up {
-                        "guardian_gave_up"
-                    } else {
-                        "deploy_timeout"
-                    };
-                    sim.metrics().inc(
-                        crate::metrics::LCM_SCAN_FAILURES,
-                        &[("reason", reason_label)],
-                    );
-                    let h4 = h3.clone();
-                    let job2 = job.clone();
-                    meta2.advance_status(sim, &job, JobStatus::Failed, move |sim, _r| {
-                        teardown_job(sim, &h4, &job2, true);
-                    });
-                }
+    let mut to_fail: Vec<(JobId, bool)> = Vec::new();
+    {
+        let st = state.borrow();
+        for job in &st.active {
+            let guardian_gave_up =
+                h.kube.job_status(&paths::guardian_job(job)) == Some(KubeJobStatus::Failed);
+            let deploy_stuck = st
+                .deploying
+                .get(job)
+                .is_some_and(|since| sim.now().saturating_duration_since(*since) >= deploy_timeout);
+            if guardian_gave_up || deploy_stuck {
+                to_fail.push((job.clone(), guardian_gave_up));
             }
-        },
-    );
+        }
+    }
+    for (job, guardian_gave_up) in to_fail {
+        let reason = if guardian_gave_up {
+            "guardian gave up"
+        } else {
+            "deploy timeout (resources unschedulable?)"
+        };
+        sim.record("lcm", format!("scan: failing {job}: {reason}"));
+        let reason_label = if guardian_gave_up {
+            "guardian_gave_up"
+        } else {
+            "deploy_timeout"
+        };
+        sim.metrics().inc(
+            crate::metrics::LCM_SCAN_FAILURES,
+            &[("reason", reason_label)],
+        );
+        // Drop the job from the live watchlists now so a slow status
+        // write cannot double-fail it next tick; the terminal status
+        // change re-enters it through the feed as a GC candidate.
+        {
+            let mut st = state.borrow_mut();
+            st.pending.remove(&job);
+            st.deploying.remove(&job);
+            st.active.remove(&job);
+        }
+        let h4 = h.clone();
+        let job2 = job.clone();
+        meta.advance_status(sim, &job, JobStatus::Failed, move |sim, _r| {
+            teardown_job(sim, &h4, &job2, true);
+        });
+    }
 
-    // 3. Garbage-collect leftovers of terminal jobs.
-    let h5 = h.clone();
-    let terminal: Vec<Value> = [JobStatus::Completed, JobStatus::Failed, JobStatus::Killed]
-        .iter()
-        .map(|s| Value::from(s.to_string()))
-        .collect();
-    meta.find(
-        sim,
-        JOBS,
-        Filter::In("status".into(), terminal),
-        move |sim, r| {
-            let Ok(docs) = r else { return };
-            for job in job_ids(&docs) {
-                let has_pods = !h5
-                    .kube
-                    .pods_matching(&labels! {"job" => job.as_str()})
-                    .is_empty();
-                let has_volume = h5.nfs.find_volume(&paths::volume(&job)).is_some();
-                if has_pods || has_volume {
-                    sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
-                    sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
-                    teardown_job(sim, &h5, &job, true);
-                } else {
-                    // Cluster-side resources are gone, but a teardown that
-                    // ran during an etcd outage may have lost its
-                    // delete_prefix. Probe and re-delete, or the keys leak
-                    // forever (nothing else ever looks at them again).
-                    let h6 = h5.clone();
-                    let prefix = paths::etcd_job_prefix(&job);
-                    let prefix2 = prefix.clone();
-                    h5.etcd_gc.get_prefix(sim, prefix, move |sim, r| {
-                        if matches!(r, Ok(pairs) if !pairs.is_empty()) {
-                            sim.record("lcm", format!("scan: GC etcd keys of {job}"));
-                            sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
-                            h6.etcd_gc.delete_prefix(sim, prefix2, |_sim, _r| {});
-                        }
-                    });
+    // 3. Garbage-collect leftovers of terminal jobs. A job leaves the
+    //    watchlist only once its pods and volume are gone AND an etcd
+    //    probe confirms no leaked keys (a teardown that ran during an
+    //    etcd outage may have lost its delete_prefix; nothing else ever
+    //    looks at those keys again).
+    let terminal: Vec<JobId> = state.borrow().terminal_gc.iter().cloned().collect();
+    for job in terminal {
+        let has_pods = !h
+            .kube
+            .pods_matching(&labels! {"job" => job.as_str()})
+            .is_empty();
+        let has_volume = h.nfs.find_volume(&paths::volume(&job)).is_some();
+        if has_pods || has_volume {
+            sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
+            sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
+            teardown_job(sim, h, &job, true);
+        } else {
+            let h6 = h.clone();
+            let state3 = state.clone();
+            let prefix = paths::etcd_job_prefix(&job);
+            let prefix2 = prefix.clone();
+            h.etcd_gc.get_prefix(sim, prefix, move |sim, r| {
+                match r {
+                    Ok(pairs) if !pairs.is_empty() => {
+                        sim.record("lcm", format!("scan: GC etcd keys of {job}"));
+                        sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
+                        h6.etcd_gc.delete_prefix(sim, prefix2, |_sim, _r| {});
+                        // Keep watching: next tick re-probes until clean.
+                    }
+                    Ok(_) => {
+                        // Confirmed clean: stop watching this job.
+                        state3.borrow_mut().terminal_gc.remove(&job);
+                    }
+                    // etcd unreachable: keep watching and retry next tick.
+                    Err(_) => {}
                 }
-            }
-        },
-    );
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,9 +427,74 @@ mod tests {
     }
 
     #[test]
-    fn job_ids_extracts_in_order() {
-        let docs = vec![obj! {"_id" => "a"}, obj! {"x" => 1}, obj! {"_id" => "b"}];
-        let ids = job_ids(&docs);
-        assert_eq!(ids, vec![JobId::new("a"), JobId::new("b")]);
+    fn ingest_routes_jobs_to_the_right_watchlists() {
+        let mut sim = Sim::new(0);
+        let mut st = ScanState::default();
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "p", "status" => "PENDING", "submitted_us" => 42},
+        );
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {
+                "_id" => "d",
+                "status" => "DEPLOYING",
+                "history" => vec![obj! {"status" => "DEPLOYING", "t_us" => 7}],
+            },
+        );
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "r", "status" => "PROCESSING"},
+        );
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "t", "status" => "COMPLETED"},
+        );
+
+        assert_eq!(
+            st.pending.get(&JobId::new("p")),
+            Some(&SimTime::from_micros(42))
+        );
+        assert_eq!(
+            st.deploying.get(&JobId::new("d")),
+            Some(&SimTime::from_micros(7))
+        );
+        assert_eq!(
+            st.active.len(),
+            3,
+            "pending+deploying+processing are active"
+        );
+        assert!(st.terminal_gc.contains(&JobId::new("t")));
+        assert!(!st.active.contains(&JobId::new("t")));
+
+        // A status transition moves the job between lists instead of
+        // leaving a stale entry behind.
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "p", "status" => "FAILED"},
+        );
+        assert!(st.pending.is_empty());
+        assert!(!st.active.contains(&JobId::new("p")));
+        assert!(st.terminal_gc.contains(&JobId::new("p")));
+    }
+
+    #[test]
+    fn ingest_keeps_corrupt_submitted_us_off_the_redeploy_list() {
+        let mut sim = Sim::new(0);
+        let mut st = ScanState::default();
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "bad", "status" => "PENDING", "submitted_us" => -5},
+        );
+        // Still watched for a failed Guardian, but never age-computed
+        // from a wrapped timestamp.
+        assert!(st.pending.is_empty());
+        assert!(st.active.contains(&JobId::new("bad")));
     }
 }

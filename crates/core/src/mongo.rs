@@ -183,6 +183,42 @@ impl MetaClient {
         );
     }
 
+    /// Fetches the collection's change feed above `since`: documents that
+    /// changed and still exist, ids whose latest change was a removal,
+    /// and the new watermark to pass next time. `since == 0` returns the
+    /// full feed (the restart / lost-watermark fallback).
+    pub fn find_changed(
+        &self,
+        sim: &mut Sim,
+        coll: &str,
+        since: u64,
+        done: impl FnOnce(&mut Sim, Result<(Vec<Value>, Vec<String>, u64), MetaError>) + 'static,
+    ) {
+        self.request(
+            sim,
+            MongoRequest::FindChanged {
+                coll: coll.into(),
+                since,
+            },
+            ATTEMPTS,
+            |sim, r| {
+                done(
+                    sim,
+                    r.and_then(|resp| match resp {
+                        MongoResponse::Changed {
+                            docs,
+                            gone,
+                            high_water,
+                        } => Ok((docs, gone, high_water)),
+                        other => Err(MetaError::Rejected(format!(
+                            "unexpected find_changed response: {other:?}"
+                        ))),
+                    }),
+                );
+            },
+        );
+    }
+
     /// Updates the first matching document; reports whether one matched.
     pub fn update_one(
         &self,

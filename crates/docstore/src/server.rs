@@ -6,6 +6,7 @@
 //! restarted server replays it.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dlaas_net::{Addr, Responder, RpcLayer};
@@ -78,6 +79,15 @@ pub enum MongoRequest {
         /// Predicate.
         filter: Filter,
     },
+    /// Return the change feed above a watermark (see
+    /// [`DocStore::changed_since`]): work proportional to the number of
+    /// changed documents, not the collection size.
+    FindChanged {
+        /// Target collection.
+        coll: String,
+        /// Sequence watermark; `0` means the full feed.
+        since: u64,
+    },
     /// Create a secondary index.
     CreateIndex {
         /// Target collection.
@@ -105,6 +115,15 @@ pub enum MongoResponse {
     Deleted(usize),
     /// Count result.
     Count(usize),
+    /// Change feed above the requested watermark.
+    Changed {
+        /// Documents that changed and still exist, in change order.
+        docs: Vec<Value>,
+        /// Ids whose latest change was a removal.
+        gone: Vec<String>,
+        /// Current high-water sequence number (the next `since`).
+        high_water: u64,
+    },
     /// Index created / generic success.
     Ok,
 }
@@ -145,6 +164,10 @@ pub struct MongoServer {
     /// Degraded mode: writes are dropped (clients time out) while reads
     /// keep working — a journal-device stall rather than a full crash.
     fail_writes: Rc<RefCell<bool>>,
+    /// Per-op handles to the `mongo_docs_examined` histogram, resolved on
+    /// each op's first observation and bumped directly thereafter — the
+    /// per-request label canonicalization is off the hot path.
+    examined: RefCell<BTreeMap<&'static str, dlaas_sim::HistogramHandle>>,
 }
 
 impl std::fmt::Debug for MongoServer {
@@ -171,6 +194,7 @@ impl MongoServer {
             timings,
             up: Rc::new(RefCell::new(true)),
             fail_writes: Rc::new(RefCell::new(false)),
+            examined: RefCell::new(BTreeMap::new()),
         });
         server.serve();
         server
@@ -259,6 +283,7 @@ impl MongoServer {
             MongoRequest::DeleteOne { .. } => Some("delete_one"),
             MongoRequest::DeleteMany { .. } => Some("delete_many"),
             MongoRequest::Count { .. } => Some("count"),
+            MongoRequest::FindChanged { .. } => Some("find_changed"),
         };
         let me = self.clone();
         sim.schedule_in(delay, move |sim| {
@@ -300,6 +325,14 @@ impl MongoServer {
                 MongoRequest::Count { coll, filter } => {
                     MongoResponse::Count(store.count(&coll, &filter))
                 }
+                MongoRequest::FindChanged { coll, since } => {
+                    let (docs, gone, high_water) = store.changed_since(&coll, since);
+                    MongoResponse::Changed {
+                        docs,
+                        gone,
+                        high_water,
+                    }
+                }
                 MongoRequest::CreateIndex { coll, path } => {
                     store.create_index(&coll, &path);
                     MongoResponse::Ok
@@ -308,8 +341,14 @@ impl MongoServer {
             let examined = store.last_examined();
             drop(store);
             if let Some(op) = op_label {
-                sim.metrics()
-                    .observe("mongo_docs_examined", &[("op", op)], examined as f64);
+                me.examined
+                    .borrow_mut()
+                    .entry(op)
+                    .or_insert_with(|| {
+                        sim.metrics()
+                            .histogram_handle("mongo_docs_examined", &[("op", op)])
+                    })
+                    .observe(examined as f64);
             }
             responder.ok(sim, resp);
         });
@@ -504,6 +543,78 @@ mod tests {
         );
         sim.run_until_idle();
         assert!(after.borrow().clone().unwrap().is_ok());
+    }
+
+    #[test]
+    fn find_changed_feeds_watermarked_changes_over_rpc() {
+        let (mut sim, rpc, server) = boot();
+        for i in 0..3 {
+            call(
+                &mut sim,
+                &rpc,
+                MongoRequest::InsertOne {
+                    coll: "jobs".into(),
+                    doc: obj! { "_id" => format!("j{i}") },
+                },
+            );
+        }
+        sim.run_until_idle();
+
+        let first = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::FindChanged {
+                coll: "jobs".into(),
+                since: 0,
+            },
+        );
+        sim.run_until_idle();
+        let hw = match first.borrow().clone().unwrap().unwrap() {
+            MongoResponse::Changed {
+                docs,
+                gone,
+                high_water,
+            } => {
+                assert_eq!(docs.len(), 3);
+                assert!(gone.is_empty());
+                high_water
+            }
+            other => panic!("unexpected: {other:?}"),
+        };
+
+        call(
+            &mut sim,
+            &rpc,
+            MongoRequest::DeleteOne {
+                coll: "jobs".into(),
+                filter: Filter::eq("_id", "j1"),
+            },
+        );
+        sim.run_until_idle();
+
+        // The feed is a read: it keeps working while writes stall.
+        server.set_fail_writes(true);
+        let second = call(
+            &mut sim,
+            &rpc,
+            MongoRequest::FindChanged {
+                coll: "jobs".into(),
+                since: hw,
+            },
+        );
+        sim.run_until_idle();
+        match second.borrow().clone().unwrap().unwrap() {
+            MongoResponse::Changed {
+                docs,
+                gone,
+                high_water,
+            } => {
+                assert!(docs.is_empty());
+                assert_eq!(gone, vec!["j1".to_owned()]);
+                assert_eq!(high_water, hw + 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        };
     }
 
     #[test]

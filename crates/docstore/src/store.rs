@@ -110,11 +110,32 @@ struct Collection {
     docs: BTreeMap<String, Value>,
     /// path → (value → ids); consulted for `Eq`-pinned filters.
     indexes: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+    /// Monotonic per-collection change counter, bumped once per journaled
+    /// mutation (insert, effective update, delete). Journal replay bumps
+    /// through the same path, so sequence numbers — and therefore any
+    /// watcher's watermark — survive crash recovery unchanged.
+    change_seq: u64,
+    /// id → sequence number of its latest change.
+    changed_at: BTreeMap<String, u64>,
+    /// sequence number → id; at most one entry per id (re-touching a
+    /// document moves it to the tail), so a watcher reading the range
+    /// above its watermark sees each changed document exactly once.
+    by_seq: BTreeMap<u64, String>,
 }
 
 impl Collection {
     fn index_key(v: &Value) -> String {
         v.to_string()
+    }
+
+    /// Records that `id` changed (was inserted, replaced, or removed),
+    /// moving it to the tail of the change feed.
+    fn note_change(&mut self, id: &str) {
+        self.change_seq += 1;
+        if let Some(old) = self.changed_at.insert(id.to_owned(), self.change_seq) {
+            self.by_seq.remove(&old);
+        }
+        self.by_seq.insert(self.change_seq, id.to_owned());
     }
 
     fn add_to_indexes(&mut self, id: &str, doc: &Value) {
@@ -246,6 +267,7 @@ impl DocStore {
                     c.docs.insert(id.clone(), doc.clone());
                     let doc = doc.clone();
                     c.add_to_indexes(id, &doc);
+                    c.note_change(id);
                     // Track auto-id high-water mark.
                     if let Some(n) = id.strip_prefix("auto-").and_then(|s| s.parse::<u64>().ok()) {
                         store.next_auto_id = store.next_auto_id.max(n + 1);
@@ -255,6 +277,7 @@ impl DocStore {
                     if let Some(c) = store.collections.get_mut(coll) {
                         if let Some(old) = c.docs.remove(id) {
                             c.remove_from_indexes(id, &old);
+                            c.note_change(id);
                         }
                     }
                 }
@@ -335,6 +358,7 @@ impl DocStore {
         let c = self.collections.get_mut(coll).expect("just created");
         c.docs.insert(id.clone(), doc.clone());
         c.add_to_indexes(&id, &doc);
+        c.note_change(&id);
         Ok(id)
     }
 
@@ -443,6 +467,7 @@ impl DocStore {
                 c.remove_from_indexes(&id, &old);
                 c.docs.insert(id.clone(), new.clone());
                 c.add_to_indexes(&id, &new);
+                c.note_change(&id);
                 self.journal.append(JournalOp::Replace {
                     coll: coll.to_owned(),
                     id: id.clone(),
@@ -483,6 +508,7 @@ impl DocStore {
         for id in ids {
             let old = c.docs.remove(&id).expect("listed above");
             c.remove_from_indexes(&id, &old);
+            c.note_change(&id);
             self.journal.append(JournalOp::Remove {
                 coll: coll.to_owned(),
                 id: id.clone(),
@@ -493,6 +519,40 @@ impl DocStore {
             }
         }
         n
+    }
+
+    /// The collection's change feed above `since`: full documents that
+    /// exist now (`docs`, in change order), ids whose latest change was a
+    /// removal (`gone`), and the current high-water sequence number to
+    /// use as the next `since`.
+    ///
+    /// A document touched several times appears once, at its latest
+    /// position, so the work (and [`DocStore::last_examined`]) is
+    /// proportional to the number of documents changed since the
+    /// watermark — not the collection size. `since == 0` returns every
+    /// live document plus every removal tombstone: a watcher that lost
+    /// its watermark (e.g. an LCM restart) falls back to a full rescan.
+    pub fn changed_since(&self, coll: &str, since: u64) -> (Vec<Value>, Vec<String>, u64) {
+        let Some(c) = self.collections.get(coll) else {
+            self.last_examined.set(0);
+            return (Vec::new(), Vec::new(), 0);
+        };
+        let mut docs = Vec::new();
+        let mut gone = Vec::new();
+        let mut examined = 0u64;
+        for id in c
+            .by_seq
+            .range((std::ops::Bound::Excluded(since), std::ops::Bound::Unbounded))
+            .map(|(_, id)| id)
+        {
+            examined += 1;
+            match c.docs.get(id) {
+                Some(d) => docs.push(d.clone()),
+                None => gone.push(id.clone()),
+            }
+        }
+        self.last_examined.set(examined);
+        (docs, gone, c.change_seq)
     }
 
     /// Names of all collections that have ever held a document.
@@ -769,6 +829,85 @@ mod tests {
             .map(|d| d.path("_id").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(ids, vec!["c", "e", "a"]);
+    }
+
+    #[test]
+    fn changed_since_reports_each_touched_doc_once() {
+        let mut db = DocStore::new();
+        for i in 0..4 {
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i))
+                .unwrap();
+        }
+        let (docs, gone, hw) = db.changed_since("jobs", 0);
+        assert_eq!(docs.len(), 4);
+        assert!(gone.is_empty());
+        assert_eq!(hw, 4);
+        assert_eq!(db.last_examined(), 4);
+
+        // Nothing changed: the feed above the watermark is empty and
+        // examined zero documents — the sub-linear property the LCM
+        // sweep depends on.
+        let (docs, gone, hw2) = db.changed_since("jobs", hw);
+        assert!(docs.is_empty() && gone.is_empty());
+        assert_eq!(hw2, hw);
+        assert_eq!(db.last_examined(), 0);
+
+        // A doc updated twice surfaces once, at its latest position;
+        // a no-op update does not re-surface it.
+        db.update_one(
+            "jobs",
+            &Filter::eq("_id", "j1"),
+            &Update::set("status", "A"),
+        );
+        db.update_one(
+            "jobs",
+            &Filter::eq("_id", "j1"),
+            &Update::set("status", "B"),
+        );
+        db.update_one(
+            "jobs",
+            &Filter::eq("_id", "j0"),
+            &Update::set("status", "PENDING"),
+        );
+        let (docs, gone, hw3) = db.changed_since("jobs", hw);
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].path("status").unwrap().as_str(), Some("B"));
+        assert!(gone.is_empty());
+        assert_eq!(hw3, hw + 2);
+
+        // Deletions surface as tombstoned ids.
+        db.delete_one("jobs", &Filter::eq("_id", "j2"));
+        let (docs, gone, _) = db.changed_since("jobs", hw3);
+        assert!(docs.is_empty());
+        assert_eq!(gone, vec!["j2".to_owned()]);
+
+        // Unknown collections have an empty feed.
+        assert_eq!(db.changed_since("ghost", 0), (Vec::new(), Vec::new(), 0));
+    }
+
+    #[test]
+    fn change_feed_watermarks_survive_crash_recovery() {
+        let mut db = DocStore::new();
+        for i in 0..5 {
+            db.insert("jobs", job(&format!("j{i}"), "PENDING", i))
+                .unwrap();
+        }
+        db.update_one(
+            "jobs",
+            &Filter::eq("_id", "j3"),
+            &Update::set("status", "X"),
+        );
+        db.delete_one("jobs", &Filter::eq("_id", "j0"));
+        let (pre_docs, pre_gone, pre_hw) = db.changed_since("jobs", 2);
+
+        // Every journaled mutation bumps the feed exactly once, so replay
+        // reconstructs identical sequence numbers and a watcher's
+        // watermark stays valid across the crash.
+        let recovered = DocStore::recover(db.journal().clone());
+        let (docs, gone, hw) = recovered.changed_since("jobs", 2);
+        assert_eq!(docs, pre_docs);
+        assert_eq!(gone, pre_gone);
+        assert_eq!(hw, pre_hw);
     }
 
     #[test]

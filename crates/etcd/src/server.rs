@@ -212,6 +212,12 @@ impl EtcdServer {
         watch_net: WatchNet,
         self_addr: Addr,
     ) -> dlaas_raft::ApplyFn<KvCommand> {
+        // Per-event metric handles, resolved once on first use (not at
+        // boot, so the series set matches recording-on-demand exactly)
+        // and then bumped directly — label canonicalization and family
+        // lookup are off the apply hot path.
+        let mut fanout_examined: Option<dlaas_sim::HistogramHandle> = None;
+        let mut watch_events: Option<dlaas_sim::CounterHandle> = None;
         Box::new(move |sim, _idx, cmd| {
             let (outcome, notifications, examined, responder) = {
                 let mut c = core.borrow_mut();
@@ -238,11 +244,18 @@ impl EtcdServer {
                 let responder = c.pending.remove(&cmd.req_id);
                 (outcome, notifications, examined, responder)
             };
-            sim.metrics()
-                .observe("etcd_watch_fanout_examined", &[], examined as f64);
+            fanout_examined
+                .get_or_insert_with(|| {
+                    sim.metrics()
+                        .histogram_handle("etcd_watch_fanout_examined", &[])
+                })
+                .observe(examined as f64);
             for (watcher, notify) in notifications {
-                sim.metrics()
-                    .inc_by("etcd_watch_events_total", &[], notify.events.len() as u64);
+                watch_events
+                    .get_or_insert_with(|| {
+                        sim.metrics().counter_handle("etcd_watch_events_total", &[])
+                    })
+                    .add(notify.events.len() as u64);
                 watch_net.send(sim, self_addr.clone(), watcher, notify);
             }
             if let Some(r) = responder {

@@ -139,6 +139,10 @@ struct ClusterState {
     policies: Vec<NetworkPolicy>,
     events: Vec<KubeEvent>,
     next_uid: u64,
+    /// Handle to the `kube_kick_pending_examined` histogram, resolved on
+    /// the first kick (not at boot, so the series set matches
+    /// recording-on-demand) and bumped directly thereafter.
+    kick_examined: Option<dlaas_sim::HistogramHandle>,
 }
 
 impl ClusterState {
@@ -210,6 +214,7 @@ impl Kube {
                 policies: Vec::new(),
                 events: Vec::new(),
                 next_uid: 0,
+                kick_examined: None,
             })),
             registry,
         }
@@ -955,8 +960,14 @@ impl Kube {
             let s = self.state.borrow();
             s.pending.iter().cloned().collect()
         };
-        sim.metrics()
-            .observe("kube_kick_pending_examined", &[], pending.len() as f64);
+        self.state
+            .borrow_mut()
+            .kick_examined
+            .get_or_insert_with(|| {
+                sim.metrics()
+                    .histogram_handle("kube_kick_pending_examined", &[])
+            })
+            .observe(pending.len() as f64);
         for name in pending {
             let me = self.clone();
             sim.defer(move |sim| me.try_schedule(sim, name));

@@ -1,5 +1,7 @@
 //! Fixed-bucket histograms with interpolated quantiles.
 
+use std::rc::Rc;
+
 /// Default bucket upper bounds, in seconds: spans sub-millisecond RPCs up
 /// to multi-minute recovery times (paper Fig. 4 tops out around 5 min).
 pub fn default_buckets() -> Vec<f64> {
@@ -25,7 +27,9 @@ pub fn count_buckets() -> Vec<f64> {
 /// sample counts don't extrapolate past real observations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
-    bounds: Vec<f64>,
+    /// Shared with the owning family (and every sibling series), so
+    /// creating or observing a series never deep-copies the bounds.
+    bounds: Rc<[f64]>,
     /// `counts[i]` observations fell in `(bounds[i-1], bounds[i]]`;
     /// the final slot counts observations above the last bound.
     counts: Vec<u64>,
@@ -42,9 +46,17 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "bucket bounds must be strictly increasing"
         );
+        Histogram::with_shared_bounds(bounds.into())
+    }
+
+    /// An empty histogram sharing an already-validated bounds allocation.
+    /// This is the allocation-free path the registry uses when a new
+    /// series joins an existing family.
+    pub fn with_shared_bounds(bounds: Rc<[f64]>) -> Self {
+        let n = bounds.len();
         Histogram {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len() + 1],
+            bounds,
+            counts: vec![0; n + 1],
             sum: 0.0,
             count: 0,
             min: f64::INFINITY,

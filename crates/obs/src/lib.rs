@@ -38,13 +38,22 @@ pub mod wallclock;
 pub use histogram::{count_buckets, default_buckets, Histogram};
 pub use snapshot::{Snapshot, SnapshotDiff};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// A label set in canonical (sorted, owned) form.
 pub type Labels = Vec<(String, String)>;
+
+/// An interned label set (see [`Registry::label_id`]): a copyable index
+/// that stands in for a canonical [`Labels`] value, so hot paths can
+/// record against pre-interned labels without re-canonicalizing (and
+/// re-allocating) `&[(&str, &str)]` slices on every operation.
+///
+/// Ids are only meaningful against the registry that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LabelId(u32);
 
 fn canon(labels: &[(&str, &str)]) -> Labels {
     let mut v: Labels = labels
@@ -76,45 +85,89 @@ impl MetricKind {
     }
 }
 
-#[derive(Debug, Clone)]
+/// Series values live behind shared cells so a [`CounterHandle`] /
+/// [`GaugeHandle`] / [`HistogramHandle`] can update them directly,
+/// bypassing the family and label-set lookups entirely.
+#[derive(Debug)]
 enum Series {
-    Counter(u64),
-    Gauge(f64),
-    Histogram(Histogram),
+    Counter(Rc<Cell<u64>>),
+    Gauge(Rc<Cell<f64>>),
+    Histogram(Rc<RefCell<Histogram>>),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Family {
     kind: MetricKind,
     help: String,
-    /// Bucket bounds new histogram series start from.
-    buckets: Vec<f64>,
+    /// Bucket bounds new histogram series start from, shared (never
+    /// deep-copied) into each series.
+    buckets: Rc<[f64]>,
     series: BTreeMap<Labels, Series>,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     families: BTreeMap<String, Family>,
+    /// Interned label sets, indexed by [`LabelId`].
+    label_sets: Vec<Labels>,
+    label_ids: BTreeMap<Labels, u32>,
 }
 
-impl Inner {
-    fn family(&mut self, name: &str, kind: MetricKind) -> &mut Family {
-        let fam = self
-            .families
-            .entry(name.to_owned())
-            .or_insert_with(|| Family {
-                kind,
-                help: String::new(),
-                buckets: default_buckets(),
-                series: BTreeMap::new(),
-            });
-        assert!(
-            fam.kind == kind,
-            "metric '{name}' already registered as {} (used as {})",
-            fam.kind.as_str(),
-            kind.as_str()
-        );
-        fam
+/// Free function (not an `Inner` method) so callers can split-borrow
+/// `families` away from the intern tables.
+fn family<'a>(
+    families: &'a mut BTreeMap<String, Family>,
+    name: &str,
+    kind: MetricKind,
+) -> &'a mut Family {
+    let fam = families.entry(name.to_owned()).or_insert_with(|| Family {
+        kind,
+        help: String::new(),
+        buckets: default_buckets().into(),
+        series: BTreeMap::new(),
+    });
+    assert!(
+        fam.kind == kind,
+        "metric '{name}' already registered as {} (used as {})",
+        fam.kind.as_str(),
+        kind.as_str()
+    );
+    fam
+}
+
+fn counter_cell(fam: &mut Family, key: Labels) -> Rc<Cell<u64>> {
+    match fam
+        .series
+        .entry(key)
+        .or_insert_with(|| Series::Counter(Rc::new(Cell::new(0))))
+    {
+        Series::Counter(c) => c.clone(),
+        _ => unreachable!("family kind checked"),
+    }
+}
+
+fn gauge_cell(fam: &mut Family, key: Labels) -> Rc<Cell<f64>> {
+    match fam
+        .series
+        .entry(key)
+        .or_insert_with(|| Series::Gauge(Rc::new(Cell::new(0.0))))
+    {
+        Series::Gauge(g) => g.clone(),
+        _ => unreachable!("family kind checked"),
+    }
+}
+
+fn histogram_cell(fam: &mut Family, key: Labels) -> Rc<RefCell<Histogram>> {
+    // Rc clone of the bounds, not a Vec copy — the old per-observation
+    // deep clone of the family's bucket bounds was a hot-path allocation.
+    let buckets = fam.buckets.clone();
+    match fam.series.entry(key).or_insert_with(|| {
+        Series::Histogram(Rc::new(RefCell::new(Histogram::with_shared_bounds(
+            buckets,
+        ))))
+    }) {
+        Series::Histogram(h) => h.clone(),
+        _ => unreachable!("family kind checked"),
     }
 }
 
@@ -139,7 +192,7 @@ impl Registry {
     /// help line only when set.
     pub fn describe(&self, name: &str, kind: MetricKind, help: &str) {
         let mut inner = self.inner.borrow_mut();
-        inner.family(name, kind).help = help.to_owned();
+        family(&mut inner.families, name, kind).help = help.to_owned();
     }
 
     /// Overrides the bucket bounds that *new* histogram series of `name`
@@ -150,7 +203,22 @@ impl Registry {
             "bucket bounds must be strictly increasing"
         );
         let mut inner = self.inner.borrow_mut();
-        inner.family(name, MetricKind::Histogram).buckets = bounds.to_vec();
+        family(&mut inner.families, name, MetricKind::Histogram).buckets = bounds.into();
+    }
+
+    /// Interns a label set, returning a copyable [`LabelId`] that can be
+    /// passed to [`Registry::inc_by_id`] / [`Registry::observe_id`].
+    /// Interning the same canonical labels twice yields the same id.
+    pub fn label_id(&self, labels: &[(&str, &str)]) -> LabelId {
+        let mut inner = self.inner.borrow_mut();
+        let key = canon(labels);
+        if let Some(&id) = inner.label_ids.get(&key) {
+            return LabelId(id);
+        }
+        let id = u32::try_from(inner.label_sets.len()).expect("label-set intern table overflow");
+        inner.label_sets.push(key.clone());
+        inner.label_ids.insert(key, id);
+        LabelId(id)
     }
 
     /// Increments a counter by 1.
@@ -161,50 +229,75 @@ impl Registry {
     /// Increments a counter by `n`.
     pub fn inc_by(&self, name: &str, labels: &[(&str, &str)], n: u64) {
         let mut inner = self.inner.borrow_mut();
-        let fam = inner.family(name, MetricKind::Counter);
-        match fam
-            .series
-            .entry(canon(labels))
-            .or_insert(Series::Counter(0))
-        {
-            Series::Counter(c) => *c += n,
-            _ => unreachable!(),
+        let fam = family(&mut inner.families, name, MetricKind::Counter);
+        let c = counter_cell(fam, canon(labels));
+        c.set(c.get() + n);
+    }
+
+    /// Increments a counter by 1 against pre-interned labels.
+    pub fn inc_id(&self, name: &str, id: LabelId) {
+        self.inc_by_id(name, id, 1);
+    }
+
+    /// Increments a counter by `n` against pre-interned labels: no
+    /// canonicalization and, once the series exists, no allocation.
+    pub fn inc_by_id(&self, name: &str, id: LabelId, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            families,
+            label_sets,
+            ..
+        } = &mut *inner;
+        let labels = &label_sets[id.0 as usize];
+        let fam = family(families, name, MetricKind::Counter);
+        match fam.series.get(labels) {
+            Some(Series::Counter(c)) => c.set(c.get() + n),
+            Some(_) => unreachable!("family kind checked"),
+            None => {
+                counter_cell(fam, labels.clone()).set(n);
+            }
         }
     }
 
     /// Sets a gauge to `v`.
     pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         let mut inner = self.inner.borrow_mut();
-        let fam = inner.family(name, MetricKind::Gauge);
-        fam.series.insert(canon(labels), Series::Gauge(v));
+        let fam = family(&mut inner.families, name, MetricKind::Gauge);
+        gauge_cell(fam, canon(labels)).set(v);
     }
 
     /// Adds `delta` (may be negative) to a gauge, starting from 0.
     pub fn add_gauge(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
         let mut inner = self.inner.borrow_mut();
-        let fam = inner.family(name, MetricKind::Gauge);
-        match fam
-            .series
-            .entry(canon(labels))
-            .or_insert(Series::Gauge(0.0))
-        {
-            Series::Gauge(g) => *g += delta,
-            _ => unreachable!(),
-        }
+        let fam = family(&mut inner.families, name, MetricKind::Gauge);
+        let g = gauge_cell(fam, canon(labels));
+        g.set(g.get() + delta);
     }
 
     /// Records one observation into a histogram.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         let mut inner = self.inner.borrow_mut();
-        let fam = inner.family(name, MetricKind::Histogram);
-        let buckets = fam.buckets.clone();
-        match fam
-            .series
-            .entry(canon(labels))
-            .or_insert_with(|| Series::Histogram(Histogram::new(&buckets)))
-        {
-            Series::Histogram(h) => h.observe(v),
-            _ => unreachable!(),
+        let fam = family(&mut inner.families, name, MetricKind::Histogram);
+        histogram_cell(fam, canon(labels)).borrow_mut().observe(v);
+    }
+
+    /// Records one observation against pre-interned labels: no
+    /// canonicalization and, once the series exists, no allocation.
+    pub fn observe_id(&self, name: &str, id: LabelId, v: f64) {
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            families,
+            label_sets,
+            ..
+        } = &mut *inner;
+        let labels = &label_sets[id.0 as usize];
+        let fam = family(families, name, MetricKind::Histogram);
+        match fam.series.get(labels) {
+            Some(Series::Histogram(h)) => h.borrow_mut().observe(v),
+            Some(_) => unreachable!("family kind checked"),
+            None => {
+                histogram_cell(fam, labels.clone()).borrow_mut().observe(v);
+            }
         }
     }
 
@@ -212,6 +305,36 @@ impl Registry {
     /// native clock unit) into a histogram, in seconds.
     pub fn observe_duration_us(&self, name: &str, labels: &[(&str, &str)], micros: u64) {
         self.observe(name, labels, micros as f64 / 1_000_000.0);
+    }
+
+    /// A direct handle to one counter series. Creates the series (at 0)
+    /// if absent — take handles at the point of first use, not at boot,
+    /// if a series existing with no observations would be misleading.
+    pub fn counter_handle(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        let mut inner = self.inner.borrow_mut();
+        let fam = family(&mut inner.families, name, MetricKind::Counter);
+        CounterHandle {
+            cell: counter_cell(fam, canon(labels)),
+        }
+    }
+
+    /// A direct handle to one gauge series (created at 0 if absent).
+    pub fn gauge_handle(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        let mut inner = self.inner.borrow_mut();
+        let fam = family(&mut inner.families, name, MetricKind::Gauge);
+        GaugeHandle {
+            cell: gauge_cell(fam, canon(labels)),
+        }
+    }
+
+    /// A direct handle to one histogram series (created empty if absent,
+    /// with the family's bucket bounds at this moment).
+    pub fn histogram_handle(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let mut inner = self.inner.borrow_mut();
+        let fam = family(&mut inner.families, name, MetricKind::Histogram);
+        HistogramHandle {
+            cell: histogram_cell(fam, canon(labels)),
+        }
     }
 
     /// Current value of a counter series (0 when absent).
@@ -222,7 +345,7 @@ impl Registry {
             .get(name)
             .and_then(|f| f.series.get(&canon(labels)))
         {
-            Some(Series::Counter(c)) => *c,
+            Some(Series::Counter(c)) => c.get(),
             _ => 0,
         }
     }
@@ -234,7 +357,7 @@ impl Registry {
             f.series
                 .values()
                 .map(|s| match s {
-                    Series::Counter(c) => *c,
+                    Series::Counter(c) => c.get(),
                     _ => 0,
                 })
                 .sum()
@@ -249,7 +372,7 @@ impl Registry {
             .get(name)
             .and_then(|f| f.series.get(&canon(labels)))
         {
-            Some(Series::Gauge(g)) => Some(*g),
+            Some(Series::Gauge(g)) => Some(g.get()),
             _ => None,
         }
     }
@@ -262,7 +385,7 @@ impl Registry {
             .get(name)
             .and_then(|f| f.series.get(&canon(labels)))
         {
-            Some(Series::Histogram(h)) => Some(h.clone()),
+            Some(Series::Histogram(h)) => Some(h.borrow().clone()),
             _ => None,
         }
     }
@@ -275,9 +398,10 @@ impl Registry {
         let mut merged: Option<Histogram> = None;
         for s in fam.series.values() {
             if let Series::Histogram(h) = s {
+                let h = h.borrow();
                 match &mut merged {
                     None => merged = Some(h.clone()),
-                    Some(m) => m.merge(h),
+                    Some(m) => m.merge(&h),
                 }
             }
         }
@@ -312,12 +436,18 @@ impl Registry {
             for (labels, series) in &fam.series {
                 match series {
                     Series::Counter(c) => {
-                        let _ = writeln!(out, "{name}{} {c}", fmt_labels(labels, &[]));
+                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, &[]), c.get());
                     }
                     Series::Gauge(g) => {
-                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, &[]), fmt_f64(*g));
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            fmt_labels(labels, &[]),
+                            fmt_f64(g.get())
+                        );
                     }
                     Series::Histogram(h) => {
+                        let h = h.borrow();
                         let mut cumulative = 0u64;
                         for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
                             cumulative += count;
@@ -359,12 +489,13 @@ impl Registry {
                 let key = format!("{name}{}", fmt_labels(labels, &[]));
                 match series {
                     Series::Counter(c) => {
-                        values.insert(key, *c as f64);
+                        values.insert(key, c.get() as f64);
                     }
                     Series::Gauge(g) => {
-                        values.insert(key, *g);
+                        values.insert(key, g.get());
                     }
                     Series::Histogram(h) => {
+                        let h = h.borrow();
                         values.insert(format!("{key}:count"), h.count() as f64);
                         values.insert(format!("{key}:sum"), h.sum());
                     }
@@ -372,6 +503,80 @@ impl Registry {
             }
         }
         Snapshot::from_values(values)
+    }
+}
+
+/// A direct handle to one counter series (see
+/// [`Registry::counter_handle`]). Increments write the shared cell
+/// in-place — no registry borrow, no family lookup, no label
+/// canonicalization — which is what lets per-event hot counters bump an
+/// index instead of paying the full record path.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    cell: Rc<Cell<u64>>,
+}
+
+impl CounterHandle {
+    /// Increments by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.set(self.cell.get() + n);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+/// A direct handle to one gauge series (see [`Registry::gauge_handle`]).
+#[derive(Debug, Clone)]
+pub struct GaugeHandle {
+    cell: Rc<Cell<f64>>,
+}
+
+impl GaugeHandle {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.cell.set(v);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        self.cell.set(self.cell.get() + delta);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
+/// A direct handle to one histogram series (see
+/// [`Registry::histogram_handle`]).
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    cell: Rc<RefCell<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.cell.borrow_mut().observe(v);
+    }
+
+    /// Records a duration given in integer microseconds, in seconds.
+    pub fn observe_duration_us(&self, micros: u64) {
+        self.observe(micros as f64 / 1_000_000.0);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.cell.borrow().count()
     }
 }
 
@@ -576,5 +781,107 @@ mod tests {
         let clone = reg.clone();
         clone.inc("m", &[]);
         assert_eq!(reg.counter_value("m", &[]), 1);
+    }
+
+    #[test]
+    fn handles_update_the_same_series_as_the_string_api() {
+        let reg = Registry::new();
+        let c = reg.counter_handle("hits_total", &[("svc", "etcd")]);
+        c.inc();
+        c.add(2);
+        reg.inc("hits_total", &[("svc", "etcd")]);
+        assert_eq!(c.value(), 4);
+        assert_eq!(reg.counter_value("hits_total", &[("svc", "etcd")]), 4);
+
+        let g = reg.gauge_handle("depth", &[]);
+        g.set(3.0);
+        g.add(-1.0);
+        reg.add_gauge("depth", &[], 0.5);
+        assert_eq!(reg.gauge_value("depth", &[]), Some(2.5));
+        assert_eq!(g.value(), 2.5);
+
+        let h = reg.histogram_handle("lat_seconds", &[("op", "find")]);
+        h.observe(0.02);
+        h.observe_duration_us(30_000);
+        reg.observe("lat_seconds", &[("op", "find")], 0.04);
+        assert_eq!(h.count(), 3);
+        assert_eq!(
+            reg.histogram("lat_seconds", &[("op", "find")])
+                .unwrap()
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_record_into_the_same_series() {
+        let reg = Registry::new();
+        let id = reg.label_id(&[("b", "2"), ("a", "1")]);
+        let same = reg.label_id(&[("a", "1"), ("b", "2")]);
+        assert_eq!(id, same, "canonical-equal label sets intern identically");
+        let other = reg.label_id(&[("a", "9")]);
+        assert_ne!(id, other);
+
+        reg.inc_id("m_total", id);
+        reg.inc_by_id("m_total", id, 4);
+        reg.inc("m_total", &[("a", "1"), ("b", "2")]);
+        assert_eq!(reg.counter_value("m_total", &[("a", "1"), ("b", "2")]), 6);
+
+        reg.observe_id("h_seconds", id, 0.5);
+        reg.observe("h_seconds", &[("b", "2"), ("a", "1")], 1.5);
+        let h = reg
+            .histogram("h_seconds", &[("a", "1"), ("b", "2")])
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposition_is_byte_identical_across_record_apis() {
+        // The interning/handle fast paths must be invisible in the
+        // exposition: the same logical recording through any API renders
+        // the same bytes.
+        let via_strings = || {
+            let reg = Registry::new();
+            reg.inc_by("req_total", &[("op", "find")], 3);
+            reg.observe("lat_seconds", &[("op", "find")], 0.02);
+            reg.observe("lat_seconds", &[("op", "find")], 0.7);
+            reg.set_gauge("depth", &[], 2.0);
+            reg.expose()
+        };
+        let via_ids = || {
+            let reg = Registry::new();
+            let id = reg.label_id(&[("op", "find")]);
+            reg.inc_by_id("req_total", id, 3);
+            reg.observe_id("lat_seconds", id, 0.02);
+            reg.observe_id("lat_seconds", id, 0.7);
+            reg.set_gauge("depth", &[], 2.0);
+            reg.expose()
+        };
+        let via_handles = || {
+            let reg = Registry::new();
+            let c = reg.counter_handle("req_total", &[("op", "find")]);
+            c.add(3);
+            let h = reg.histogram_handle("lat_seconds", &[("op", "find")]);
+            h.observe(0.02);
+            h.observe(0.7);
+            reg.gauge_handle("depth", &[]).set(2.0);
+            reg.expose()
+        };
+        assert_eq!(via_strings(), via_ids());
+        assert_eq!(via_strings(), via_handles());
+    }
+
+    #[test]
+    fn histogram_handle_respects_family_buckets() {
+        let reg = Registry::new();
+        reg.set_buckets("w", &[1.0, 2.0]);
+        let h = reg.histogram_handle("w", &[]);
+        h.observe(1.5);
+        assert_eq!(
+            reg.histogram("w", &[]).unwrap().bounds(),
+            &[1.0, 2.0],
+            "handle-created series must share the family's bounds"
+        );
     }
 }

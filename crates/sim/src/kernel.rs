@@ -5,6 +5,18 @@
 //! running an event may schedule further events. Ties are broken by
 //! scheduling order, so a given seed always produces the same execution.
 //!
+//! # Event queue
+//!
+//! The pending set lives in a calendar queue ([`CalendarQueue`]): a ring
+//! of time-bucketed slots covering a sliding window ahead of the clock,
+//! with a sorted overflow tier for events beyond the window. Pops come
+//! from tiny per-slot heaps instead of one global heap, so the hot path
+//! is near-O(1) regardless of how many events are outstanding. Ordering
+//! is exactly the old global-heap order — `(time, then scheduling seq)` —
+//! so every seed produces the byte-identical execution it always did; the
+//! argument is laid out in DESIGN.md and enforced by the queue-vs-heap
+//! property test in `tests/kernel_props.rs`.
+//!
 //! # Re-entrancy convention
 //!
 //! Components in this workspace live in `Rc<RefCell<...>>` cells and their
@@ -13,7 +25,7 @@
 //! schedules the call with [`Sim::defer`] instead of invoking it inline.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use dlaas_obs::{Registry, Stopwatch};
 
@@ -50,6 +62,247 @@ impl Ord for Scheduled {
     }
 }
 
+/// Log2 of the calendar slot width: 1024 µs ≈ 1 ms per slot, sized to the
+/// platform's hot delays (sub-millisecond defers, RPC service times of
+/// 300–1500 µs land within a slot or two of the clock).
+const SLOT_WIDTH_LOG2: u32 = 10;
+/// Log2 of the slot count: 4096 slots × 1024 µs ≈ a 4.2 s window, wide
+/// enough that per-second timers (guardian polls, heartbeats) stay in the
+/// ring; only multi-second timers (LCM sweeps, deploy timeouts) take the
+/// overflow tier.
+const N_SLOTS_LOG2: u32 = 12;
+const N_SLOTS: usize = 1 << N_SLOTS_LOG2;
+const OCCUPANCY_WORDS: usize = N_SLOTS / 64;
+
+const fn epoch_of(at_us: u64) -> u64 {
+    at_us >> SLOT_WIDTH_LOG2
+}
+
+const fn slot_of(epoch: u64) -> usize {
+    (epoch as usize) & (N_SLOTS - 1)
+}
+
+/// Calendar/bucket event queue: a ring of `N_SLOTS` time buckets, each a
+/// small [`BinaryHeap`] ordered by `(at, seq)`, plus a sorted overflow
+/// tier for events beyond the ring's window.
+///
+/// Invariant: every ring event's epoch (`at / slot_width`) lies in
+/// `[epoch(now), epoch(now) + N_SLOTS)`. Pushes respect it by routing
+/// far-future events to `overflow`; because the clock never goes
+/// backwards and events never fire early, the window only slides forward
+/// under events already inside it. Within the window, epoch → slot is a
+/// bijection, so scanning slots cyclically from `slot(epoch(now))` visits
+/// buckets in strictly increasing epoch order and the first occupied slot
+/// holds the global minimum. After [`CalendarQueue::migrate`], every
+/// overflow event's timestamp is at or beyond the window end and thus
+/// strictly after every ring event — the ring, when non-empty, always
+/// wins. Ties inside a bucket fall to the per-slot heap's `(at, seq)`
+/// order, which is the exact order the old global heap used.
+struct CalendarQueue {
+    slots: Vec<BinaryHeap<Scheduled>>,
+    /// One bit per slot: set iff the slot's heap is non-empty. Scanning
+    /// 64 slots per word keeps next-event search at worst a few dozen
+    /// word reads even when the window is sparse.
+    occupied: [u64; OCCUPANCY_WORDS],
+    /// Entries currently in the ring (live or cancelled-but-unpopped).
+    ring_len: usize,
+    /// Events beyond the window, keyed by `(at_us, seq)` so iteration
+    /// order is pop order.
+    overflow: BTreeMap<(u64, u64), (EventId, EventFn)>,
+    /// Cached earliest overflow timestamp (`u64::MAX` when empty), so the
+    /// per-pop migration check is one compare instead of a tree descent.
+    overflow_min_us: u64,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            slots: (0..N_SLOTS).map(|_| BinaryHeap::new()).collect(),
+            occupied: [0; OCCUPANCY_WORDS],
+            ring_len: 0,
+            overflow: BTreeMap::new(),
+            overflow_min_us: u64::MAX,
+        }
+    }
+
+    fn push(&mut self, now_us: u64, ev: Scheduled) {
+        let epoch = epoch_of(ev.at.as_micros());
+        if epoch < epoch_of(now_us) + N_SLOTS as u64 {
+            self.push_ring(epoch, ev);
+        } else {
+            self.overflow_min_us = self.overflow_min_us.min(ev.at.as_micros());
+            self.overflow
+                .insert((ev.at.as_micros(), ev.seq), (ev.id, ev.run));
+        }
+    }
+
+    fn push_ring(&mut self, epoch: u64, ev: Scheduled) {
+        let slot = slot_of(epoch);
+        self.slots[slot].push(ev);
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+        self.ring_len += 1;
+    }
+
+    /// Moves overflow events whose epoch has entered the window into the
+    /// ring. Called before every peek/pop; each event migrates at most
+    /// once, so the cost is amortized O(log overflow) per event.
+    fn migrate(&mut self, now_us: u64) {
+        let window_end_us = (epoch_of(now_us) + N_SLOTS as u64) << SLOT_WIDTH_LOG2;
+        if self.overflow_min_us >= window_end_us {
+            return;
+        }
+        while let Some((&(at_us, _), _)) = self.overflow.first_key_value() {
+            if at_us >= window_end_us {
+                self.overflow_min_us = at_us;
+                return;
+            }
+            let ((at_us, seq), (id, run)) = self.overflow.pop_first().expect("peeked");
+            self.push_ring(
+                epoch_of(at_us),
+                Scheduled {
+                    at: SimTime::from_micros(at_us),
+                    seq,
+                    id,
+                    run,
+                },
+            );
+        }
+        self.overflow_min_us = u64::MAX;
+    }
+
+    /// Index of the first occupied slot at or (cyclically) after `start`.
+    /// Must only be called while the ring is non-empty.
+    fn first_occupied_from(&self, start: usize) -> usize {
+        let word = start / 64;
+        let masked = self.occupied[word] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return word * 64 + masked.trailing_zeros() as usize;
+        }
+        // Wrap the whole ring; revisiting `word` last also covers the
+        // bits below `start` skipped above.
+        for i in 1..=OCCUPANCY_WORDS {
+            let w = (word + i) % OCCUPANCY_WORDS;
+            if self.occupied[w] != 0 {
+                return w * 64 + self.occupied[w].trailing_zeros() as usize;
+            }
+        }
+        unreachable!("first_occupied_from on an empty ring");
+    }
+
+    /// Removes and returns the globally earliest event (by `(at, seq)`),
+    /// cancelled or not — the caller filters against its live set.
+    fn pop(&mut self, now_us: u64) -> Option<Scheduled> {
+        self.migrate(now_us);
+        if self.ring_len > 0 {
+            let slot = self.first_occupied_from(slot_of(epoch_of(now_us)));
+            let ev = self.slots[slot].pop().expect("occupied slot");
+            if self.slots[slot].is_empty() {
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+            }
+            self.ring_len -= 1;
+            return Some(ev);
+        }
+        let ((at_us, seq), (id, run)) = self.overflow.pop_first()?;
+        self.overflow_min_us = self
+            .overflow
+            .first_key_value()
+            .map_or(u64::MAX, |(&(at, _), _)| at);
+        Some(Scheduled {
+            at: SimTime::from_micros(at_us),
+            seq,
+            id,
+            run,
+        })
+    }
+
+    /// Timestamp and id of the earliest event without removing it.
+    fn peek(&mut self, now_us: u64) -> Option<(SimTime, EventId)> {
+        self.migrate(now_us);
+        if self.ring_len > 0 {
+            let slot = self.first_occupied_from(slot_of(epoch_of(now_us)));
+            let ev = self.slots[slot].peek().expect("occupied slot");
+            return Some((ev.at, ev.id));
+        }
+        self.overflow
+            .first_key_value()
+            .map(|(&(at_us, _), &(id, _))| (SimTime::from_micros(at_us), id))
+    }
+}
+
+/// Tracks which scheduled events are still live (scheduled, not yet fired
+/// or cancelled) as a bit-window over the monotonically increasing
+/// [`EventId`] space: bit `id - base` of the word deque is set iff `id`
+/// is live. Ids below `base` are guaranteed dead (the window only
+/// advances past all-zero words), so cancel-validation is an O(1) bit
+/// test — no tombstone set to grow, fixing the old `cancel` leak.
+struct LiveSet {
+    base: u64,
+    words: VecDeque<u64>,
+    live: usize,
+}
+
+impl LiveSet {
+    fn new() -> Self {
+        LiveSet {
+            base: 0,
+            words: VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Marks a freshly allocated id live. Ids arrive in increasing order,
+    /// so a zeroed front word can never be re-targeted — trimming is safe.
+    fn insert(&mut self, id: u64) {
+        if self.words.is_empty() {
+            // Nothing live: snap the window to the new id instead of
+            // growing zero words from a stale base.
+            self.base = id & !63;
+        }
+        debug_assert!(id >= self.base);
+        let idx = (id - self.base) as usize;
+        while self.words.len() <= idx / 64 {
+            self.words.push_back(0);
+        }
+        self.words[idx / 64] |= 1 << (idx % 64);
+        self.live += 1;
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        if id < self.base {
+            return false;
+        }
+        let idx = (id - self.base) as usize;
+        idx / 64 < self.words.len() && self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Clears `id`'s live bit. Returns `false` if the id was never
+    /// allocated, already fired, or already cancelled.
+    fn remove(&mut self, id: u64) -> bool {
+        if id < self.base {
+            return false;
+        }
+        let idx = (id - self.base) as usize;
+        if idx / 64 >= self.words.len() {
+            return false;
+        }
+        let bit = 1u64 << (idx % 64);
+        if self.words[idx / 64] & bit == 0 {
+            return false;
+        }
+        self.words[idx / 64] &= !bit;
+        self.live -= 1;
+        while let Some(&0) = self.words.front() {
+            self.words.pop_front();
+            self.base += 64;
+        }
+        true
+    }
+}
+
 /// The simulation world: clock, event queue, RNG and trace.
 ///
 /// # Examples
@@ -71,10 +324,10 @@ impl Ord for Scheduled {
 /// ```
 pub struct Sim {
     now: SimTime,
-    queue: BinaryHeap<Scheduled>,
+    queue: CalendarQueue,
     seq: u64,
     next_id: u64,
-    cancelled: BTreeSet<EventId>,
+    live: LiveSet,
     rng: SimRng,
     trace: Trace,
     metrics: Registry,
@@ -85,7 +338,7 @@ impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.live.len())
             .field("executed", &self.executed)
             .finish()
     }
@@ -96,10 +349,10 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             next_id: 0,
-            cancelled: BTreeSet::new(),
+            live: LiveSet::new(),
             rng: SimRng::new(seed),
             trace: Trace::new(),
             metrics: Registry::new(),
@@ -160,9 +413,12 @@ impl Sim {
         self.executed
     }
 
-    /// Number of events currently pending (including cancelled-but-unpopped).
+    /// Number of live events currently pending. Cancelled events stop
+    /// counting the moment they are cancelled, even though their queue
+    /// entries are reclaimed lazily — budget and idle checks see only
+    /// work that will actually run.
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.live.len()
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -179,12 +435,16 @@ impl Sim {
         let id = EventId(self.next_id);
         self.next_id += 1;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq: self.seq,
-            id,
-            run: Box::new(f),
-        });
+        self.live.insert(id.0);
+        self.queue.push(
+            self.now.as_micros(),
+            Scheduled {
+                at,
+                seq: self.seq,
+                id,
+                run: Box::new(f),
+            },
+        );
         id
     }
 
@@ -205,19 +465,19 @@ impl Sim {
     }
 
     /// Cancels a pending event. Returns `true` if the event had not yet run
-    /// or been cancelled.
+    /// or been cancelled. Cancelling an already-fired or never-issued id is
+    /// a validated no-op — it leaves no state behind.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
-            return false;
-        }
-        self.cancelled.insert(id)
+        self.live.remove(id.0)
     }
 
     /// Runs the next pending event, advancing the clock to its instant.
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.id) {
+        while let Some(ev) = self.queue.pop(self.now.as_micros()) {
+            if !self.live.remove(ev.id.0) {
+                // Cancelled after scheduling; its queue entry is reclaimed
+                // here, on the instant it would have fired.
                 continue;
             }
             debug_assert!(ev.at >= self.now);
@@ -284,13 +544,13 @@ impl Sim {
 
     /// Timestamp of the next non-cancelled pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.queue.peek() {
-            if self.cancelled.contains(&ev.id) {
-                let ev = self.queue.pop().expect("peeked");
-                self.cancelled.remove(&ev.id);
+        while let Some((at, id)) = self.queue.peek(self.now.as_micros()) {
+            if !self.live.contains(id.0) {
+                // Cancelled entry at the head: discard it and look again.
+                self.queue.pop(self.now.as_micros());
                 continue;
             }
-            return Some(ev.at);
+            return Some(at);
         }
         None
     }
@@ -507,6 +767,129 @@ mod tests {
         }
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn cancel_of_fired_or_bogus_id_is_rejected_and_leaks_nothing() {
+        // Regression: the old `cancel` inserted a tombstone for any id
+        // below `next_id` without checking it was still queued, so
+        // cancelling fired events grew the tombstone set forever.
+        let mut sim = Sim::new(1);
+        let id = sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.run_until_idle();
+        assert!(
+            !sim.cancel(id),
+            "cancelling a fired event must report false"
+        );
+        assert!(
+            !sim.cancel(EventId(9999)),
+            "cancelling a never-issued id must report false"
+        );
+        assert_eq!(sim.live.len(), 0, "no tombstone state may survive");
+        assert!(
+            sim.live.words.is_empty(),
+            "live-set window must fully drain"
+        );
+    }
+
+    #[test]
+    fn events_pending_reports_live_events_only() {
+        // Regression: `events_pending` used to count cancelled-but-unpopped
+        // queue entries, over-reporting outstanding work.
+        let mut sim = Sim::new(1);
+        let ids: Vec<EventId> = (1..=3u64)
+            .map(|s| sim.schedule_in(SimDuration::from_secs(s), |_| {}))
+            .collect();
+        assert_eq!(sim.events_pending(), 3);
+        assert!(sim.cancel(ids[1]));
+        assert_eq!(
+            sim.events_pending(),
+            2,
+            "a cancelled event must stop counting immediately"
+        );
+        sim.step();
+        assert_eq!(sim.events_pending(), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order_across_the_overflow_tier() {
+        // Delays spanning µs to hours cross the ring window (~4.2 s), so
+        // this exercises overflow routing and migration back into the ring.
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let delays_us = [
+            3_600_000_000u64, // 1 h — overflow
+            5,                // same-slot ties
+            10_000_000,       // 10 s — overflow
+            5,
+            4_194_304, // exactly one window ahead
+            999,
+            7_200_000_000, // 2 h — overflow
+            2_000_000,     // 2 s — ring
+        ];
+        for (i, us) in delays_us.iter().enumerate() {
+            let order = order.clone();
+            sim.schedule_in(SimDuration::from_micros(*us), move |sim| {
+                order.borrow_mut().push((sim.now().as_micros(), i));
+            });
+        }
+        sim.run_until_idle();
+        let got = order.borrow().clone();
+        let mut want: Vec<(u64, usize)> = delays_us
+            .iter()
+            .enumerate()
+            .map(|(i, us)| (*us, i))
+            .collect();
+        // Same (time, scheduling-order) contract as the old global heap.
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn events_sharing_a_slot_modulo_window_stay_ordered() {
+        // Two events whose epochs differ by exactly N_SLOTS map to the
+        // same slot index; the second must wait in overflow until the
+        // window reaches it, not jump the queue.
+        let window_us = (N_SLOTS as u64) << SLOT_WIDTH_LOG2;
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (tag, at) in [("late", 1_000 + window_us), ("early", 1_000)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_micros(at), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["early", "late"]);
+        assert_eq!(sim.now(), SimTime::from_micros(1_000 + window_us));
+    }
+
+    #[test]
+    fn cancelled_overflow_event_is_skipped_after_migration() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(std::cell::Cell::new(false));
+        let f = fired.clone();
+        let id = sim.schedule_in(SimDuration::from_hours(1), move |_| f.set(true));
+        sim.schedule_in(SimDuration::from_hours(2), |_| {});
+        assert!(sim.cancel(id));
+        sim.run_until_idle();
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_secs(7200));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads_in_ring_and_overflow() {
+        let mut sim = Sim::new(1);
+        let near = sim.schedule_in(SimDuration::from_millis(1), |_| {});
+        let far = sim.schedule_in(SimDuration::from_hours(1), |_| {});
+        sim.schedule_in(SimDuration::from_hours(3), |_| {});
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(1)));
+        sim.cancel(near);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_secs(3600)));
+        sim.cancel(far);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_secs(3 * 3600)));
     }
 
     #[test]

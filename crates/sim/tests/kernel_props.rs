@@ -76,8 +76,140 @@ fn execute(ops: &[KernelOp]) -> Vec<(u64, u16)> {
     v
 }
 
+/// Ops for the calendar-queue-vs-reference-heap equivalence test:
+/// arbitrary interleavings of scheduling (near and far enough to span the
+/// ring window and the overflow tier), cancelling ids in any state
+/// (live, fired, or already cancelled), and partial runs.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Schedule { delay_us: u64 },
+    CancelNth { n: usize },
+    RunSteps { k: usize },
+    RunUntilPlus { dt_us: u64 },
+}
+
+fn queue_op_strategy() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        // Near delays stay inside the ~4.2 s calendar ring window...
+        3 => (0..2_000_000u64).prop_map(|delay_us| QueueOp::Schedule { delay_us }),
+        // ...far delays land in the overflow tier and migrate back later.
+        2 => (4_000_000..40_000_000u64).prop_map(|delay_us| QueueOp::Schedule { delay_us }),
+        2 => any::<usize>().prop_map(|n| QueueOp::CancelNth { n }),
+        2 => (0..5usize).prop_map(|k| QueueOp::RunSteps { k }),
+        1 => (0..10_000_000u64).prop_map(|dt_us| QueueOp::RunUntilPlus { dt_us }),
+    ]
+}
+
+/// Reference model of the pre-calendar-queue kernel: one globally sorted
+/// set ordered by `(at, seq)`. Cancellation removes eagerly, which fires
+/// the exact same events in the exact same order as the old
+/// `BinaryHeap` + tombstone implementation (tombstones only deferred the
+/// removal to pop time) while also modelling the fixed `cancel` /
+/// `events_pending` semantics: only queued events can be cancelled, and
+/// pending counts live events alone.
+#[derive(Default)]
+struct RefModel {
+    now: u64,
+    /// `(at_us, seq, issue_index)` — pop order is iteration order.
+    queue: std::collections::BTreeSet<(u64, u64, usize)>,
+    seq: u64,
+    issued: usize,
+    fired: Vec<(u64, usize)>,
+}
+
+impl RefModel {
+    fn schedule(&mut self, delay_us: u64) -> usize {
+        let idx = self.issued;
+        self.issued += 1;
+        self.seq += 1;
+        self.queue.insert((self.now + delay_us, self.seq, idx));
+        idx
+    }
+
+    fn cancel(&mut self, idx: usize) -> bool {
+        let entry = self.queue.iter().find(|&&(_, _, i)| i == idx).copied();
+        match entry {
+            Some(e) => self.queue.remove(&e),
+            None => false,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match self.queue.pop_first() {
+            Some((at, _, idx)) => {
+                self.now = at;
+                self.fired.push((at, idx));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn run_until(&mut self, deadline: u64) {
+        while let Some(&(at, _, _)) = self.queue.first() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    // The calendar queue is observationally identical to the old global
+    // heap: same pop order, same fired set, same cancel verdicts, same
+    // live-pending counts, at every point of any interleaving.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        ops in proptest::collection::vec(queue_op_strategy(), 1..80),
+    ) {
+        let mut sim = Sim::new(0);
+        let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut ids = Vec::new();
+        let mut model = RefModel::default();
+
+        for op in &ops {
+            match *op {
+                QueueOp::Schedule { delay_us } => {
+                    let f = fired.clone();
+                    let idx = model.schedule(delay_us);
+                    ids.push(sim.schedule_in(
+                        SimDuration::from_micros(delay_us),
+                        move |sim| f.borrow_mut().push((sim.now().as_micros(), idx)),
+                    ));
+                }
+                QueueOp::CancelNth { n } => {
+                    if !ids.is_empty() {
+                        let n = n % ids.len();
+                        prop_assert_eq!(sim.cancel(ids[n]), model.cancel(n));
+                    }
+                }
+                QueueOp::RunSteps { k } => {
+                    for _ in 0..k {
+                        prop_assert_eq!(sim.step(), model.step());
+                    }
+                }
+                QueueOp::RunUntilPlus { dt_us } => {
+                    let deadline = sim.now() + SimDuration::from_micros(dt_us);
+                    sim.run_until(deadline);
+                    model.run_until(deadline.as_micros());
+                }
+            }
+            prop_assert_eq!(sim.now().as_micros(), model.now);
+            prop_assert_eq!(sim.events_pending(), model.queue.len());
+        }
+        sim.run_until_idle();
+        model.run_until_idle();
+        prop_assert_eq!(&*fired.borrow(), &model.fired);
+        prop_assert_eq!(sim.events_pending(), 0);
+    }
 
     #[test]
     fn replay_is_bit_identical(ops in proptest::collection::vec(op_strategy(), 1..60)) {

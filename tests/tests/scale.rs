@@ -104,8 +104,8 @@ fn hot_path_work_counters_populate_and_pending_queue_stays_consistent() {
         .expect("teardown deletes must kick the pending queue");
     assert!(kick.count() > 0);
     let sweep = m
-        .histogram("mongo_docs_examined", &[("op", "find")])
-        .expect("LCM sweeps must record candidate-set sizes");
+        .histogram("mongo_docs_examined", &[("op", "find_changed")])
+        .expect("LCM sweeps must record change-feed sizes");
     assert!(sweep.count() > 0);
 
     assert_eq!(
