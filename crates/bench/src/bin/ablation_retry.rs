@@ -48,7 +48,9 @@ fn run_one(seed: u64, limit: u32, crashes: u32) -> Outcome {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("bench-data", "d/", 2_000_000_000);
     platform.create_bucket("bench-results");
 

@@ -41,7 +41,6 @@ fn parse_args() -> Args {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        // dlaas-lint: allow(panic-in-core): bench binary rejecting malformed CLI flags.
         let mut next = |flag: &str| {
             args.next()
                 .unwrap_or_else(|| panic!("{flag} needs a value"))
@@ -57,7 +56,6 @@ fn parse_args() -> Args {
             "--tolerance" => {
                 parsed.tolerance = next("--tolerance").parse().expect("--tolerance f64");
             }
-            // dlaas-lint: allow(panic-in-core): bench binary rejecting malformed CLI flags.
             other => panic!("unknown flag {other}"),
         }
     }
@@ -66,7 +64,6 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    // dlaas-lint: allow(debug-print): bench progress output.
     eprintln!(
         "engine bench: kernel_churn ({} actors, {} events){} (seed {})…",
         args.actors,
@@ -104,19 +101,15 @@ fn main() {
     );
 
     let json = engine::render_json(args.seed, &runs);
-    // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
     std::fs::write(&args.out, &json).expect("write BENCH_engine.json");
-    // dlaas-lint: allow(debug-print): bench result output.
     println!("\nwrote {}", args.out);
 
     if let Some(baseline_path) = args.check {
-        // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
         match engine::check_against_baseline(&json, &baseline, args.tolerance) {
             Ok(report) => {
                 for line in report {
-                    // dlaas-lint: allow(debug-print): bench result output.
                     println!("{line}");
                 }
             }

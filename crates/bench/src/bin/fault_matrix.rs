@@ -194,9 +194,7 @@ fn run_matrix(
 
     if let Some(path) = out_path {
         let json = render_matrix_json(base_seed, seeds, &campaign);
-        // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
         std::fs::write(path, &json).expect("write fault-matrix report");
-        // dlaas-lint: allow(debug-print): bench result output.
         println!("\nwrote {path}");
     }
     // Wall-clock goes to stderr only — never into the byte-compared

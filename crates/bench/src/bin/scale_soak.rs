@@ -79,7 +79,6 @@ fn soak_manifest(name: &str) -> TrainingManifest {
         .results("scale-results")
         .iterations(100)
         .build()
-        // dlaas-lint: allow(panic-in-core): static manifest in a bench binary, not platform control-plane code.
         .unwrap()
 }
 
@@ -99,7 +98,9 @@ fn run_one(seed: u64, n: u64) -> TrialRun<Run> {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("scale-data", "d/", 200_000_000);
     platform.create_bucket("scale-results");
     let client = platform.client("scale", BENCH_KEY);
@@ -194,7 +195,6 @@ fn run_one(seed: u64, n: u64) -> TrialRun<Run> {
 /// `--threads` value — it contains no thread count and no wall-clock).
 fn render_json(seed: u64, runs: &[&Run]) -> String {
     let mut out = String::new();
-    // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
     let mut w = |s: &str| out.push_str(s);
     w("{\n");
     w(&format!("  \"bench\": \"scale_soak\",\n  \"seed\": {seed},\n  \"horizon_secs\": {:.6},\n  \"runs\": [\n", HORIZON.as_secs_f64()));
@@ -207,7 +207,6 @@ fn render_json(seed: u64, runs: &[&Run]) -> String {
         w("      \"series\": {\n");
         for (si, s) in r.series.iter().enumerate() {
             let mut line = String::new();
-            // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
             write!(
                 line,
                 "        \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"per_job\": {:.6}}}",
@@ -256,7 +255,6 @@ fn main() {
         .next()
         .unwrap_or_else(|| "BENCH_scale.json".into());
 
-    // dlaas-lint: allow(debug-print): bench progress output.
     eprintln!("scale soak: N in {ns:?} (seed {seed}, {threads} thread(s))…");
     let trials: Vec<Trial<u64>> = ns
         .iter()
@@ -300,9 +298,7 @@ fn main() {
     );
 
     let json = render_json(seed, &runs);
-    // dlaas-lint: allow(panic-in-core): bench binary surfacing an I/O failure to the operator.
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
-    // dlaas-lint: allow(debug-print): bench result output.
     println!("\nwrote {out_path}");
     // Wall-clock to stderr only — never into the byte-compared artifact.
     eprintln!("{}", report.wall_summary("scale_soak"));
@@ -340,12 +336,10 @@ fn main() {
         if lo.n < hi.n {
             for (a, b) in lo.series.iter().zip(hi.series.iter()) {
                 let ratio = (b.per_job + 1.0) / (a.per_job + 1.0);
-                // dlaas-lint: allow(debug-print): bench result output.
                 println!(
                     "{}: {:.2}/job @ N={} vs {:.2}/job @ N={} (×{:.2})",
                     a.name, a.per_job, lo.n, b.per_job, hi.n, ratio
                 );
-                // dlaas-lint: allow(panic-in-core): bench binary asserting its acceptance criterion.
                 assert!(
                     ratio <= 2.0,
                     "{}: per-job cost grew ×{ratio:.2} from N={} to N={}",

@@ -32,7 +32,9 @@ fn main() {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("wl-data", "d/", 1_000_000_000);
     platform.create_bucket("wl-results");
 

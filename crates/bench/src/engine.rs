@@ -107,7 +107,6 @@ fn soak_manifest(name: &str) -> TrainingManifest {
         .results("scale-results")
         .iterations(100)
         .build()
-        // dlaas-lint: allow(panic-in-core): static manifest in a bench binary, not platform control-plane code.
         .unwrap()
 }
 
@@ -136,7 +135,9 @@ pub fn platform_soak(seed: u64, n: u64) -> EngineRun {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("scale-data", "d/", 200_000_000);
     platform.create_bucket("scale-results");
     let client = platform.client("scale", BENCH_KEY);
@@ -166,7 +167,6 @@ pub fn platform_soak(seed: u64, n: u64) -> EngineRun {
         }
     }
     let submitted = jobs.borrow().len() as u64;
-    // dlaas-lint: allow(panic-in-core): bench binary refusing to report a rate over a malformed run.
     assert!(
         submitted == n && unfinished == 0,
         "platform_soak malformed: submitted={submitted}/{n}, unfinished={unfinished}"
@@ -190,7 +190,6 @@ pub fn platform_soak(seed: u64, n: u64) -> EngineRun {
 pub fn render_json(seed: u64, runs: &[EngineRun]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
     write!(
         out,
         "  \"bench\": \"engine\",\n  \"seed\": {seed},\n  \"workloads\": [\n"
@@ -198,7 +197,6 @@ pub fn render_json(seed: u64, runs: &[EngineRun]) -> String {
     .unwrap();
     for (i, r) in runs.iter().enumerate() {
         let mut line = String::new();
-        // dlaas-lint: allow(panic-in-core): fmt::Write to String cannot fail.
         write!(
             line,
             "    {{\"name\": \"{}\", \"events\": {}, \"sim_secs\": {:.6}, \"wall_secs\": {:.6}, \"events_per_wall_sec\": {:.1}}}",

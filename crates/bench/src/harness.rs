@@ -38,7 +38,8 @@ pub fn experiment_platform(sim: &mut Sim, kind: GpuKind, gpus_per_node: u32) -> 
     };
     let p = DlaasPlatform::new(sim, cfg);
     p.run_until_ready(sim, SimDuration::from_secs(60));
-    p.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+    p.add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+        .expect("bootstrap tenant insert");
     p.seed_dataset("bench-data", "d/", 2_000_000_000);
     p.create_bucket("bench-results");
     p
@@ -93,7 +94,8 @@ pub fn measure_dlaas_throughput_with(
         };
         let p = DlaasPlatform::new(&mut sim, cfg);
         p.run_until_ready(&mut sim, SimDuration::from_secs(60));
-        p.add_tenant(&Tenant::new("bench", BENCH_KEY, 0));
+        p.add_tenant(&Tenant::new("bench", BENCH_KEY, 0))
+            .expect("bootstrap tenant insert");
         p.seed_dataset("bench-data", "d/", 2_000_000_000);
         p.create_bucket("bench-results");
         p

@@ -194,7 +194,9 @@ mod tests {
         let mut sim = Sim::new(55);
         sim.trace_mut().set_enabled(false);
         let platform = crate::harness::experiment_platform(&mut sim, GpuKind::K80, 4);
-        platform.add_tenant(&Tenant::new("wl", "wl-key", 0));
+        platform
+            .add_tenant(&Tenant::new("wl", "wl-key", 0))
+            .expect("bootstrap tenant insert");
         platform.seed_dataset("wl-data", "d/", 1_000_000_000);
         platform.create_bucket("wl-results");
         let client = platform.client("wl", "wl-key");
@@ -229,7 +231,9 @@ mod tests {
             let mut sim = Sim::new(56);
             sim.trace_mut().set_enabled(false);
             let platform = crate::harness::experiment_platform(&mut sim, GpuKind::K80, 2);
-            platform.add_tenant(&Tenant::new("wl", "wl-key", 0));
+            platform
+                .add_tenant(&Tenant::new("wl", "wl-key", 0))
+                .expect("bootstrap tenant insert");
             platform.seed_dataset("wl-data", "d/", 1_000_000_000);
             platform.create_bucket("wl-results");
             let gen = WorkloadGenerator::start(

@@ -447,6 +447,7 @@ impl Guardian {
     fn start_monitoring(self: Rc<Self>, sim: &mut Sim) {
         let prefix = paths::etcd_learners_prefix(&self.job);
         let me = self.clone();
+        // dlaas-lint: allow(resource-leak): the watch is scoped to this incarnation's private etcd client, and the guardian's cleanup hook closes that client on exit/kill, cancelling every watch registered on it
         self.etcd.watch_prefix(sim, prefix, move |sim, ev| {
             if !me.alive() {
                 return;

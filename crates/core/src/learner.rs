@@ -116,17 +116,26 @@ fn start(
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
         + 1;
-    let _ = mount.write_file(&paths::nfs_learner_restarts(ordinal), starts.to_string());
+    best_effort(
+        sim,
+        mount.write_file(&paths::nfs_learner_restarts(ordinal), starts.to_string()),
+    );
     // Clear any stale exit marker from a previous incarnation.
     mount.remove(&paths::nfs_learner_exit(ordinal));
-    let _ = mount.write_file(&paths::nfs_learner_status(ordinal), "DOWNLOADING");
+    best_effort(
+        sim,
+        mount.write_file(&paths::nfs_learner_status(ordinal), "DOWNLOADING"),
+    );
     if starts > 1 {
         sim.metrics().inc(crate::metrics::LEARNER_RESTARTS, &[]);
-        let _ = mount.append_line(
-            &paths::nfs_learner_log(ordinal),
-            format!(
-                "[restart #{:?}] learner restarted by kubernetes",
-                starts - 1
+        best_effort(
+            sim,
+            mount.append_line(
+                &paths::nfs_learner_log(ordinal),
+                format!(
+                    "[restart #{:?}] learner restarted by kubernetes",
+                    starts - 1
+                ),
             ),
         );
     }
@@ -178,17 +187,32 @@ fn start(
     learner.wait_for_data(sim);
 }
 
+/// Notes the outcome of a best-effort NFS bookkeeping write. The learner
+/// keeps running either way — losing a status line is survivable — but a
+/// silent volume failure is not: the fault matrix attributes stuck jobs
+/// through this counter.
+fn best_effort<T, E>(sim: &mut Sim, r: Result<T, E>) {
+    if r.is_err() {
+        sim.metrics()
+            .inc(crate::metrics::LEARNER_NFS_WRITE_FAILURES, &[]);
+    }
+}
+
 impl Learner {
-    fn log(&self, line: impl Into<String>) {
-        let _ = self
-            .mount
-            .append_line(&paths::nfs_learner_log(self.ordinal), line);
+    fn log(&self, sim: &mut Sim, line: impl Into<String>) {
+        best_effort(
+            sim,
+            self.mount
+                .append_line(&paths::nfs_learner_log(self.ordinal), line),
+        );
     }
 
-    fn set_status(&self, s: impl Into<String>) {
-        let _ = self
-            .mount
-            .write_file(&paths::nfs_learner_status(self.ordinal), s);
+    fn set_status(&self, sim: &mut Sim, s: impl Into<String>) {
+        best_effort(
+            sim,
+            self.mount
+                .write_file(&paths::nfs_learner_status(self.ordinal), s),
+        );
     }
 
     /// Poll for the load-data marker (the input pipeline cannot start
@@ -236,7 +260,10 @@ impl Learner {
         if let Some(peer_iter) = self.peer_iteration() {
             if peer_iter > 0 {
                 sim.metrics().inc(crate::metrics::LEARNER_PS_REJOINS, &[]);
-                self.log(format!("rejoined via parameter server at iter {peer_iter}"));
+                self.log(
+                    sim,
+                    format!("rejoined via parameter server at iter {peer_iter}"),
+                );
                 self.begin_training(sim, peer_iter);
                 return;
             }
@@ -278,7 +305,7 @@ impl Learner {
                             return;
                         }
                         sim.metrics().inc(crate::metrics::CHECKPOINT_RESTORES, &[]);
-                        me2.log(format!("resumed from checkpoint at iter {iter}"));
+                        me2.log(sim, format!("resumed from checkpoint at iter {iter}"));
                         me2.begin_training(sim, iter);
                     },
                 );
@@ -297,14 +324,17 @@ impl Learner {
                 .checked_div(every)
                 .map_or(u64::MAX, |n| (n + 1) * every);
         }
-        self.set_status(format!("PROCESSING iter={start_iter}"));
-        self.log(format!(
-            "training started at iter {start_iter}: {} on {} x{} ({:.1} img/s job-wide)",
-            self.manifest.model,
-            self.manifest.gpu_kind,
-            self.manifest.gpus_per_learner,
-            self.rate_total,
-        ));
+        self.set_status(sim, format!("PROCESSING iter={start_iter}"));
+        self.log(
+            sim,
+            format!(
+                "training started at iter {start_iter}: {} on {} x{} ({:.1} img/s job-wide)",
+                self.manifest.model,
+                self.manifest.gpu_kind,
+                self.manifest.gpus_per_learner,
+                self.rate_total,
+            ),
+        );
         self.tick(sim);
     }
 
@@ -341,11 +371,14 @@ impl Learner {
 
             // Synthetic training log: loss decays with iteration count.
             let loss = 7.0 / (1.0 + iter as f64 / 150.0).sqrt();
-            me.log(format!(
-                "iter={iter} loss={loss:.4} lr={} images/sec={:.1}",
-                me.manifest.learning_rate, me.rate_total,
-            ));
-            me.set_status(format!("PROCESSING iter={iter}"));
+            me.log(
+                sim,
+                format!(
+                    "iter={iter} loss={loss:.4} lr={} images/sec={:.1}",
+                    me.manifest.learning_rate, me.rate_total,
+                ),
+            );
+            me.set_status(sim, format!("PROCESSING iter={iter}"));
 
             if finished {
                 me.finish(sim);
@@ -362,7 +395,7 @@ impl Learner {
     fn checkpoint(self: Rc<Self>, sim: &mut Sim, iter: u64) {
         let bucket = self.manifest.results_bucket.clone();
         let bytes = checkpoint_bytes(self.manifest.model);
-        self.log(format!("checkpoint at iter {iter} ({bytes} bytes)"));
+        self.log(sim, format!("checkpoint at iter {iter} ({bytes} bytes)"));
         let stall_from = sim.now();
         let me = self.clone();
         let nic = self.ctx.nic.clone();
@@ -413,10 +446,13 @@ impl Learner {
         };
         let secs = elapsed.as_secs_f64().max(1e-9);
         let throughput = images / secs;
-        self.log(format!(
-            "training complete: {} iters, {:.1} images/sec (this learner)",
-            self.manifest.iterations, throughput
-        ));
+        self.log(
+            sim,
+            format!(
+                "training complete: {} iters, {:.1} images/sec (this learner)",
+                self.manifest.iterations, throughput
+            ),
+        );
         self.finish_markers(sim, throughput);
     }
 

@@ -29,7 +29,7 @@
 //!
 //! let mut sim = Sim::new(42);
 //! let platform = DlaasPlatform::bootstrapped(&mut sim);
-//! platform.add_tenant(&Tenant::new("acme", "key-1", 16));
+//! platform.add_tenant(&Tenant::new("acme", "key-1", 16)).expect("bootstrap tenant insert");
 //! platform.seed_dataset("acme-data", "imagenet/", 20_000_000_000);
 //! platform.create_bucket("acme-results");
 //!

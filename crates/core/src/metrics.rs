@@ -48,6 +48,10 @@ pub const GUARDIAN_DEPLOY_SECONDS: &str = "dlaas_guardian_deploy_seconds";
 
 /// Learner restarts (starts beyond the first, across all jobs).
 pub const LEARNER_RESTARTS: &str = "dlaas_learner_restarts_total";
+/// Best-effort learner NFS bookkeeping writes (status/log/restart
+/// markers) that failed; the learner keeps running, but the failure
+/// must stay visible to the observability plane.
+pub const LEARNER_NFS_WRITE_FAILURES: &str = "dlaas_learner_nfs_write_failures_total";
 /// Learners that rejoined via a peer parameter server after a restart.
 pub const LEARNER_PS_REJOINS: &str = "dlaas_learner_ps_rejoins_total";
 /// Checkpoints uploaded to the object store.
@@ -125,6 +129,10 @@ pub fn register(registry: &Registry) {
     c(GUARDIAN_JOBS_FAILED, "jobs marked FAILED by a guardian");
     c(GUARDIAN_JOBS_COMPLETED, "jobs completed by a guardian");
     c(LEARNER_RESTARTS, "learner starts beyond the first");
+    c(
+        LEARNER_NFS_WRITE_FAILURES,
+        "failed best-effort learner NFS bookkeeping writes",
+    );
     c(
         LEARNER_PS_REJOINS,
         "learner rejoins via a peer parameter server",

@@ -5,7 +5,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dlaas_docstore::{Filter, MongoRpc, MongoServer, MongoTimings, Value};
+use dlaas_docstore::{Filter, MongoRpc, MongoServer, MongoTimings, StoreError, Value};
 use dlaas_etcd::EtcdCluster;
 use dlaas_gpu::GpuKind;
 use dlaas_kube::{
@@ -143,6 +143,7 @@ impl DlaasPlatform {
         let objstore = ObjectStore::new(cfg.objstore_bytes_per_sec);
         let nfs = NfsServer::new();
 
+        // dlaas-lint: allow(resource-leak): process-lifetime singleton — the lcm-gc client lives in Handles for the whole simulation and is shared by every LCM incarnation's GC sweep
         let etcd_gc = etcd.client("lcm-gc");
         let handles = Handles {
             rpc,
@@ -300,13 +301,19 @@ impl DlaasPlatform {
 
     /// Registers a tenant (bootstrap path: writes the journaled store
     /// directly, as an operator would before opening the service).
-    pub fn add_tenant(&self, tenant: &Tenant) {
-        let _ = self
-            .mongo
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's rejection (e.g. a duplicate tenant id) so
+    /// bootstrap scripts fail loudly instead of silently running with a
+    /// missing tenant.
+    pub fn add_tenant(&self, tenant: &Tenant) -> Result<(), StoreError> {
+        self.mongo
             .borrow()
             .store()
             .borrow_mut()
-            .insert(TENANTS, tenant.to_document());
+            .insert(TENANTS, tenant.to_document())
+            .map(|_id| ())
     }
 
     /// Creates a bucket and stages a synthetic training dataset in it.

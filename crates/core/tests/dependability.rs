@@ -15,7 +15,9 @@ fn boot(seed: u64) -> (Sim, DlaasPlatform) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     let platform = DlaasPlatform::bootstrapped(&mut sim);
-    platform.add_tenant(&Tenant::new("acme", KEY, 64));
+    platform
+        .add_tenant(&Tenant::new("acme", KEY, 64))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("acme-data", "d/", 2_000_000_000);
     platform.create_bucket("acme-results");
     (sim, platform)

@@ -15,7 +15,9 @@ fn boot(seed: u64) -> (Sim, DlaasPlatform) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     let platform = DlaasPlatform::bootstrapped(&mut sim);
-    platform.add_tenant(&Tenant::new("acme", KEY, 64));
+    platform
+        .add_tenant(&Tenant::new("acme", KEY, 64))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("acme-data", "imagenet/", 5_000_000_000);
     platform.create_bucket("acme-results");
     (sim, platform)
@@ -228,8 +230,18 @@ fn authentication_and_quota_enforced() {
         other => panic!("expected rejection, got {other:?}"),
     }
 
+    // A duplicate bootstrap insert surfaces the store's rejection
+    // instead of silently leaving the original in place unnoticed
+    // (regression: `add_tenant` used to `let _ =` the insert result).
+    assert!(
+        platform.add_tenant(&Tenant::new("acme", KEY, 64)).is_err(),
+        "duplicate tenant registration must be rejected loudly"
+    );
+
     // A tenant with a 2-GPU quota cannot run a 4-GPU job after a 2-GPU one.
-    platform.add_tenant(&Tenant::new("small", "key-small", 2));
+    platform
+        .add_tenant(&Tenant::new("small", "key-small", 2))
+        .expect("bootstrap tenant insert");
     let client = platform.client("bob", "key-small");
     let mut m1 = manifest("first");
     m1.gpus_per_learner = 2;

@@ -88,7 +88,7 @@ proptest! {
         let mut sim = Sim::new(seed);
         sim.trace_mut().set_enabled(false);
         let platform = DlaasPlatform::bootstrapped(&mut sim);
-        platform.add_tenant(&Tenant::new("prop", KEY, 0));
+        platform.add_tenant(&Tenant::new("prop", KEY, 0)).expect("bootstrap tenant insert");
         platform.seed_dataset("prop-data", "d/", 1_000_000_000);
         platform.create_bucket("prop-results");
         let manifest = TrainingManifest::builder("prop-job")

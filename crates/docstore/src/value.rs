@@ -423,7 +423,10 @@ impl<'a> JsonParser<'a> {
                     // Consume one full UTF-8 character.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -447,7 +450,8 @@ impl<'a> JsonParser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::I64(i));
@@ -587,6 +591,27 @@ mod tests {
             Less
         );
         assert_eq!(Value::Null.cmp_order(&Value::from(false)), Less);
+    }
+
+    #[test]
+    fn parse_json_never_panics_on_hostile_input() {
+        // Regression: the string and number scanners used to `unwrap()`
+        // mid-parse; every malformed input must come back as Err.
+        for bad in [
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12\"",
+            "-",
+            "1e",
+            "[1,",
+            "{\"k\":}",
+            "",
+        ] {
+            assert!(Value::parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        // Multi-byte UTF-8 goes through the char scanner, not a panic.
+        let v = Value::parse_json("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
     }
 
     #[test]

@@ -154,12 +154,26 @@ impl ServerCore {
     }
 }
 
+/// Lazily-resolved counter handles for the request hot path, taken at
+/// the point of first use (same idiom as the apply-path handles in
+/// [`EtcdServer::make_apply`]) so the series set matches
+/// recording-on-demand exactly while keeping label canonicalization and
+/// family lookup off the per-request path.
+#[derive(Default)]
+struct RequestCounters {
+    reads: Option<dlaas_sim::CounterHandle>,
+    /// One handle per proposal op, in `KvOp` label order:
+    /// put, delete, delete_prefix, cas, noop.
+    proposals: Option<[dlaas_sim::CounterHandle; 5]>,
+}
+
 /// One etcd server bound to one Raft node.
 pub struct EtcdServer {
     id: NodeId,
     raft: Raft<KvCommand>,
     core: Rc<RefCell<ServerCore>>,
     rpc: EtcdRpc,
+    counters: RefCell<RequestCounters>,
 }
 
 impl std::fmt::Debug for EtcdServer {
@@ -184,6 +198,7 @@ impl EtcdServer {
             raft,
             core,
             rpc,
+            counters: RefCell::new(RequestCounters::default()),
         });
         server.start_serving();
         server
@@ -198,6 +213,7 @@ impl EtcdServer {
         dlaas_raft::SnapshotHooks {
             take: Box::new(move || take_core.borrow().kv.to_snapshot_bytes()),
             restore: Box::new(move |_sim, _idx, data| {
+                // dlaas-lint: allow(panic-reachable): the bytes were produced by to_snapshot_bytes on the same closed system; snapshot corruption is outside the modelled fault vocabulary, so failing fast beats silently restoring an empty store
                 let kv = KvState::from_snapshot_bytes(data).expect("snapshot deserializes");
                 core.borrow_mut().kv = kv;
             }),
@@ -369,11 +385,16 @@ impl EtcdServer {
             );
             return;
         }
-        sim.metrics().inc("etcd_reads_total", &[]);
+        self.counters
+            .borrow_mut()
+            .reads
+            .get_or_insert_with(|| sim.metrics().counter_handle("etcd_reads_total", &[]))
+            .inc();
         let core = self.core.clone();
         let incarnation = core.borrow().incarnation;
         // The Err arm is unreachable after the role check above within one
         // event; if a step-down races in, the read fails via `ok = false`.
+        // dlaas-lint: allow(discarded-result): read_index only errs when called on a non-leader, checked two lines up in the same event; the real failure mode (losing leadership mid-read) is delivered through the `ok` flag and answered with NotLeader
         let _ = self.raft.read_index(sim, move |sim, ok| {
             let resp = {
                 let c = core.borrow();
@@ -393,15 +414,20 @@ impl EtcdServer {
         op: KvOp,
         responder: Responder<EtcdRequest, EtcdResponse>,
     ) {
-        let op_label = match &op {
-            KvOp::Put { .. } => "put",
-            KvOp::Delete { .. } => "delete",
-            KvOp::DeletePrefix { .. } => "delete_prefix",
-            KvOp::Cas { .. } => "cas",
-            KvOp::Noop => "noop",
+        let op_ix = match &op {
+            KvOp::Put { .. } => 0,
+            KvOp::Delete { .. } => 1,
+            KvOp::DeletePrefix { .. } => 2,
+            KvOp::Cas { .. } => 3,
+            KvOp::Noop => 4,
         };
-        sim.metrics()
-            .inc("etcd_proposals_total", &[("op", op_label)]);
+        self.counters.borrow_mut().proposals.get_or_insert_with(|| {
+            ["put", "delete", "delete_prefix", "cas", "noop"].map(|op_label| {
+                sim.metrics()
+                    .counter_handle("etcd_proposals_total", &[("op", op_label)])
+            })
+        })[op_ix]
+            .inc();
         let req_id = {
             let mut c = self.core.borrow_mut();
             c.next_req_id += 1;

@@ -143,6 +143,13 @@ struct ClusterState {
     /// the first kick (not at boot, so the series set matches
     /// recording-on-demand) and bumped directly thereafter.
     kick_examined: Option<dlaas_sim::HistogramHandle>,
+    /// Per-reason handles to `kube_events_total`, resolved as each reason
+    /// first occurs (same first-use idiom as `kick_examined`).
+    event_counters: BTreeMap<String, dlaas_sim::CounterHandle>,
+    /// Handle to the `kube_scheduling_latency_seconds` histogram.
+    sched_latency: Option<dlaas_sim::HistogramHandle>,
+    /// Handle to the `kube_pod_restarts_total` counter.
+    restart_counter: Option<dlaas_sim::CounterHandle>,
 }
 
 impl ClusterState {
@@ -215,6 +222,9 @@ impl Kube {
                 events: Vec::new(),
                 next_uid: 0,
                 kick_examined: None,
+                event_counters: BTreeMap::new(),
+                sched_latency: None,
+                restart_counter: None,
             })),
             registry,
         }
@@ -271,8 +281,20 @@ impl Kube {
 
     fn event(&self, sim: &mut Sim, object: String, reason: &str, message: String) {
         sim.record(format!("kube/{object}"), format!("{reason}: {message}"));
-        sim.metrics()
-            .inc("kube_events_total", &[("reason", reason)]);
+        let cached = self.state.borrow().event_counters.get(reason).cloned();
+        match cached {
+            Some(h) => h.inc(),
+            None => {
+                let h = sim
+                    .metrics()
+                    .counter_handle("kube_events_total", &[("reason", reason)]);
+                h.inc();
+                self.state
+                    .borrow_mut()
+                    .event_counters
+                    .insert(reason.to_owned(), h);
+            }
+        }
         self.state.borrow_mut().events.push(KubeEvent {
             time: sim.now(),
             object,
@@ -395,9 +417,16 @@ impl Kube {
 
     /// Attempts to bind a Pending pod to a node and begin its start chain.
     fn try_schedule(&self, sim: &mut Sim, name: String) {
-        let (uid, delay) = {
-            let mut s = self.state.borrow_mut();
-            let Some(pod) = s.pods.get(&name) else { return };
+        let (uid, delay, chosen) = {
+            let mut guard = self.state.borrow_mut();
+            // Borrow the state struct itself so `pods` and `nodes` can be
+            // borrowed simultaneously: the winning node's `&mut` comes
+            // straight out of the scheduling scan, with no re-lookup (and
+            // no `expect`) after the fact.
+            let s = &mut *guard;
+            let Some(pod) = s.pods.get_mut(&name) else {
+                return;
+            };
             if pod.phase != PodPhase::Pending || pod.node.is_some() {
                 return;
             }
@@ -406,8 +435,8 @@ impl Kube {
             let want_kind = pod.spec.gpu_kind;
             // Filter: ready, resources fit, GPU kind matches; score: most
             // free CPU (spreads load like the default scheduler).
-            let mut best: Option<(String, u32)> = None;
-            for (nname, node) in &s.nodes {
+            let mut best: Option<(&String, &mut Node, u32)> = None;
+            for (nname, node) in &mut s.nodes {
                 if !node.ready || node.cordoned {
                     continue;
                 }
@@ -419,35 +448,34 @@ impl Kube {
                     continue;
                 }
                 let score = free.cpu_millis;
-                if best.as_ref().is_none_or(|(_, b)| score > *b) {
-                    best = Some((nname.clone(), score));
+                if best.as_ref().is_none_or(|(_, _, b)| score > *b) {
+                    best = Some((nname, node, score));
                 }
             }
-            let Some((chosen, _)) = best else {
+            let Some((chosen, node, _)) = best else {
                 // Stays Pending; retried when capacity frees up.
                 return;
             };
-            let node = s.nodes.get_mut(&chosen).expect("chosen node");
+            let chosen = chosen.clone();
             node.allocated = node.allocated.plus(&req);
-            let pod = s.pods.get_mut(&name).expect("checked");
             pod.node = Some(chosen.clone());
             let wait = sim.now().saturating_duration_since(pod.created_at);
-            sim.metrics().observe_duration_us(
-                "kube_scheduling_latency_seconds",
-                &[],
-                wait.as_micros(),
-            );
+            s.sched_latency
+                .get_or_insert_with(|| {
+                    sim.metrics()
+                        .histogram_handle("kube_scheduling_latency_seconds", &[])
+                })
+                .observe_duration_us(wait.as_micros());
             s.sync_pending(&name);
             let d = s.config.schedule_delay;
             let d = s.jittered(d);
-            (uid, d)
+            (uid, d, chosen)
         };
-        let node = self.pod_node(&name).expect("just bound");
         self.event(
             sim,
             format!("pod/{name}"),
             "Scheduled",
-            format!("bound to {node}"),
+            format!("bound to {chosen}"),
         );
         let me = self.clone();
         let n = name.clone();
@@ -463,12 +491,14 @@ impl Kube {
             if pod.uid != uid || pod.phase != PodPhase::Pending {
                 return;
             }
+            // dlaas-lint: allow(panic-reachable): begin_start is only scheduled by try_schedule after binding, and the uid+phase guard above rejects any later incarnation — an unbound Pending pod here is a scheduler bug worth crashing on
             let node_name = pod.node.clone().expect("start requires binding");
             let spec = pod.spec.clone();
             // Image pulls: containers pull in parallel; pay the largest
             // missing image, then mark all cached.
             let mut pull_bytes: u64 = 0;
             {
+                // dlaas-lint: allow(panic-reachable): pod.node was written by try_schedule from a live entry of s.nodes, and nodes are never removed from the map (drain/cordon flip flags instead)
                 let node = s.nodes.get_mut(&node_name).expect("bound node");
                 for c in &spec.containers {
                     if !node.images.contains(&c.image.name) {
@@ -528,11 +558,14 @@ impl Kube {
             if pod.uid != uid || pod.phase != PodPhase::Starting {
                 return;
             }
+            // dlaas-lint: allow(panic-reachable): Starting phase (checked above) is only entered by begin_start after the binding invariant held; losing the binding mid-start is outside the modelled faults
             let node_name = pod.node.clone().expect("started pod has node");
+            // dlaas-lint: allow(panic-reachable): same invariant as begin_start — node names bound to pods always exist in s.nodes (nodes are flagged, never removed)
             let nic = s.nodes.get(&node_name).expect("node").nic.clone();
             let containers = pod.spec.containers.clone();
             let readiness = s.config.readiness_delay;
             let readiness = s.jittered(readiness);
+            // dlaas-lint: allow(panic-reachable): re-fetch of the entry matched at the top of this borrow block; `jittered` above needs `&mut s`, forcing the re-lookup, and no path between the two touches s.pods
             let pod = s.pods.get_mut(&name).expect("checked");
             pod.phase = PodPhase::Running;
             pod.started_at = Some(sim.now());
@@ -737,9 +770,14 @@ impl Kube {
     /// Kubelet in-place restart after a crash: detection + backoff +
     /// container setup on the same node (images cached, volumes mounted).
     fn restart_in_place(&self, sim: &mut Sim, name: String) {
-        sim.metrics().inc("kube_pod_restarts_total", &[]);
         let (uid, delay) = {
-            let mut s = self.state.borrow_mut();
+            let mut guard = self.state.borrow_mut();
+            // Borrow the state struct so `pods` and `next_uid` can be
+            // borrowed simultaneously: one pod lookup, no re-fetch.
+            let s = &mut *guard;
+            s.restart_counter
+                .get_or_insert_with(|| sim.metrics().counter_handle("kube_pod_restarts_total", &[]))
+                .inc();
             let Some(pod) = s.pods.get_mut(&name) else {
                 return;
             };
@@ -747,7 +785,6 @@ impl Kube {
             pod.phase = PodPhase::Pending; // restart chain re-enters via begin_start
             s.next_uid += 1;
             let uid = s.next_uid;
-            let pod = s.pods.get_mut(&name).expect("checked");
             pod.uid = uid;
             let n = pod.restarts;
             s.sync_pending(&name);

@@ -6,14 +6,19 @@
 //! two runs over the same tree produce byte-identical output (the linter
 //! holds itself to the determinism contract it enforces).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::metrics_contract::{check_metrics, render_manifest};
+use crate::pairs::check_pairs;
+use crate::parser::{parse_file, ParsedFile};
+use crate::reach::check_reachability;
 use crate::rules::{check_crate_root, check_tokens, rule, Finding};
 use crate::scopes::mark_test_regions;
+use crate::sinks::check_sinks;
 
 /// How a file is classified, which decides rule applicability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,9 +199,21 @@ fn parse_directives(tokens: &[Token]) -> (Vec<Directive>, Vec<Finding>, Vec<u32>
     (directives, findings, directive_lines)
 }
 
-/// Lints one source text under an explicit classification. Public so the
-/// fixture tests can exercise rules without a real workspace layout.
-pub fn lint_source(meta: &FileMeta, source: &str) -> Report {
+/// One file's per-file analysis, before suppression filtering.
+struct Analysis {
+    meta: FileMeta,
+    /// Per-file rule findings, not yet suppression-filtered.
+    raw: Vec<Finding>,
+    /// Findings about the directives themselves (never suppressible).
+    meta_findings: Vec<Finding>,
+    directives: Vec<Directive>,
+}
+
+/// Runs every per-file analysis: token rules, crate-root check, and the
+/// flow-aware families that only need one function at a time
+/// (paired-resource, error-sink). Returns the parsed file too, for the
+/// workspace-level passes.
+fn analyze(meta: &FileMeta, source: &str) -> (Analysis, ParsedFile) {
     let tokens = lex(source);
     let in_test = mark_test_regions(&tokens);
 
@@ -207,34 +224,89 @@ pub fn lint_source(meta: &FileMeta, source: &str) -> Report {
         }
     }
 
+    let parsed = parse_file(&tokens, &in_test);
+    raw.extend(check_pairs(meta, &parsed));
+    raw.extend(check_sinks(meta, &parsed));
+
     let (directives, mut meta_findings, _) = parse_directives(&tokens);
     for f in &mut meta_findings {
         f.file = meta.path.clone();
     }
+    (
+        Analysis {
+            meta: meta.clone(),
+            raw,
+            meta_findings,
+            directives,
+        },
+        parsed,
+    )
+}
 
-    // Suppression table: rule -> set of (target line -> justification).
+/// Applies one file's suppression directives to its findings (per-file
+/// `raw` plus any workspace-level `extra`), accumulating into `report`.
+/// With `check_stale`, a well-formed directive that suppressed nothing
+/// becomes a `suppression-stale` finding.
+fn finish_file(a: Analysis, extra: Vec<Finding>, check_stale: bool, report: &mut Report) {
+    let Analysis {
+        meta,
+        raw,
+        meta_findings,
+        directives,
+    } = a;
+    // Suppression table: (rule, target line) -> justification.
     let mut allow: BTreeMap<(&str, u32), &str> = BTreeMap::new();
     for d in &directives {
         if rule(&d.rule).is_some() && !d.justification.is_empty() {
             allow.insert((d.rule.as_str(), d.target_line), d.justification.as_str());
         }
     }
-
-    let mut report = Report {
-        files_scanned: 1,
-        ..Report::default()
-    };
-    for f in raw {
+    let mut used: BTreeSet<(String, u32)> = BTreeSet::new();
+    for f in raw.into_iter().chain(extra) {
         match allow.get(&(f.rule, f.line)) {
-            Some(justification) => report.suppressed.push(Suppressed {
-                finding: f,
-                justification: (*justification).to_string(),
-            }),
+            Some(justification) => {
+                used.insert((f.rule.to_string(), f.line));
+                report.suppressed.push(Suppressed {
+                    finding: f,
+                    justification: (*justification).to_string(),
+                });
+            }
             None => report.findings.push(f),
         }
     }
     // Meta findings (bad directives) are never suppressible.
     report.findings.extend(meta_findings);
+    if check_stale {
+        for d in &directives {
+            let well_formed = rule(&d.rule).is_some() && !d.justification.is_empty();
+            if well_formed && !used.contains(&(d.rule.clone(), d.target_line)) {
+                report.findings.push(Finding {
+                    file: meta.path.clone(),
+                    line: d.at_line,
+                    rule: "suppression-stale",
+                    message: format!(
+                        "allow({}) suppresses nothing: the rule no longer fires on line {} — \
+                         remove the stale directive",
+                        d.rule, d.target_line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Lints one source text under an explicit classification. Public so the
+/// fixture tests can exercise rules without a real workspace layout.
+/// Runs every per-file rule; the workspace-level passes
+/// (metric-contract, panic-reachability, stale-suppression) need the
+/// whole tree — see [`lint_files`] / [`lint_workspace`].
+pub fn lint_source(meta: &FileMeta, source: &str) -> Report {
+    let (analysis, _) = analyze(meta, source);
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    finish_file(analysis, Vec::new(), false, &mut report);
     report.sort();
     report
 }
@@ -289,33 +361,83 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file of the workspace rooted at `root`.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the directory walk or file reads.
-pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
+/// Lints a set of already-classified sources as one workspace: every
+/// per-file rule, plus the cross-file passes (metric-contract,
+/// panic-reachability) and stale-suppression detection. Public so tests
+/// can exercise workspace-level rules on in-memory trees.
+pub fn lint_files(files: &[(FileMeta, String)]) -> Report {
+    let mut analyses = Vec::new();
+    let mut parsed_files: Vec<(FileMeta, ParsedFile)> = Vec::new();
+    for (meta, source) in files {
+        let (analysis, parsed) = analyze(meta, source);
+        analyses.push(analysis);
+        parsed_files.push((meta.clone(), parsed));
+    }
+    let mut workspace_findings = check_metrics(&parsed_files);
+    workspace_findings.extend(check_reachability(&parsed_files));
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in workspace_findings {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let mut report = Report {
+        files_scanned: analyses.len(),
+        ..Report::default()
+    };
+    for analysis in analyses {
+        let extra = by_file.remove(&analysis.meta.path).unwrap_or_default();
+        finish_file(analysis, extra, true, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// Reads and classifies every `.rs` file of the workspace at `root`.
+fn read_workspace(root: &Path) -> io::Result<Vec<(FileMeta, String)>> {
+    let mut paths = Vec::new();
     for top in ["crates", "examples", "tests", "third_party"] {
         let dir = root.join(top);
         if dir.is_dir() {
-            walk(&dir, &mut files)?;
+            walk(&dir, &mut paths)?;
         }
     }
-    let mut report = Report::default();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
         let Some(meta) = classify(&rel) else { continue };
-        let source = fs::read_to_string(&path)?;
-        let file_report = lint_source(&meta, &source);
-        report.findings.extend(file_report.findings);
-        report.suppressed.extend(file_report.suppressed);
-        report.files_scanned += 1;
+        files.push((meta, fs::read_to_string(&path)?));
     }
-    report.sort();
-    Ok(report)
+    Ok(files)
+}
+
+/// Lints every `.rs` file of the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint_files(&read_workspace(root)?))
+}
+
+/// Renders the generated metric manifest for the workspace at `root` —
+/// the statically-harvested inventory of every metric name, kind, and
+/// label set (see `metrics_contract`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn metric_manifest(root: &Path) -> io::Result<String> {
+    let files = read_workspace(root)?;
+    let parsed: Vec<(FileMeta, ParsedFile)> = files
+        .iter()
+        .map(|(meta, source)| {
+            let tokens = lex(source);
+            let in_test = mark_test_regions(&tokens);
+            (meta.clone(), parse_file(&tokens, &in_test))
+        })
+        .collect();
+    Ok(render_manifest(&parsed))
 }

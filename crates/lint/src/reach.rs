@@ -1,0 +1,156 @@
+//! Panic-reachability: does any control-plane entry point reach an
+//! unjustified `unwrap`/`expect`/`panic!`?
+//!
+//! `panic-in-core` already forbids panic sites *inside* `dlaas-core`.
+//! But the control plane also executes substrate code — etcd, kube,
+//! docstore — and a panic there crashes the same process. This module
+//! builds a name-based workspace call graph, walks it breadth-first
+//! from every public non-test `dlaas-core` function, and reports each
+//! reachable panic site in the substrate crates, with a sample call
+//! path so the reviewer can see *why* it is reachable.
+//!
+//! The graph is an over-approximation: an edge exists from a function
+//! to every same-named function in scope (refined by receiver type
+//! when the qualifier matches an `impl` block's type). That direction
+//! is deliberate — a spuriously reachable panic gets reviewed and
+//! justified once; a spuriously *unreachable* one would hide a real
+//! crash path forever.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{FileClass, FileMeta};
+use crate::parser::{visit, Node, ParsedFile};
+use crate::rules::Finding;
+
+/// Crates in the call graph: core (the entry points) plus everything
+/// that runs in the same simulated control-plane process.
+pub const GRAPH_CRATES: &[&str] = &["core", "etcd", "kube", "docstore"];
+
+/// Crates where reachable panic sites are reported (`core` itself is
+/// already covered by `panic-in-core`).
+const REPORT_CRATES: &[&str] = &["etcd", "kube", "docstore"];
+
+struct FnNode {
+    name: String,
+    self_ty: Option<String>,
+    krate: String,
+    file: String,
+    is_entry: bool,
+    /// (callee name, receiver qualifier) pairs, closures included —
+    /// a registered closure runs eventually in the same process.
+    calls: Vec<(String, Option<String>)>,
+    /// (line, construct) panic sites, closures included.
+    panics: Vec<(u32, String)>,
+}
+
+fn build_nodes(files: &[(FileMeta, ParsedFile)]) -> Vec<FnNode> {
+    let mut nodes = Vec::new();
+    for (meta, parsed) in files {
+        if meta.class != FileClass::Lib || !GRAPH_CRATES.contains(&meta.krate.as_str()) {
+            continue;
+        }
+        for f in &parsed.fns {
+            if f.in_test {
+                continue;
+            }
+            let mut calls = Vec::new();
+            let mut panics = Vec::new();
+            visit(&f.body, &mut |n| match n {
+                Node::Call(c) if !c.is_macro => {
+                    calls.push((c.name.clone(), c.qualifier.clone()));
+                }
+                Node::Panic { line, what } => panics.push((*line, what.clone())),
+                _ => {}
+            });
+            nodes.push(FnNode {
+                name: f.name.clone(),
+                self_ty: f.self_ty.clone(),
+                krate: meta.krate.clone(),
+                file: meta.path.clone(),
+                is_entry: meta.krate == "core" && f.is_pub,
+                calls,
+                panics,
+            });
+        }
+    }
+    nodes
+}
+
+/// Walks the call graph from the control-plane entry points and reports
+/// reachable panic sites in substrate crates.
+pub fn check_reachability(files: &[(FileMeta, ParsedFile)]) -> Vec<Finding> {
+    let nodes = build_nodes(files);
+    // Name index, and a (type, name) index for qualifier refinement.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_ty_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(i);
+        if let Some(ty) = &n.self_ty {
+            by_ty_name.entry((ty, &n.name)).or_default().push(i);
+        }
+    }
+    // BFS with first-discovery parents, in deterministic node order.
+    let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut reached: Vec<bool> = vec![false; nodes.len()];
+    let mut queue: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].is_entry).collect();
+    for &i in &queue {
+        reached[i] = true;
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        for (callee, qualifier) in &nodes[i].calls {
+            // Refine by receiver type when the qualifier names an impl
+            // type exactly; otherwise fan out to every same-named fn.
+            let targets = qualifier
+                .as_deref()
+                .and_then(|q| by_ty_name.get(&(q, callee.as_str())))
+                .or_else(|| by_name.get(callee.as_str()));
+            let Some(targets) = targets else { continue };
+            for &t in targets {
+                if !reached[t] {
+                    reached[t] = true;
+                    parent[t] = Some(i);
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if !reached[i] || !REPORT_CRATES.contains(&n.krate.as_str()) {
+            continue;
+        }
+        // Render the discovery path entry → … → here, capped for sanity.
+        let mut path = vec![n.name.as_str()];
+        let mut cur = i;
+        while let Some(p) = parent[cur] {
+            path.push(nodes[p].name.as_str());
+            cur = p;
+            if path.len() >= 6 {
+                break;
+            }
+        }
+        path.reverse();
+        let via = path.join(" → ");
+        for (line, what) in &n.panics {
+            let call = if what == "unwrap" || what == "expect" {
+                format!("`.{what}()`")
+            } else {
+                format!("`{what}!`")
+            };
+            out.push(Finding {
+                file: n.file.clone(),
+                line: *line,
+                rule: "panic-reachable",
+                message: format!(
+                    "{call} can crash the control-plane process and is reachable from a \
+                     public dlaas-core entry (via {via}); return an error or justify why \
+                     this state is impossible"
+                ),
+            });
+        }
+    }
+    out
+}

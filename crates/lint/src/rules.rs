@@ -22,6 +22,14 @@ pub enum Family {
     Determinism,
     /// No crashes outside the modelled fault vocabulary.
     Dependability,
+    /// Every acquire meets its release (flow-aware, per-function).
+    Resource,
+    /// Recovery errors are propagated, retried, or made observable.
+    ErrorSink,
+    /// One metric name ⇒ one kind, one label set; hot paths interned.
+    MetricContract,
+    /// No panic site reachable from a control-plane entry point.
+    Reachability,
     /// Library code stays quiet.
     Hygiene,
 }
@@ -32,6 +40,10 @@ impl Family {
         match self {
             Family::Determinism => "determinism",
             Family::Dependability => "dependability",
+            Family::Resource => "paired-resource",
+            Family::ErrorSink => "error-sink",
+            Family::MetricContract => "metric-contract",
+            Family::Reachability => "reachability",
             Family::Hygiene => "hygiene",
         }
     }
@@ -120,6 +132,63 @@ pub const RULES: &[RuleInfo] = &[
                     wall-clock-style debugging; binaries, examples, and tests may print",
     },
     RuleInfo {
+        id: "resource-leak",
+        family: Family::Resource,
+        summary: "every paired acquire (etcd watch/client/lease, docstore journal) must meet \
+                  its release on all paths",
+        rationale: "the PR 2 client leak and PR 4 watch leaks were exactly this shape: an \
+                    acquire whose release is skipped on an early-return path or never wired \
+                    into the owner's teardown — the leak survives until a soak finds it",
+    },
+    RuleInfo {
+        id: "discarded-result",
+        family: Family::ErrorSink,
+        summary: "control-plane code must not drop call results with `let _ =` or a \
+                  statement-level `.ok()`",
+        rationale: "a discarded Result is a recovery error that vanished: no retry, no \
+                    propagation, no metric — the fault matrix cannot attribute the resulting \
+                    stuck job to anything",
+    },
+    RuleInfo {
+        id: "swallowed-error",
+        family: Family::ErrorSink,
+        summary: "an `Err` match arm must propagate, retry, fail the job, or bump a metric",
+        rationale: "an Err arm that does none of those is a silent error sink on a recovery \
+                    path; the paper's dependability argument assumes every substrate failure \
+                    is visible to the observability plane",
+    },
+    RuleInfo {
+        id: "metric-kind-collision",
+        family: Family::MetricContract,
+        summary: "one metric name must be used as exactly one kind (counter/gauge/histogram)",
+        rationale: "a name registered as two kinds produces garbage series at exposition; \
+                    the manifest pins each name to the kind its describe() declares",
+    },
+    RuleInfo {
+        id: "metric-arity-mismatch",
+        family: Family::MetricContract,
+        summary: "every write to a metric name must use the same label keys",
+        rationale: "Prometheus semantics require a stable label set per name; mismatched \
+                    arity or keys silently splits one logical metric into unjoinable series",
+    },
+    RuleInfo {
+        id: "metric-uninterned",
+        family: Family::MetricContract,
+        summary: "hot crates (sim/etcd/kube) must mutate metrics through interned handles",
+        rationale: "name-based mutation re-canonicalizes the label set on every call; PR 6 \
+                    interned handles exist so the per-event hot path does a single array \
+                    index instead",
+    },
+    RuleInfo {
+        id: "panic-reachable",
+        family: Family::Reachability,
+        summary: "no unwrap/expect/panic! in substrate crates reachable from a dlaas-core \
+                  entry point",
+        rationale: "the control plane executes etcd/kube/docstore code in-process; a panic \
+                    there is the same unmodelled crash panic-in-core forbids, just one call \
+                    deeper",
+    },
+    RuleInfo {
         id: "suppression-missing-justification",
         family: Family::Hygiene,
         summary: "every dlaas-lint allow(...) must carry a written justification",
@@ -132,6 +201,14 @@ pub const RULES: &[RuleInfo] = &[
         summary: "allow(...) must name an existing rule",
         rationale: "a typo in the rule id silently disables nothing and leaves the finding \
                     unexplained",
+    },
+    RuleInfo {
+        id: "suppression-stale",
+        family: Family::Hygiene,
+        summary: "an allow(...) whose rule no longer fires on its line must be removed",
+        rationale: "a stale suppression is a landmine: the next genuine violation on that \
+                    line is silently excused by a justification written for code that no \
+                    longer exists",
     },
 ];
 

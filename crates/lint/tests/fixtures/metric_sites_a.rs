@@ -1,0 +1,11 @@
+// Metric-contract fixture, file A: the declaring site (cold crate).
+
+pub const DEMO_TOTAL: &str = "dlaas_demo_total";
+
+pub fn register(registry: &Registry) {
+    registry.describe(DEMO_TOTAL, MetricKind::Counter, "demo events");
+}
+
+pub fn record(sim: &mut Sim, tenant: &str) {
+    sim.metrics().inc(DEMO_TOTAL, &[("tenant", tenant)]);
+}

@@ -1,0 +1,16 @@
+// Metric-contract fixture, file B: a hot crate drifting from file A's
+// declaration — wrong label set, wrong kind, and name-based mutation.
+
+pub fn drifted(sim: &mut Sim) {
+    sim.metrics().inc("dlaas_demo_total", &[]);
+    sim.metrics().set_gauge("dlaas_demo_gauge", 1.0);
+}
+
+pub fn kind_collision(sim: &mut Sim) {
+    sim.metrics().observe("dlaas_demo_gauge", 0.5);
+}
+
+pub fn interned_is_fine(sim: &mut Sim) {
+    let h = sim.metrics().counter_handle("dlaas_demo_total", &[("tenant", "t")]);
+    h.inc();
+}

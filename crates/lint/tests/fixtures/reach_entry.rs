@@ -1,0 +1,5 @@
+// Panic-reachability fixture: the dlaas-core entry point.
+
+pub fn submit_job(sim: &mut Sim) {
+    validate_manifest(sim);
+}

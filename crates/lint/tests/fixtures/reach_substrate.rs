@@ -1,0 +1,20 @@
+// Panic-reachability fixture: substrate code, one panic reachable from
+// the core entry, one suppressed, and one in a function nothing calls.
+
+pub fn validate_manifest(sim: &mut Sim) {
+    decode_manifest_body(sim);
+    audited_lookup(sim);
+}
+
+fn decode_manifest_body(sim: &mut Sim) -> u32 {
+    manifest_table(sim).get("gpus").unwrap()
+}
+
+fn audited_lookup(sim: &mut Sim) -> u32 {
+    // dlaas-lint: allow(panic-reachable): fixture — invariant holds by construction
+    manifest_table(sim).get("cpus").unwrap()
+}
+
+fn orphan_debug_helper(sim: &mut Sim) -> u32 {
+    manifest_table(sim).get("gpus").expect("present")
+}

@@ -1,0 +1,32 @@
+// Paired-resource fixture: acquire/release shapes (PR 2/4 bug shapes).
+
+pub fn discarded_watch(sim: &mut Sim) {
+    etcd.watch_prefix(sim, "jobs/", handler);
+}
+
+pub fn leak_on_early_return(sim: &mut Sim) -> Result<(), EtcdError> {
+    let w = etcd.watch_prefix(sim, "jobs/", handler);
+    let v = probe(sim)?;
+    apply(v);
+    w.unwatch(sim);
+    Ok(())
+}
+
+pub fn balanced_on_all_paths(sim: &mut Sim) {
+    let w = etcd.watch_prefix(sim, "jobs/", handler);
+    if degraded(sim) {
+        w.unwatch(sim);
+        return;
+    }
+    sweep(sim);
+    w.unwatch(sim);
+}
+
+pub fn consumed_acquire_transfers_ownership(sim: &mut Sim) -> Watch {
+    etcd.watch_prefix(sim, "jobs/", handler)
+}
+
+pub fn suppressed_leak(sim: &mut Sim) {
+    // dlaas-lint: allow(resource-leak): fixture — reviewed shape
+    etcd.watch_prefix(sim, "jobs/", handler);
+}

@@ -1,0 +1,14 @@
+// Stale-suppression fixture: one allow() whose rule fires, one whose
+// rule no longer fires on the target line.
+
+pub fn still_needed() {
+    // dlaas-lint: allow(wall-clock): fixture — live suppression
+    let t = std::time::Instant::now();
+    consume(t);
+}
+
+pub fn no_longer_needed(sim: &mut Sim) {
+    // dlaas-lint: allow(wall-clock): fixture — the clock call was removed
+    let t = sim.now();
+    consume(t);
+}

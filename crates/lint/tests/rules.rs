@@ -4,17 +4,38 @@
 
 use std::path::Path;
 
-use dlaas_lint::{classify, lint_source, lint_workspace, render_json, FileMeta, Report};
+use dlaas_lint::{
+    classify, lint_files, lint_source, lint_workspace, render_json, FileMeta, Report,
+};
 
-fn lint_fixture(fixture: &str, as_path: &str) -> Report {
-    let src = std::fs::read_to_string(
+fn fixture_src(fixture: &str) -> String {
+    std::fs::read_to_string(
         Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("tests/fixtures")
             .join(fixture),
     )
-    .expect("fixture readable");
+    .expect("fixture readable")
+}
+
+fn lint_fixture(fixture: &str, as_path: &str) -> Report {
     let meta = classify(as_path).expect("classifiable path");
-    lint_source(&meta, &src)
+    lint_source(&meta, &fixture_src(fixture))
+}
+
+/// Lints a set of fixtures together through the workspace pipeline,
+/// which also runs the cross-file passes (metric contract, panic
+/// reachability, stale-suppression audit).
+fn lint_fixtures_together(pairs: &[(&str, &str)]) -> Report {
+    let files: Vec<(FileMeta, String)> = pairs
+        .iter()
+        .map(|(fixture, as_path)| {
+            (
+                classify(as_path).expect("classifiable path"),
+                fixture_src(fixture),
+            )
+        })
+        .collect();
+    lint_files(&files)
 }
 
 fn rules_and_lines(r: &Report) -> Vec<(&'static str, u32)> {
@@ -191,6 +212,118 @@ fn test_files_are_exempt_from_token_rules() {
     assert_eq!(rules_and_lines(&r), vec![]);
 }
 
+#[test]
+fn resource_leak_rule() {
+    let r = lint_fixture("resource_leak.rs", "crates/core/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("resource-leak", 4), ("resource-leak", 8)]
+    );
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("resource-leak", 31)]);
+    // The discarded acquire and the early-`?` leak read differently.
+    assert!(r.findings[0].message.contains("dropped on the spot"));
+    assert!(r.findings[1].message.contains("every path"));
+}
+
+#[test]
+fn resource_leak_scoped_to_pair_crates() {
+    // `net` is not a pair crate: watches there are someone else's model.
+    let r = lint_fixture("resource_leak.rs", "crates/net/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn error_sink_rules() {
+    let r = lint_fixture("error_sink.rs", "crates/core/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![
+            ("discarded-result", 5),
+            ("discarded-result", 6),
+            ("swallowed-error", 12),
+            ("swallowed-error", 16),
+        ]
+    );
+    assert_eq!(
+        suppressed_rules_and_lines(&r),
+        vec![("swallowed-error", 39)]
+    );
+}
+
+#[test]
+fn error_sink_scoped_to_control_plane_crates() {
+    let r = lint_fixture("error_sink.rs", "crates/net/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn metric_contract_rules() {
+    let r = lint_fixtures_together(&[
+        ("metric_sites_a.rs", "crates/core/src/metrics_demo.rs"),
+        ("metric_sites_b.rs", "crates/kube/src/demo.rs"),
+    ]);
+    let mut got = rules_and_lines(&r);
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![
+            ("metric-arity-mismatch", 5),
+            ("metric-kind-collision", 10),
+            ("metric-uninterned", 5),
+            ("metric-uninterned", 6),
+            ("metric-uninterned", 10),
+        ]
+    );
+    // Every finding lands in the hot drifting file, none in the declarer.
+    assert!(r.findings.iter().all(|f| f.file.contains("kube")));
+}
+
+#[test]
+fn metric_mutation_unflagged_in_cold_crates() {
+    // The same name-based `inc` is fine outside the hot crates.
+    let r = lint_fixtures_together(&[("metric_sites_a.rs", "crates/core/src/metrics_demo.rs")]);
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
+fn panic_reachability_rule() {
+    let r = lint_fixtures_together(&[
+        ("reach_entry.rs", "crates/core/src/demo.rs"),
+        ("reach_substrate.rs", "crates/etcd/src/demo.rs"),
+    ]);
+    // Reached via submit_job → validate_manifest → decode_manifest_body;
+    // the orphan helper's panic is unreachable and stays silent.
+    assert_eq!(rules_and_lines(&r), vec![("panic-reachable", 10)]);
+    assert!(r.findings[0].message.contains("validate_manifest"));
+    assert_eq!(
+        suppressed_rules_and_lines(&r),
+        vec![("panic-reachable", 15)]
+    );
+}
+
+#[test]
+fn panic_unreachable_without_core_entry() {
+    // No core entry file in the set: nothing is reachable — and the
+    // now-pointless allow(panic-reachable) is itself reported as stale.
+    let r = lint_fixtures_together(&[("reach_substrate.rs", "crates/etcd/src/demo.rs")]);
+    assert_eq!(rules_and_lines(&r), vec![("suppression-stale", 14)]);
+}
+
+#[test]
+fn stale_suppressions_are_findings_in_workspace_mode() {
+    let r = lint_fixtures_together(&[("stale_suppression.rs", "crates/net/src/demo.rs")]);
+    assert_eq!(rules_and_lines(&r), vec![("suppression-stale", 11)]);
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("wall-clock", 6)]);
+}
+
+#[test]
+fn stale_suppressions_tolerated_in_single_file_mode() {
+    // `lint_source` skips the stale audit: fixtures and editor
+    // integrations lint fragments where the rest of the file is absent.
+    let r = lint_fixture("stale_suppression.rs", "crates/net/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
 fn workspace_root() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -225,6 +358,19 @@ fn the_workspace_itself_is_clean() {
             s.finding.line
         );
     }
+}
+
+#[test]
+fn committed_metric_manifest_matches_the_workspace() {
+    let root = workspace_root();
+    let generated = dlaas_lint::metric_manifest(&root).expect("manifest renderable");
+    let committed = std::fs::read_to_string(root.join("metrics-manifest.json"))
+        .expect("metrics-manifest.json exists at the repo root");
+    assert_eq!(
+        generated, committed,
+        "metrics-manifest.json is stale — regenerate with \
+         `cargo run -p dlaas-lint -- --workspace --metric-manifest metrics-manifest.json`"
+    );
 }
 
 #[test]

@@ -19,7 +19,9 @@ fn main() {
     // is told from dlaas-obs metrics, not from raw trace lines.
     sim.trace_mut().set_capacity(Some(512));
     let platform = DlaasPlatform::bootstrapped(&mut sim);
-    platform.add_tenant(&Tenant::new("acme", "acme-key", 64));
+    platform
+        .add_tenant(&Tenant::new("acme", "acme-key", 64))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("acme-data", "d/", 2_000_000_000);
     platform.create_bucket("acme-results");
     let client = platform.client("operator", "acme-key");

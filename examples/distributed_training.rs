@@ -27,7 +27,9 @@ fn main() {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("research", "res-key", 32));
+    platform
+        .add_tenant(&Tenant::new("research", "res-key", 32))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("research-data", "openimages/", 40_000_000_000);
     platform.create_bucket("research-results");
 

@@ -31,7 +31,9 @@ fn main() {
     sim.trace_mut().set_enabled(false);
     let platform = DlaasPlatform::bootstrapped(&mut sim);
     for (tenant, quota) in [("acme", 4u32), ("globex", 2), ("initech", 8)] {
-        platform.add_tenant(&Tenant::new(tenant, format!("{tenant}-key"), quota));
+        platform
+            .add_tenant(&Tenant::new(tenant, format!("{tenant}-key"), quota))
+            .expect("bootstrap tenant insert");
         platform.seed_dataset(&format!("{tenant}-data"), "d/", 3_000_000_000);
         platform.create_bucket(&format!("{tenant}-results"));
         println!("tenant {tenant:<8} quota {quota} GPUs");

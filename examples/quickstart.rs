@@ -20,7 +20,9 @@ fn main() {
     );
 
     // Operator setup: a tenant and its buckets.
-    platform.add_tenant(&Tenant::new("acme", "acme-key", 16));
+    platform
+        .add_tenant(&Tenant::new("acme", "acme-key", 16))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("acme-data", "imagenet/", 10_000_000_000);
     platform.create_bucket("acme-results");
 

@@ -19,7 +19,9 @@ pub fn boot(seed: u64) -> (Sim, DlaasPlatform) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
     let platform = DlaasPlatform::bootstrapped(&mut sim);
-    platform.add_tenant(&Tenant::new("itest", KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("itest", KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("itest-data", "d/", 2_000_000_000);
     platform.create_bucket("itest-results");
     (sim, platform)

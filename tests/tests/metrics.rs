@@ -79,10 +79,22 @@ fn job_lifecycle_leaves_a_metrics_trail() {
         "400 iters / 100 per ckpt"
     );
     assert_eq!(m.counter_total(metrics::LEARNER_RESTARTS), 0, "quiet run");
+    assert_eq!(
+        m.counter_total(metrics::LEARNER_NFS_WRITE_FAILURES),
+        0,
+        "healthy NFS: no best-effort write may fail"
+    );
 
-    // Infrastructure layers report through the same registry.
+    // Infrastructure layers report through the same registry (all three
+    // mutate through interned handles now; a broken handle would zero
+    // these out).
     assert!(m.counter_total("etcd_proposals_total") > 0);
+    assert!(m.counter_total("etcd_reads_total") > 0);
     assert!(m.counter_total("kube_events_total") > 0);
+    assert!(
+        m.counter_value("kube_events_total", &[("reason", "Scheduled")]) >= 1,
+        "per-reason event series survive the handle cache"
+    );
     let sched = m
         .histogram_merged("kube_scheduling_latency_seconds")
         .expect("scheduling latency populated");

@@ -210,3 +210,44 @@ fn learner_completion_markers_survive_nfs_outage() {
     sim.run_for(platform.handles().config.lcm_scan * 6);
     check_invariants(&sim, &platform).assert_clean();
 }
+
+/// Regression: the learner's NFS bookkeeping writes (status, log,
+/// restart markers) are best-effort by design, but they used to be
+/// `let _ =` — a volume outage left no trace anywhere. They now bump
+/// `dlaas_learner_nfs_write_failures_total`, so the fault matrix can
+/// attribute a stuck job to the shared filesystem.
+#[test]
+fn learner_nfs_write_failures_are_counted_not_swallowed() {
+    let (mut sim, platform) = boot(303);
+    let client = platform.client("itest", KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("nfs-visible", 400));
+
+    let mid = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
+    assert_eq!(mid, Some(JobStatus::Processing), "{job} never started");
+
+    // Take the shared filesystem away mid-training: the learner keeps
+    // iterating, and every failed status/log write must be counted.
+    nfs_outage_window(&mut sim, platform.nfs(), SimDuration::from_secs(30));
+    sim.run_for(SimDuration::from_secs(45));
+    let failures = platform
+        .metrics()
+        .counter_total("dlaas_learner_nfs_write_failures_total");
+    assert!(
+        failures > 0,
+        "NFS outage during training left no metric trail"
+    );
+
+    // Best-effort means exactly that: the job still completes.
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(4),
+    );
+    assert_eq!(end, Some(JobStatus::Completed), "{job} did not recover");
+}

@@ -21,7 +21,9 @@ fn big_platform(seed: u64) -> (Sim, DlaasPlatform) {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("itest", KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("itest", KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("itest-data", "d/", 1_000_000_000);
     platform.create_bucket("itest-results");
     (sim, platform)
@@ -221,7 +223,9 @@ fn mixed_gpu_cluster_routes_jobs_to_matching_nodes() {
     };
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
-    platform.add_tenant(&Tenant::new("itest", KEY, 0));
+    platform
+        .add_tenant(&Tenant::new("itest", KEY, 0))
+        .expect("bootstrap tenant insert");
     platform.seed_dataset("itest-data", "d/", 1_000_000_000);
     platform.create_bucket("itest-results");
     let client = platform.client("mixed", KEY);
