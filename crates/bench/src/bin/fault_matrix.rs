@@ -5,9 +5,15 @@
 //!
 //! Usage:
 //!   cargo run --release -p dlaas-bench --bin fault_matrix [--seeds N] [--base-seed S]
-//!       [--threads T] [--sim-budget-secs B] [--out FILE]
+//!       [--threads T] [--sim-budget-secs B] [--out FILE] [--fault LABEL]
 //!   cargo run --release -p dlaas-bench --bin fault_matrix -- --trial FAULT/POINT --seed S
 //!   cargo run --release -p dlaas-bench --bin fault_matrix -- --soak HOURS [--seeds N] [--seed S]
+//!       [--lcm-replicas M]
+//!
+//! `--fault LABEL` restricts the matrix to one fault kind (the CI
+//! `ha-smoke` job sweeps `lcm_owner_crash` alone on every push);
+//! `--lcm-replicas M` boots each soak with M LCM replicas (the nightly
+//! HA soak runs M=3 so shard takeover happens under chaos).
 //!
 //! Trials shard across `--threads` workers (each in its own `Sim`);
 //! reports and the `--out` artifact are byte-identical for any thread
@@ -15,6 +21,9 @@
 //! complete, the fault never fired, or an invariant was violated
 //! afterwards) **or** any trial was recorded abnormal — `TIMEOUT` past
 //! the per-trial sim budget, or a panic converted into a failure record.
+//! The budget defaults per mode (2h for a matrix cell, chaos horizon +
+//! drain + 1h slack for a soak); `--sim-budget-secs B` overrides it and
+//! `--sim-budget-secs 0` uncaps entirely.
 //! Abnormal records print the exact single-threaded repro command, which
 //! is what `--trial FAULT/POINT --seed S` replays.
 //!
@@ -24,8 +33,8 @@
 
 use dlaas_bench::harness::print_table;
 use dlaas_bench::matrix::{
-    render_matrix_json, run_cell, soak, soak_parallel, sweep_parallel, CellOutcome, FaultKind,
-    InjectionPoint, MatrixCampaign, MATRIX_RECOVERY_SECONDS,
+    render_matrix_json, run_cell, soak_parallel_with, soak_with, sweep_parallel_for, CellOutcome,
+    FaultKind, InjectionPoint, MatrixCampaign, MATRIX_RECOVERY_SECONDS,
 };
 use dlaas_sim::SimDuration;
 
@@ -39,12 +48,31 @@ fn main() {
     let mut base_seed: u64 = 2018;
     let mut soak_hours: Option<u64> = None;
     let mut threads: usize = 1;
-    let mut sim_budget: Option<SimDuration> = Some(MATRIX_BUDGET);
+    // None = not given on the command line; the dispatch below sizes a
+    // default per mode (matrix cells and soaks have very different
+    // healthy sim lengths). `Some(None)` = explicitly uncapped.
+    let mut sim_budget: Option<Option<SimDuration>> = None;
     let mut trial: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut fault: Option<FaultKind> = None;
+    let mut lcm_replicas: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--fault" => {
+                let label = args.next().expect("--fault LABEL");
+                fault = Some(FaultKind::from_label(&label).unwrap_or_else(|| {
+                    let kinds: Vec<_> = FaultKind::all().iter().map(FaultKind::label).collect();
+                    panic!("--fault expects one of {kinds:?}, got {label:?}")
+                }));
+            }
+            "--lcm-replicas" => {
+                lcm_replicas = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--lcm-replicas M"),
+                );
+            }
             "--seeds" => {
                 seeds = Some(args.next().and_then(|s| s.parse().ok()).expect("--seeds N"));
             }
@@ -72,7 +100,9 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--sim-budget-secs B");
-                sim_budget = (secs > 0).then(|| SimDuration::from_secs(secs));
+                // 0 = uncapped; otherwise an explicit cap overrides the
+                // mode-sized default.
+                sim_budget = Some((secs > 0).then(|| SimDuration::from_secs(secs)));
             }
             "--trial" => {
                 trial = Some(args.next().expect("--trial FAULT/POINT"));
@@ -87,13 +117,27 @@ fn main() {
     if let Some(spec) = trial {
         run_single(base_seed, &spec);
     } else if let Some(hours) = soak_hours {
-        run_soak(base_seed, seeds.unwrap_or(1), hours, threads, sim_budget);
+        // A soak legitimately runs its chaos horizon plus the 4h drain,
+        // so the runaway cap must scale with the horizon (the fixed
+        // matrix-cell budget used to be applied here and flagged every
+        // multi-seed soak as a TIMEOUT).
+        let budget = sim_budget.unwrap_or(Some(SimDuration::from_hours(hours + 5)));
+        run_soak(
+            base_seed,
+            seeds.unwrap_or(1),
+            hours,
+            lcm_replicas,
+            threads,
+            budget,
+        );
     } else {
+        let kinds = fault.map_or_else(|| FaultKind::all().to_vec(), |k| vec![k]);
         run_matrix(
+            &kinds,
             base_seed,
             seeds.unwrap_or(5),
             threads,
-            sim_budget,
+            sim_budget.unwrap_or(Some(MATRIX_BUDGET)),
             out_path.as_deref(),
         );
     }
@@ -146,23 +190,24 @@ fn report_abnormal(records: &[String]) -> bool {
 }
 
 fn run_matrix(
+    kinds: &[FaultKind],
     base_seed: u64,
     seeds: u64,
     threads: usize,
     sim_budget: Option<SimDuration>,
     out_path: Option<&str>,
 ) {
-    let cells = FaultKind::all().len() * InjectionPoint::all().len();
+    let cells = kinds.len() * InjectionPoint::all().len();
     eprintln!(
         "fault matrix: {cells} cells x {seeds} seeds (base seed {base_seed}, {threads} thread(s))…"
     );
-    let campaign = sweep_parallel(base_seed, seeds, threads, sim_budget);
+    let campaign = sweep_parallel_for(kinds, base_seed, seeds, threads, sim_budget);
     let run = &campaign.run;
 
     // One row per (fault, point): pass count and recovery range from the
     // aggregated obs histogram.
     let mut rows = Vec::new();
-    for kind in FaultKind::all() {
+    for &kind in kinds {
         for point in InjectionPoint::all() {
             let of_cell: Vec<&CellOutcome> = run
                 .outcomes
@@ -225,13 +270,20 @@ fn exit_matrix_clean(campaign: &MatrixCampaign) -> bool {
     !abnormal && failures.is_empty()
 }
 
-fn run_soak(seed: u64, seeds: u64, hours: u64, threads: usize, sim_budget: Option<SimDuration>) {
+fn run_soak(
+    seed: u64,
+    seeds: u64,
+    hours: u64,
+    lcm_replicas: Option<u32>,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) {
     if seeds > 1 {
-        run_soak_campaign(seed, seeds, hours, threads, sim_budget);
+        run_soak_campaign(seed, seeds, hours, lcm_replicas, threads, sim_budget);
         return;
     }
     eprintln!("randomized soak: {hours} simulated hours (seed {seed})…");
-    let out = soak(seed, hours);
+    let out = soak_with(seed, hours, lcm_replicas);
     print_table(
         "Chaos soak with continuous invariant checking",
         &["metric", "value"],
@@ -276,6 +328,7 @@ fn run_soak_campaign(
     base_seed: u64,
     seeds: u64,
     hours: u64,
+    lcm_replicas: Option<u32>,
     threads: usize,
     sim_budget: Option<SimDuration>,
 ) {
@@ -283,7 +336,7 @@ fn run_soak_campaign(
         "soak campaign: {seeds} soaks x {hours} simulated hours \
          (base seed {base_seed}, {threads} thread(s))…"
     );
-    let report = soak_parallel(base_seed, seeds, hours, threads, sim_budget);
+    let report = soak_parallel_with(base_seed, seeds, hours, lcm_replicas, threads, sim_budget);
     let rows: Vec<Vec<String>> = report
         .results()
         .map(|s| {

@@ -74,17 +74,22 @@ pub enum FaultKind {
     NfsOutage,
     /// The etcd leader partitioned away from its peers, then healed.
     Partition,
+    /// Crash of the LCM replica that owns the job's shard — the sweep
+    /// "leader" for this job. Its lease must expire and a survivor must
+    /// take the shard over without ever double-driving the job.
+    LcmOwnerCrash,
 }
 
 impl FaultKind {
     /// Every fault kind, in campaign order.
-    pub fn all() -> [FaultKind; 5] {
+    pub fn all() -> [FaultKind; 6] {
         [
             FaultKind::GuardianCrash,
             FaultKind::EtcdLeaderCrash,
             FaultKind::MongoCrash,
             FaultKind::NfsOutage,
             FaultKind::Partition,
+            FaultKind::LcmOwnerCrash,
         ]
     }
 
@@ -96,6 +101,7 @@ impl FaultKind {
             FaultKind::MongoCrash => "mongo_crash",
             FaultKind::NfsOutage => "nfs_outage",
             FaultKind::Partition => "partition",
+            FaultKind::LcmOwnerCrash => "lcm_owner_crash",
         }
     }
 
@@ -124,17 +130,48 @@ impl FaultKind {
                 nfs_outage_window(sim, platform.nfs(), outage());
             }
             FaultKind::Partition => {
+                // Both sides of the split must be listed: a group
+                // partition leaves unlisted addresses unaffected.
                 if let Some(leader) = platform.etcd().leader_id() {
                     partition_window(
                         sim,
                         platform.etcd().raft().net(),
-                        vec![vec![raft_addr(leader)]],
+                        vec![vec![raft_addr(leader)], peer_group(platform, leader)],
                         outage(),
                     );
                 }
             }
+            FaultKind::LcmOwnerCrash => {
+                // Read the shard's owner key off the etcd leader to find
+                // which replica sweeps this job, then kill exactly that
+                // pod. Falls back to replica 0 when the key is not there
+                // yet (shard unclaimed at injection time).
+                let shards = platform.handles().config.lcm_shards;
+                let key = paths::lcm_shard_owner(paths::job_shard(job, shards));
+                let owner = platform
+                    .etcd()
+                    .leader_id()
+                    .and_then(|l| {
+                        platform
+                            .etcd()
+                            .kv_snapshot(l)
+                            .get(&key)
+                            .map(|v| v.value.clone())
+                    })
+                    .unwrap_or_else(|| "dlaas-lcm-0".to_owned());
+                platform.kube().crash_pod(sim, &owner);
+            }
         }
     }
+}
+
+/// The raft addresses of every etcd node except `leader` — the other
+/// side of a leader-isolation partition.
+fn peer_group(platform: &DlaasPlatform, leader: u32) -> Vec<dlaas_net::Addr> {
+    (0..platform.etcd().len() as u32)
+        .filter(|&i| i != leader)
+        .map(raft_addr)
+        .collect()
 }
 
 impl fmt::Display for FaultKind {
@@ -145,6 +182,7 @@ impl fmt::Display for FaultKind {
             FaultKind::MongoCrash => "mongo crash",
             FaultKind::NfsOutage => "NFS outage",
             FaultKind::Partition => "partition",
+            FaultKind::LcmOwnerCrash => "LCM owner crash",
         };
         f.write_str(s)
     }
@@ -421,8 +459,18 @@ pub fn matrix_repro(kind: FaultKind, point: InjectionPoint, seed: u64) -> String
 /// injection point × seed, in that nesting order. Trial ids (positions
 /// in this list) key the deterministic sorted merge.
 pub fn matrix_trials(base_seed: u64, seeds: u64) -> Vec<Trial<MatrixSpec>> {
+    matrix_trials_for(&FaultKind::all(), base_seed, seeds)
+}
+
+/// Like [`matrix_trials`], restricted to the given fault kinds (the
+/// `--fault LABEL` smoke subset CI runs on every push).
+pub fn matrix_trials_for(
+    kinds: &[FaultKind],
+    base_seed: u64,
+    seeds: u64,
+) -> Vec<Trial<MatrixSpec>> {
     let mut trials = Vec::new();
-    for kind in FaultKind::all() {
+    for &kind in kinds {
         for point in InjectionPoint::all() {
             for i in 0..seeds {
                 let seed = base_seed + i;
@@ -475,11 +523,22 @@ pub fn sweep_parallel(
     threads: usize,
     sim_budget: Option<SimDuration>,
 ) -> MatrixCampaign {
+    sweep_parallel_for(&FaultKind::all(), base_seed, seeds, threads, sim_budget)
+}
+
+/// Like [`sweep_parallel`], restricted to the given fault kinds.
+pub fn sweep_parallel_for(
+    kinds: &[FaultKind],
+    base_seed: u64,
+    seeds: u64,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) -> MatrixCampaign {
     let mut runner = CampaignRunner::new("fault_matrix", threads);
     if let Some(b) = sim_budget {
         runner = runner.with_sim_budget(b);
     }
-    let report = runner.run(matrix_trials(base_seed, seeds), |spec, _ctx| {
+    let report = runner.run(matrix_trials_for(kinds, base_seed, seeds), |spec, _ctx| {
         run_cell_timed(spec.seed, spec.kind, spec.point)
     });
 
@@ -605,13 +664,20 @@ impl SoakOutcome {
 /// After `hours` the faults stop, the platform drains, and a final
 /// strict check runs.
 pub fn soak(seed: u64, hours: u64) -> SoakOutcome {
-    soak_inner(seed, hours).0
+    soak_inner(seed, hours, None).0
 }
 
-fn soak_inner(seed: u64, hours: u64) -> (SoakOutcome, SimTime) {
+/// Like [`soak`], with an explicit LCM replica count (the nightly HA
+/// soak runs M=3 so shard takeover happens under chaos, not just in
+/// targeted cells).
+pub fn soak_with(seed: u64, hours: u64, lcm_replicas: Option<u32>) -> SoakOutcome {
+    soak_inner(seed, hours, lcm_replicas).0
+}
+
+fn soak_inner(seed: u64, hours: u64, lcm_replicas: Option<u32>) -> (SoakOutcome, SimTime) {
     let mut sim = Sim::new(seed);
     sim.trace_mut().set_enabled(false);
-    let cfg = PlatformConfig {
+    let mut cfg = PlatformConfig {
         core_nodes: 4,
         gpu_nodes: vec![GpuNodeSpec {
             kind: GpuKind::K80,
@@ -620,6 +686,9 @@ fn soak_inner(seed: u64, hours: u64) -> (SoakOutcome, SimTime) {
         }],
         ..PlatformConfig::default()
     };
+    if let Some(m) = lcm_replicas {
+        cfg.core.lcm_replicas = m;
+    }
     let platform = DlaasPlatform::new(&mut sim, cfg);
     platform.run_until_ready(&mut sim, SimDuration::from_secs(60));
     platform
@@ -668,7 +737,7 @@ fn soak_inner(seed: u64, hours: u64) -> (SoakOutcome, SimTime) {
                     partition_window(
                         sim,
                         p2.etcd().raft().net(),
-                        vec![vec![raft_addr(leader)]],
+                        vec![vec![raft_addr(leader)], peer_group(&p2, leader)],
                         outage(),
                     );
                 }
@@ -760,14 +829,22 @@ impl SoakSummary {
 }
 
 /// The exact command that reruns one soak trial alone, single-threaded.
-pub fn soak_repro(seed: u64, hours: u64) -> String {
-    format!("cargo run --release -p dlaas-bench --bin fault_matrix -- --soak {hours} --seed {seed}")
+pub fn soak_repro(seed: u64, hours: u64, lcm_replicas: Option<u32>) -> String {
+    let replicas = lcm_replicas.map_or(String::new(), |m| format!(" --lcm-replicas {m}"));
+    format!(
+        "cargo run --release -p dlaas-bench --bin fault_matrix -- \
+         --soak {hours} --seed {seed}{replicas}"
+    )
 }
 
 /// Runs one soak and digests it into a `Send` summary plus the simulated
 /// time consumed.
-pub fn soak_summary_timed(seed: u64, hours: u64) -> TrialRun<SoakSummary> {
-    let (out, end) = soak_inner(seed, hours);
+pub fn soak_summary_timed(
+    seed: u64,
+    hours: u64,
+    lcm_replicas: Option<u32>,
+) -> TrialRun<SoakSummary> {
+    let (out, end) = soak_inner(seed, hours, lcm_replicas);
     let pod_restarts = out.metrics.counter_total("kube_pod_restarts_total");
     TrialRun {
         result: SoakSummary {
@@ -795,12 +872,24 @@ pub fn soak_parallel(
     threads: usize,
     sim_budget: Option<SimDuration>,
 ) -> CampaignReport<SoakSummary> {
+    soak_parallel_with(base_seed, seeds, hours, None, threads, sim_budget)
+}
+
+/// Like [`soak_parallel`], with an explicit LCM replica count per soak.
+pub fn soak_parallel_with(
+    base_seed: u64,
+    seeds: u64,
+    hours: u64,
+    lcm_replicas: Option<u32>,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+) -> CampaignReport<SoakSummary> {
     let trials: Vec<Trial<(u64, u64)>> = (0..seeds)
         .map(|i| {
             let seed = base_seed + i;
             Trial {
                 label: format!("soak/{seed}"),
-                repro: soak_repro(seed, hours),
+                repro: soak_repro(seed, hours, lcm_replicas),
                 spec: (seed, hours),
             }
         })
@@ -809,8 +898,8 @@ pub fn soak_parallel(
     if let Some(b) = sim_budget {
         runner = runner.with_sim_budget(b);
     }
-    runner.run(trials, |&(seed, hours), _ctx| {
-        soak_summary_timed(seed, hours)
+    runner.run(trials, move |&(seed, hours), _ctx| {
+        soak_summary_timed(seed, hours, lcm_replicas)
     })
 }
 
@@ -823,6 +912,12 @@ mod tests {
         let out = run_cell(11, FaultKind::GuardianCrash, InjectionPoint::CreateHelper);
         assert!(out.passed(), "{}: {:?}", out.describe(), out.violations);
         assert!(out.recovery.is_some());
+    }
+
+    #[test]
+    fn lcm_owner_crash_mid_deploy_still_completes() {
+        let out = run_cell(13, FaultKind::LcmOwnerCrash, InjectionPoint::CreateLearners);
+        assert!(out.passed(), "{}: {:?}", out.describe(), out.violations);
     }
 
     #[test]

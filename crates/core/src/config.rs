@@ -3,13 +3,25 @@
 use dlaas_sim::SimDuration;
 
 /// Tunables of the DLaaS control plane (defaults match the deployment the
-/// paper evaluates: 2 API replicas, 1 LCM, 3-way etcd, journaled Mongo).
+/// paper evaluates: 2 API replicas, replicated LCM with lease-sharded
+/// job ownership, 3-way etcd, journaled Mongo).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// API service replicas behind the K8s service.
     pub api_replicas: u32,
-    /// LCM replicas.
+    /// LCM replicas. With more than one, the job space is partitioned
+    /// into [`CoreConfig::lcm_shards`] shards and each replica sweeps
+    /// only the shards it owns via an etcd lease + CAS owner key.
     pub lcm_replicas: u32,
+    /// Number of job-space shards the LCM replicas partition between
+    /// themselves (job id hash modulo this).
+    pub lcm_shards: u32,
+    /// TTL of each LCM replica's etcd lease. A replica that cannot
+    /// refresh within this window loses its shards to the survivors.
+    pub lcm_lease_ttl: SimDuration,
+    /// How often each replica refreshes its lease (must leave several
+    /// attempts per TTL, so `< lcm_lease_ttl / 2`).
+    pub lcm_lease_keepalive: SimDuration,
     /// Guardian deployment attempts before the job is marked FAILED
     /// ("a (configurable) number of times before the Guardian gives up",
     /// §III-d).
@@ -59,7 +71,10 @@ impl Default for CoreConfig {
     fn default() -> Self {
         CoreConfig {
             api_replicas: 2,
-            lcm_replicas: 1,
+            lcm_replicas: 2,
+            lcm_shards: 8,
+            lcm_lease_ttl: SimDuration::from_secs(10),
+            lcm_lease_keepalive: SimDuration::from_secs(3),
             deploy_max_attempts: 3,
             guardian_backoff_limit: 8,
             learner_max_failures: 5,
@@ -100,6 +115,12 @@ impl CoreConfig {
         }
         if !(0.0..0.5).contains(&self.throughput_jitter) {
             return Err("throughput_jitter must be in [0, 0.5)".into());
+        }
+        if self.lcm_shards == 0 {
+            return Err("lcm_shards must be positive".into());
+        }
+        if self.lcm_lease_keepalive * 2 >= self.lcm_lease_ttl {
+            return Err("lcm_lease_keepalive must be under half of lcm_lease_ttl".into());
         }
         if self.pending_redeploy_after <= self.lcm_scan {
             return Err("pending_redeploy_after must exceed lcm_scan".into());
@@ -151,5 +172,17 @@ mod tests {
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = CoreConfig {
+            lcm_shards: 0,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = CoreConfig {
+            lcm_lease_keepalive: SimDuration::from_secs(6),
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err(), "keepalive must be < ttl/2");
     }
 }

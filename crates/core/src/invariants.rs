@@ -18,6 +18,13 @@
 //! 4. **No leaks** — once a job has been terminal for longer than the GC
 //!    grace period, no pods, NFS volume, network policies or etcd keys of
 //!    that job remain ("garbage collection of the job", §III-c).
+//! 5. **At-most-one-owner** — with the LCM replicated, no job-space
+//!    shard is ever swept by two live replicas (double drive), and no
+//!    shard stays unowned longer than the lease TTL plus a takeover
+//!    bound while any replica is alive to adopt it (orphaned shard).
+//!    Read from the [`crate::ownership::ShardTracker`] ledger the
+//!    replicas report into; violations carry a synthetic `shard-N` job
+//!    id since they concern the partition, not one job.
 //!
 //! [`check_all`] evaluates every invariant against the current state of a
 //! [`DlaasPlatform`]; [`InvariantMonitor`] re-checks periodically inside
@@ -71,7 +78,8 @@ pub struct InvariantViolation {
     pub job: JobId,
     /// Stable short name of the invariant (`terminal-bound`,
     /// `history-monotone`, `attempts-bound`, `leak-pods`, `leak-volume`,
-    /// `leak-netpol`, `leak-etcd`).
+    /// `leak-netpol`, `leak-etcd`, `shard-single-owner`,
+    /// `shard-orphaned`).
     pub invariant: &'static str,
     /// Human-readable description of the observed state.
     pub detail: String,
@@ -212,10 +220,48 @@ pub fn check_with(
         }
     }
 
+    // 5. At-most-one-owner over the LCM shard space.
+    check_shards(sim, platform, &mut violations);
+
     InvariantReport {
         checked_at: now,
         jobs_checked: docs.len(),
         violations,
+    }
+}
+
+/// 5. At-most-one-owner: every recorded ownership conflict is a
+///    violation, and — while at least one LCM pod exists to adopt them —
+///    so is any shard unowned past the lease TTL plus two scan periods
+///    (expiry latency + watch/reconcile takeover).
+fn check_shards(sim: &Sim, platform: &DlaasPlatform, out: &mut Vec<InvariantViolation>) {
+    let tracker = platform.shard_tracker();
+    let cfg = &platform.handles().config;
+    let lcm_alive = !platform
+        .kube()
+        .pods_matching(&labels! {"app" => "lcm"})
+        .is_empty();
+    if !lcm_alive {
+        // A full LCM outage is downtime, not takeover latency: restart
+        // the orphan clock so recovery is measured from here.
+        tracker.note_no_live_replica(sim);
+    }
+    for c in tracker.conflicts() {
+        out.push(InvariantViolation {
+            job: JobId::new(format!("shard-{}", c.shard)),
+            invariant: "shard-single-owner",
+            detail: format!("{} (at {:?})", c.detail, c.at),
+        });
+    }
+    if lcm_alive {
+        let bound = cfg.lcm_lease_ttl + cfg.lcm_scan * 2;
+        for (shard, waited) in tracker.orphaned(sim.now(), bound) {
+            out.push(InvariantViolation {
+                job: JobId::new(format!("shard-{shard}")),
+                invariant: "shard-orphaned",
+                detail: format!("unowned for {waited} (bound {bound})"),
+            });
+        }
     }
 }
 

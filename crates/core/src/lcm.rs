@@ -22,12 +22,40 @@
 //! ever submitted. The watchlists are a cache, not state: an LCM restart
 //! begins at watermark 0, which replays the full feed and rebuilds them,
 //! preserving the statelessness the paper's recovery story relies on.
+//!
+//! # Replicated LCM: lease-sharded job ownership
+//!
+//! With more than one replica, every replica ingests the full change feed
+//! (the watchlists are cheap), but *sweeps* only the jobs whose id hashes
+//! into a shard it owns ([`paths::job_shard`]). Ownership is arbitrated
+//! through etcd: each replica holds a lease
+//! ([`crate::config::CoreConfig::lcm_lease_ttl`]) and CAS-acquires
+//! absent [`paths::lcm_shard_owner`] keys with that lease attached. When
+//! a replica dies, its lease expires, etcd deletes its owner keys, and
+//! the survivors race ordinary delete watch events (plus a periodic
+//! reconcile backstop) to adopt the orphaned shards — CAS picks exactly
+//! one winner per shard.
+//!
+//! Two defects this design exists to prevent, each with a regression
+//! test in `tests/tests/recovery_bugs.rs`:
+//!
+//! * **Double drive** — a replica that cannot refresh its lease keeps
+//!   sweeping while a survivor adopts its shards. Prevented by a local
+//!   *fence*: the deadline is stamped from the **send** time of the
+//!   grant/keepalive that established it, so it is always ≤ the deadline
+//!   the server holds; sweeping stops at the fence, strictly before the
+//!   server can delete the owner keys and let anyone else in.
+//! * **Orphaned shard** — listing the owner keys *before* watching the
+//!   prefix misses a deletion between the two, leaving a shard unswept
+//!   until some unrelated event. Prevented by registering the watch
+//!   first and treating the initial listing as the first reconcile.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use dlaas_docstore::Value;
+use dlaas_etcd::{EtcdClient, KvEvent, LeaseId};
 use dlaas_kube::{
     labels, pod_addr, Cleanup, ContainerSpec, ImageRef, JobStatus as KubeJobStatus, PodSpec,
     ProcessCtx, Resources,
@@ -73,6 +101,50 @@ pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
         }
     });
 
+    // Shard-ownership machinery. The watch is registered BEFORE the
+    // first listing (inside the post-grant reconcile): list-then-watch
+    // would miss an owner-key deletion between the two and orphan the
+    // shard until the next unrelated event.
+    let rep = Rc::new(Replica {
+        h: h.clone(),
+        etcdc: h.etcd_client(&ctx.pod),
+        pod: ctx.pod.clone(),
+        alive: ctx.alive_flag(),
+        own: RefCell::new(Ownership {
+            lease: None,
+            fence: SimTime::ZERO,
+            granting: false,
+            owned: BTreeSet::new(),
+        }),
+    });
+    let rep_watch = rep.clone();
+    rep.etcdc
+        // dlaas-lint: allow(resource-leak): the watch lives exactly as long as the replica — the pod cleanup closure below closes the per-incarnation etcd client, which cancels every watch registered on it
+        .watch_prefix(sim, paths::LCM_SHARDS_PREFIX, move |sim, ev| {
+            if !rep_watch.alive.get() {
+                return;
+            }
+            if let KvEvent::Delete { key, .. } = ev {
+                if let Some(shard) = key
+                    .strip_prefix(paths::LCM_SHARDS_PREFIX)
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
+                    // An owner key vanished: its holder's lease expired.
+                    // Every survivor races for it; the CAS picks one.
+                    try_acquire(sim, &rep_watch, shard, "watch");
+                }
+            }
+        });
+    ensure_lease(sim, &rep);
+    let rep_ka = rep.clone();
+    let ka_timer = dlaas_sim::every(sim, h.config.lcm_lease_keepalive, move |sim, _n| {
+        if !rep_ka.alive.get() {
+            return false;
+        }
+        keepalive_tick(sim, &rep_ka);
+        true
+    });
+
     // The background scan. The watchlist cache dies with this
     // incarnation; a successor starts at watermark 0 and rebuilds it
     // from the full change feed.
@@ -81,19 +153,327 @@ pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
     let meta3 = meta.clone();
     let alive = ctx.alive_flag();
     let state = Rc::new(RefCell::new(ScanState::default()));
+    let rep_scan = rep.clone();
     let timer = dlaas_sim::every(sim, scan_period, move |sim, _n| {
         if !alive.get() {
             return false;
         }
-        scan(sim, &h3, &meta3, &state);
+        reconcile(sim, &rep_scan);
+        scan(sim, &h3, &meta3, &state, &rep_scan);
         true
     });
 
     let rpc = h.rpc.clone();
-    Box::new(move |_sim| {
+    Box::new(move |sim| {
         timer.cancel();
+        ka_timer.cancel();
+        // Stand down in the ledger so a successor's sweeps are not
+        // charged as conflicts with this incarnation. The lease itself
+        // is deliberately NOT revoked — a real crash could not have, and
+        // expiry-driven takeover is the recovery path under test.
+        rep.h.shard_tracker.release_all(sim, &rep.pod);
+        rep.own.borrow_mut().owned.clear();
+        // Close the per-incarnation client so a restarted pod of the
+        // same name can register its own watch endpoint.
+        rep.etcdc.close(sim);
         rpc.stop_serving(&addr);
     })
+}
+
+/// A replica's local view of its lease and shard ownership. Everything
+/// here is conservative cache: etcd's replicated lease + owner keys are
+/// the source of truth, and the fence guarantees this view never claims
+/// more than the server would grant.
+struct Ownership {
+    lease: Option<LeaseId>,
+    /// Conservative local expiry: stamped from the **send** time of the
+    /// grant/keepalive that established it, so it is always ≤ the
+    /// deadline the server holds (the server stamps at apply time, which
+    /// is later). Sweeping stops at the fence — strictly before the
+    /// server could delete this replica's owner keys.
+    fence: SimTime,
+    /// A grant RPC is in flight (avoid stacking retries).
+    granting: bool,
+    /// Shards this incarnation acquired under `lease`.
+    owned: BTreeSet<u32>,
+}
+
+/// Per-incarnation shard-ownership context shared by the watch handler,
+/// the keepalive timer and the scan timer.
+struct Replica {
+    h: Handles,
+    etcdc: EtcdClient,
+    pod: String,
+    alive: Rc<Cell<bool>>,
+    own: RefCell<Ownership>,
+}
+
+/// `true` while the replica holds a lease whose local fence has not
+/// lapsed — the precondition for acquiring shards and for sweeping.
+fn lease_valid(rep: &Replica, now: SimTime) -> bool {
+    let o = rep.own.borrow();
+    o.lease.is_some() && now < o.fence
+}
+
+/// `true` when this replica may sweep `job`: its shard is owned and the
+/// lease fence is still ahead.
+fn owns_job(rep: &Replica, now: SimTime, job: &JobId) -> bool {
+    lease_valid(rep, now)
+        && rep
+            .own
+            .borrow()
+            .owned
+            .contains(&paths::job_shard(job, rep.h.config.lcm_shards))
+}
+
+/// Grants a fresh lease if none is held and no grant is in flight. On
+/// success the fence starts at send-time + TTL and a reconcile pass
+/// races for unowned shards.
+fn ensure_lease(sim: &mut Sim, rep: &Rc<Replica>) {
+    {
+        let mut o = rep.own.borrow_mut();
+        if o.lease.is_some() || o.granting {
+            return;
+        }
+        o.granting = true;
+    }
+    let sent = sim.now();
+    let ttl = rep.h.config.lcm_lease_ttl;
+    let rep2 = rep.clone();
+    // dlaas-lint: allow(resource-leak): the lease IS the liveness signal — releasing it client-side on a fence lapse is impossible by construction (etcd was unreachable), so server-side expiry is the designed release path; the pod cleanup closes the client
+    rep.etcdc.lease_grant(sim, ttl, move |sim, r| {
+        rep2.own.borrow_mut().granting = false;
+        if !rep2.alive.get() {
+            return;
+        }
+        // On Err (etcd unreachable) there is nothing to do: without a
+        // lease the replica owns nothing and sweeps nothing, and the
+        // keepalive timer re-enters ensure_lease every tick — the retry
+        // IS the handling.
+        if let Ok(id) = r {
+            {
+                let mut o = rep2.own.borrow_mut();
+                o.lease = Some(id);
+                o.fence = sent + ttl;
+            }
+            sim.record("lcm", format!("{} holds lease {id}", rep2.pod));
+            arm_fence(sim, &rep2);
+            reconcile(sim, &rep2);
+        }
+    });
+}
+
+/// One keepalive-timer tick: refresh the lease, or stand down and
+/// re-grant when it cannot be confirmed alive.
+fn keepalive_tick(sim: &mut Sim, rep: &Rc<Replica>) {
+    let Some(id) = rep.own.borrow().lease else {
+        ensure_lease(sim, rep);
+        return;
+    };
+    if !lease_valid(rep, sim.now()) {
+        // The fence lapsed without a confirmed refresh: ownership is
+        // forfeit NOW, before the server's (later) deadline can fire and
+        // let another replica in — this ordering is what makes double
+        // drive impossible.
+        drop_ownership(sim, rep, "fence");
+        ensure_lease(sim, rep);
+        return;
+    }
+    let sent = sim.now();
+    let ttl = rep.h.config.lcm_lease_ttl;
+    let rep2 = rep.clone();
+    rep.etcdc.lease_keepalive(sim, id, move |sim, r| {
+        if !rep2.alive.get() {
+            return;
+        }
+        match r {
+            Ok(true) => {
+                let extended = {
+                    let mut o = rep2.own.borrow_mut();
+                    // Extend only if this is still the lease we live on.
+                    if o.lease == Some(id) {
+                        o.fence = o.fence.max(sent + ttl);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if extended {
+                    arm_fence(sim, &rep2);
+                }
+            }
+            Ok(false) => {
+                // The server no longer knows the lease: it expired and
+                // the owner keys are gone (or going). Stand down and
+                // start over with a fresh lease.
+                sim.metrics().inc(
+                    crate::metrics::LCM_LEASE_KEEPALIVE_FAILURES,
+                    &[("reason", "expired")],
+                );
+                if rep2.own.borrow().lease == Some(id) {
+                    drop_ownership(sim, &rep2, "expired");
+                    ensure_lease(sim, &rep2);
+                }
+            }
+            Err(_) => {
+                // etcd unreachable: keep the current fence. If refreshes
+                // keep failing, the fence lapses and the next tick
+                // stands down.
+                sim.metrics().inc(
+                    crate::metrics::LCM_LEASE_KEEPALIVE_FAILURES,
+                    &[("reason", "unreachable")],
+                );
+            }
+        }
+    });
+}
+
+/// Schedules a watchdog at the current fence: if the fence has not
+/// moved by then, ownership is forfeit at that exact instant rather
+/// than at the next keepalive tick up to a whole period later. The
+/// ledger must show the release no later than the server's deadline
+/// (which is ≥ the fence) so a survivor's claim never overlaps ours.
+/// A watchdog made stale by a later extension wakes, finds the fence
+/// ahead of it, and does nothing.
+fn arm_fence(sim: &mut Sim, rep: &Rc<Replica>) {
+    let fence = rep.own.borrow().fence;
+    let rep2 = rep.clone();
+    sim.schedule_at(fence, move |sim| {
+        if !rep2.alive.get() {
+            return;
+        }
+        let lapsed = {
+            let o = rep2.own.borrow();
+            o.lease.is_some() && sim.now() >= o.fence
+        };
+        if lapsed {
+            drop_ownership(sim, &rep2, "fence");
+            ensure_lease(sim, &rep2);
+        }
+    });
+}
+
+/// Releases every shard and forgets the lease, updating the ledger and
+/// metrics. Called from the fence/expiry paths only — the CAS'd owner
+/// keys are left to die with the lease.
+fn drop_ownership(sim: &mut Sim, rep: &Rc<Replica>, reason: &'static str) {
+    let dropped = {
+        let mut o = rep.own.borrow_mut();
+        o.lease = None;
+        std::mem::take(&mut o.owned)
+    };
+    rep.h.shard_tracker.release_all(sim, &rep.pod);
+    if !dropped.is_empty() {
+        sim.record(
+            "lcm",
+            format!(
+                "{} lost its lease ({reason}); released shards {dropped:?}",
+                rep.pod
+            ),
+        );
+    }
+    for _ in &dropped {
+        sim.metrics()
+            .inc(crate::metrics::LCM_SHARD_LOSSES, &[("reason", reason)]);
+    }
+}
+
+/// Races a CAS (expect-absent, value = pod, attached to our lease) for
+/// one shard's owner key. Losing is normal — someone else won, or etcd
+/// is down — and the reconcile backstop retries.
+fn try_acquire(sim: &mut Sim, rep: &Rc<Replica>, shard: u32, trigger: &'static str) {
+    if shard >= rep.h.config.lcm_shards || rep.own.borrow().owned.contains(&shard) {
+        return;
+    }
+    if !lease_valid(rep, sim.now()) {
+        return;
+    }
+    let Some(lease) = rep.own.borrow().lease else {
+        return;
+    };
+    let rep2 = rep.clone();
+    rep.etcdc.cas_with_lease(
+        sim,
+        paths::lcm_shard_owner(shard),
+        None,
+        Some(rep.pod.clone()),
+        Some(lease),
+        move |sim, r| {
+            if !rep2.alive.get() || !matches!(r, Ok(true)) {
+                return;
+            }
+            let claimed = {
+                let mut o = rep2.own.borrow_mut();
+                // The CAS won under `lease`; adopt the shard only if that
+                // lease is still the one we live on and the fence holds.
+                // A stale win's key simply dies with the old lease.
+                o.lease == Some(lease) && sim.now() < o.fence && o.owned.insert(shard)
+            };
+            if claimed {
+                rep2.h.shard_tracker.claim(sim, shard, &rep2.pod);
+                sim.record(
+                    "lcm",
+                    format!("{} acquired shard {shard} ({trigger})", rep2.pod),
+                );
+                sim.metrics().inc(
+                    crate::metrics::LCM_SHARD_ACQUISITIONS,
+                    &[("trigger", trigger)],
+                );
+            }
+        },
+    );
+}
+
+/// Periodic backstop: lists the owner keys and races for any unowned
+/// shard. Also the *initial* acquisition pass (the watch is registered
+/// before the first call, so nothing can slip between list and watch).
+fn reconcile(sim: &mut Sim, rep: &Rc<Replica>) {
+    if !lease_valid(rep, sim.now()) {
+        return;
+    }
+    let rep2 = rep.clone();
+    rep.etcdc
+        .get_prefix(sim, paths::LCM_SHARDS_PREFIX, move |sim, r| {
+            if !rep2.alive.get() {
+                return;
+            }
+            // etcd unreachable: reconcile is itself the retry loop — it
+            // re-runs every scan tick, so a missed pass only delays
+            // shard acquisition by one period.
+            let Ok(pairs) = r else {
+                return;
+            };
+            let listed: BTreeMap<String, String> = pairs.into_iter().collect();
+            for shard in 0..rep2.h.config.lcm_shards {
+                let key = paths::lcm_shard_owner(shard);
+                let owned = rep2.own.borrow().owned.contains(&shard);
+                match listed.get(&key) {
+                    None if !owned => try_acquire(sim, &rep2, shard, "reconcile"),
+                    // Owned but absent from the listing: while our fence
+                    // holds, our lease cannot have been revoked (the
+                    // guarded revoke fires only past the server deadline,
+                    // which is ≥ the fence) and nothing else deletes
+                    // owner keys — so the listing is just stale against
+                    // an acquisition that landed after its snapshot.
+                    None => {}
+                    Some(v) if owned && *v != rep2.pod => {
+                        // Cannot happen while the fence holds (same
+                        // argument as above); defensive backstop so an
+                        // unforeseen displacement degrades to a released
+                        // shard, never a double drive.
+                        rep2.own.borrow_mut().owned.remove(&shard);
+                        rep2.h.shard_tracker.release(sim, shard, &rep2.pod);
+                        sim.metrics()
+                            .inc(crate::metrics::LCM_SHARD_LOSSES, &[("reason", "displaced")]);
+                    }
+                    // Held by someone else — or by a previous incarnation
+                    // of this very pod (same value, but not in `owned`):
+                    // that key is attached to the dead incarnation's
+                    // lease and will expire; never adopt it.
+                    Some(_) => {}
+                }
+            }
+        });
 }
 
 /// Creates the Guardian K8s Job for `job` if it does not already exist
@@ -237,11 +617,18 @@ fn ingest(sim: &mut Sim, st: &mut ScanState, doc: &Value) {
     }
 }
 
-fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanState>>) {
+fn scan(
+    sim: &mut Sim,
+    h: &Handles,
+    meta: &MetaClient,
+    state: &Rc<RefCell<ScanState>>,
+    rep: &Rc<Replica>,
+) {
     let since = state.borrow().watermark;
     let h2 = h.clone();
     let meta2 = meta.clone();
     let state2 = state.clone();
+    let rep2 = rep.clone();
     meta.find_changed(sim, JOBS, since, move |sim, r| {
         // Store unreachable: keep the old watermark and retry next tick.
         let Ok((docs, gone, high_water)) = r else {
@@ -260,13 +647,30 @@ fn scan(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanSt
                 st.terminal_gc.remove(&job);
             }
         }
-        sweep(sim, &h2, &meta2, &state2);
+        sweep(sim, &h2, &meta2, &state2, &rep2);
     });
 }
 
+/// Records a sweep drive against `job` in the ownership ledger right
+/// before acting on it — the probe the at-most-one-owner invariant sees.
+fn note_sweep(sim: &Sim, rep: &Replica, job: &JobId) {
+    let shard = paths::job_shard(job, rep.h.config.lcm_shards);
+    rep.h
+        .shard_tracker
+        .note_sweep(sim, shard, job.as_str(), &rep.pod);
+}
+
 /// Walks the watchlists (not the whole collection) and applies the three
-/// self-healing rules.
-fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanState>>) {
+/// self-healing rules — to owned shards only. Every replica ingests the
+/// full feed, but a job is swept exclusively by the current owner of its
+/// shard; each drive is reported to the ownership ledger first.
+fn sweep(
+    sim: &mut Sim,
+    h: &Handles,
+    meta: &MetaClient,
+    state: &Rc<RefCell<ScanState>>,
+    rep: &Rc<Replica>,
+) {
     // 1. Re-deploy PENDING jobs that have sat too long without a Guardian.
     let redeploy_after = h.config.pending_redeploy_after;
     let pending: Vec<(JobId, SimTime)> = state
@@ -276,8 +680,12 @@ fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanS
         .map(|(j, t)| (j.clone(), *t))
         .collect();
     for (job, submitted) in pending {
+        if !owns_job(rep, sim.now(), &job) {
+            continue;
+        }
         let age = sim.now().saturating_duration_since(submitted);
         if age >= redeploy_after && h.kube.job_status(&paths::guardian_job(&job)).is_none() {
+            note_sweep(sim, rep, &job);
             sim.record("lcm", format!("scan: re-deploying stranded job {job}"));
             sim.metrics().inc(crate::metrics::LCM_SCAN_REDEPLOYS, &[]);
             ensure_guardian(sim, h, &job);
@@ -293,6 +701,9 @@ fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanS
     {
         let st = state.borrow();
         for job in &st.active {
+            if !owns_job(rep, sim.now(), job) {
+                continue;
+            }
             let guardian_gave_up =
                 h.kube.job_status(&paths::guardian_job(job)) == Some(KubeJobStatus::Failed);
             let deploy_stuck = st
@@ -310,6 +721,7 @@ fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanS
         } else {
             "deploy timeout (resources unschedulable?)"
         };
+        note_sweep(sim, rep, &job);
         sim.record("lcm", format!("scan: failing {job}: {reason}"));
         let reason_label = if guardian_gave_up {
             "guardian_gave_up"
@@ -343,23 +755,29 @@ fn sweep(sim: &mut Sim, h: &Handles, meta: &MetaClient, state: &Rc<RefCell<ScanS
     //    looks at those keys again).
     let terminal: Vec<JobId> = state.borrow().terminal_gc.iter().cloned().collect();
     for job in terminal {
+        if !owns_job(rep, sim.now(), &job) {
+            continue;
+        }
         let has_pods = !h
             .kube
             .pods_matching(&labels! {"job" => job.as_str()})
             .is_empty();
         let has_volume = h.nfs.find_volume(&paths::volume(&job)).is_some();
         if has_pods || has_volume {
+            note_sweep(sim, rep, &job);
             sim.record("lcm", format!("scan: GC leftovers of terminal job {job}"));
             sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
             teardown_job(sim, h, &job, true);
         } else {
             let h6 = h.clone();
             let state3 = state.clone();
+            let rep3 = rep.clone();
             let prefix = paths::etcd_job_prefix(&job);
             let prefix2 = prefix.clone();
             h.etcd_gc.get_prefix(sim, prefix, move |sim, r| {
                 match r {
                     Ok(pairs) if !pairs.is_empty() => {
+                        note_sweep(sim, &rep3, &job);
                         sim.record("lcm", format!("scan: GC etcd keys of {job}"));
                         sim.metrics().inc(crate::metrics::LCM_SCAN_GC, &[]);
                         h6.etcd_gc.delete_prefix(sim, prefix2, |_sim, _r| {});

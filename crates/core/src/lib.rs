@@ -64,6 +64,7 @@ mod learner;
 mod manifest;
 pub mod metrics;
 mod mongo;
+pub mod ownership;
 pub mod paths;
 mod platform;
 mod proto;
@@ -79,6 +80,7 @@ pub use invariants::{
 pub use job::{JobId, JobStatus, LearnerPhase, ParseStatusError};
 pub use manifest::{ManifestError, TrainingManifest, TrainingManifestBuilder};
 pub use mongo::{MetaClient, MetaError, JOBS, TENANTS};
+pub use ownership::{OwnershipConflict, ShardTracker};
 pub use platform::{DlaasPlatform, GpuNodeSpec, PlatformConfig};
 pub use proto::{CoreRequest, CoreResponse, CoreRpc, JobInfo};
 pub use tenant::Tenant;

@@ -32,6 +32,17 @@ pub const LCM_SCAN_GC: &str = "dlaas_lcm_scan_gc_total";
 /// Job documents the LCM skipped as malformed (e.g. negative timestamps),
 /// by field. Platform-written fields, so nonzero means store corruption.
 pub const LCM_MALFORMED_RECORDS: &str = "dlaas_lcm_malformed_records_total";
+/// Job-space shards an LCM replica won via CAS, by trigger (`watch` for
+/// expiry-driven takeover, `reconcile` for the periodic backstop).
+pub const LCM_SHARD_ACQUISITIONS: &str = "dlaas_lcm_shard_acquisitions_total";
+/// Job-space shards an LCM replica stood down from, by reason (`fence`
+/// when the local lease deadline lapsed unconfirmed, `expired` when the
+/// server reported the lease dead, `displaced` for the defensive
+/// someone-else-holds-my-key backstop).
+pub const LCM_SHARD_LOSSES: &str = "dlaas_lcm_shard_losses_total";
+/// LCM lease keepalives that did not extend the lease, by reason
+/// (`expired`, `unreachable`).
+pub const LCM_LEASE_KEEPALIVE_FAILURES: &str = "dlaas_lcm_lease_keepalive_failures_total";
 
 /// Deployment attempts started by Guardians (first try and retries).
 pub const GUARDIAN_DEPLOY_ATTEMPTS: &str = "dlaas_guardian_deploy_attempts_total";
@@ -113,6 +124,12 @@ pub fn register(registry: &Registry) {
     c(
         LCM_MALFORMED_RECORDS,
         "malformed job documents skipped by the LCM, by field",
+    );
+    c(LCM_SHARD_ACQUISITIONS, "LCM shards won via CAS, by trigger");
+    c(LCM_SHARD_LOSSES, "LCM shards stood down from, by reason");
+    c(
+        LCM_LEASE_KEEPALIVE_FAILURES,
+        "LCM lease keepalives that failed, by reason",
     );
     c(
         GUARDIAN_DEPLOY_ATTEMPTS,

@@ -1,0 +1,254 @@
+//! Shard-ownership tracker: the observability half of LCM sharding.
+//!
+//! Every LCM replica reports its shard claims, releases and sweep
+//! actions here; the invariant checker reads the ledger to enforce the
+//! **at-most-one-owner** contract — no shard claimed by two live
+//! replicas, no job swept by anyone but the shard's sole claimant, and
+//! no shard left unowned longer than the lease TTL plus the takeover
+//! bound while a replica is alive to adopt it.
+//!
+//! The tracker is deliberately *not* consulted by the replicas for
+//! decisions (etcd's lease + CAS owner key is the source of truth);
+//! it only mirrors what each replica believes, which is exactly what
+//! makes overlapping beliefs — the double-drive bug — observable.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use dlaas_sim::{Sim, SimDuration, SimTime};
+
+/// One recorded violation of the at-most-one-owner contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipConflict {
+    /// The contested shard.
+    pub shard: u32,
+    /// What went wrong, with the parties named.
+    pub detail: String,
+    /// When it was observed.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: u32,
+    /// shard → replicas currently claiming it (post-fix: at most one).
+    claimants: BTreeMap<u32, BTreeSet<String>>,
+    /// shard → when its claimant set last became empty.
+    unowned_since: BTreeMap<u32, SimTime>,
+    /// Every conflict ever observed (never cleared; checkers dedup).
+    conflicts: Vec<OwnershipConflict>,
+    /// Last time the invariant checker saw no live LCM replica; the
+    /// orphan clock restarts from here so a full control-plane outage
+    /// is not blamed on the takeover protocol.
+    no_replica_seen: SimTime,
+}
+
+/// Shared handle to the ownership ledger (cloning shares state).
+#[derive(Debug, Clone)]
+pub struct ShardTracker {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl ShardTracker {
+    /// A ledger for `shards` shards, all initially unowned at time zero.
+    pub fn new(shards: u32) -> Self {
+        let unowned_since = (0..shards).map(|s| (s, SimTime::ZERO)).collect();
+        ShardTracker {
+            inner: Rc::new(RefCell::new(Inner {
+                shards,
+                claimants: BTreeMap::new(),
+                unowned_since,
+                conflicts: Vec::new(),
+                no_replica_seen: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> u32 {
+        self.inner.borrow().shards
+    }
+
+    /// Replica `who` believes it now owns `shard`.
+    pub fn claim(&self, sim: &Sim, shard: u32, who: &str) {
+        let mut i = self.inner.borrow_mut();
+        let set = i.claimants.entry(shard).or_default();
+        if !set.is_empty() && !set.contains(who) {
+            let holders: Vec<String> = set.iter().cloned().collect();
+            let detail = format!(
+                "shard {shard} claimed by {who} while still held by {}",
+                holders.join(", ")
+            );
+            i.conflicts.push(OwnershipConflict {
+                shard,
+                detail,
+                at: sim.now(),
+            });
+            i.claimants.entry(shard).or_default().insert(who.to_owned());
+        } else {
+            set.insert(who.to_owned());
+        }
+        i.unowned_since.remove(&shard);
+    }
+
+    /// Replica `who` no longer claims `shard`.
+    pub fn release(&self, sim: &Sim, shard: u32, who: &str) {
+        let mut i = self.inner.borrow_mut();
+        if let Some(set) = i.claimants.get_mut(&shard) {
+            set.remove(who);
+            if set.is_empty() {
+                i.claimants.remove(&shard);
+                i.unowned_since.insert(shard, sim.now());
+            }
+        }
+    }
+
+    /// Replica `who` drops every claim it holds (crash cleanup, lease
+    /// loss). Returns the shards released.
+    pub fn release_all(&self, sim: &Sim, who: &str) -> Vec<u32> {
+        let held: Vec<u32> = {
+            let i = self.inner.borrow();
+            i.claimants
+                .iter()
+                .filter(|(_, set)| set.contains(who))
+                .map(|(s, _)| *s)
+                .collect()
+        };
+        for s in &held {
+            self.release(sim, *s, who);
+        }
+        held
+    }
+
+    /// Replica `who` is about to drive a sweep action against `job` in
+    /// `shard`. Records a conflict if `who` is not the shard's sole
+    /// live claimant — the direct signature of a double-driven job.
+    pub fn note_sweep(&self, sim: &Sim, shard: u32, job: &str, who: &str) {
+        let mut i = self.inner.borrow_mut();
+        let set = i.claimants.get(&shard).cloned().unwrap_or_default();
+        let others: Vec<String> = set.iter().filter(|c| c.as_str() != who).cloned().collect();
+        let detail = if !set.contains(who) {
+            format!("{who} swept job {job} in shard {shard} without claiming it")
+        } else if !others.is_empty() {
+            format!(
+                "job {job} in shard {shard} swept by {who} while {} also claims it",
+                others.join(", ")
+            )
+        } else {
+            return;
+        };
+        i.conflicts.push(OwnershipConflict {
+            shard,
+            detail,
+            at: sim.now(),
+        });
+    }
+
+    /// Current claimants of `shard`, in name order.
+    pub fn owners(&self, shard: u32) -> Vec<String> {
+        self.inner
+            .borrow()
+            .claimants
+            .get(&shard)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Every conflict observed so far.
+    pub fn conflicts(&self) -> Vec<OwnershipConflict> {
+        self.inner.borrow().conflicts.clone()
+    }
+
+    /// The invariant checker observed no live LCM replica: restart the
+    /// orphan clock so downtime is not charged to takeover latency.
+    pub fn note_no_live_replica(&self, sim: &Sim) {
+        self.inner.borrow_mut().no_replica_seen = sim.now();
+    }
+
+    /// Shards unowned for longer than `bound`, with how long, counting
+    /// only time since the last known all-replicas-down observation.
+    pub fn orphaned(&self, now: SimTime, bound: SimDuration) -> Vec<(u32, SimDuration)> {
+        let i = self.inner.borrow();
+        i.unowned_since
+            .iter()
+            .filter_map(|(s, since)| {
+                let start = (*since).max(i.no_replica_seen);
+                let waited = now.saturating_duration_since(start);
+                (waited > bound).then_some((*s, waited))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Sim {
+        Sim::new(1)
+    }
+
+    #[test]
+    fn single_claimant_is_clean() {
+        let s = sim();
+        let t = ShardTracker::new(4);
+        t.claim(&s, 0, "lcm-0");
+        t.note_sweep(&s, 0, "job-1", "lcm-0");
+        assert!(t.conflicts().is_empty());
+        assert_eq!(t.owners(0), vec!["lcm-0"]);
+    }
+
+    #[test]
+    fn overlapping_claims_conflict() {
+        let s = sim();
+        let t = ShardTracker::new(4);
+        t.claim(&s, 2, "lcm-0");
+        t.claim(&s, 2, "lcm-1");
+        assert_eq!(t.conflicts().len(), 1);
+        assert!(t.conflicts()[0].detail.contains("lcm-0"));
+    }
+
+    #[test]
+    fn sweep_by_non_claimant_conflicts() {
+        let s = sim();
+        let t = ShardTracker::new(4);
+        t.claim(&s, 1, "lcm-0");
+        t.note_sweep(&s, 1, "job-9", "lcm-1");
+        assert_eq!(t.conflicts().len(), 1);
+        assert!(t.conflicts()[0].detail.contains("without claiming"));
+    }
+
+    #[test]
+    fn release_all_starts_the_orphan_clock() {
+        let mut s = sim();
+        let t = ShardTracker::new(2);
+        t.claim(&s, 0, "lcm-0");
+        t.claim(&s, 1, "lcm-0");
+        s.run_for(SimDuration::from_secs(5));
+        let dropped = t.release_all(&s, "lcm-0");
+        assert_eq!(dropped, vec![0, 1]);
+        s.run_for(SimDuration::from_secs(30));
+        let orphans = t.orphaned(s.now(), SimDuration::from_secs(10));
+        assert_eq!(orphans.len(), 2);
+        assert!(orphans[0].1 >= SimDuration::from_secs(30));
+
+        // A fresh claim clears the orphan state.
+        t.claim(&s, 0, "lcm-1");
+        assert_eq!(t.orphaned(s.now(), SimDuration::from_secs(10)).len(), 1);
+    }
+
+    #[test]
+    fn no_replica_observation_resets_the_orphan_clock() {
+        let mut s = sim();
+        let t = ShardTracker::new(1);
+        s.run_for(SimDuration::from_secs(60));
+        t.note_no_live_replica(&s);
+        assert!(
+            t.orphaned(s.now(), SimDuration::from_secs(10)).is_empty(),
+            "downtime is not takeover latency"
+        );
+        s.run_for(SimDuration::from_secs(20));
+        assert_eq!(t.orphaned(s.now(), SimDuration::from_secs(10)).len(), 1);
+    }
+}

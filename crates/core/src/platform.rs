@@ -153,6 +153,7 @@ impl DlaasPlatform {
             nfs,
             kube: kube.clone(),
             etcd_gc,
+            shard_tracker: crate::ownership::ShardTracker::new(cfg.core.lcm_shards),
             config: Rc::new(cfg.core.clone()),
         };
 
@@ -231,6 +232,11 @@ impl DlaasPlatform {
     /// The etcd cluster.
     pub fn etcd(&self) -> &Rc<EtcdCluster> {
         &self.handles.etcd
+    }
+
+    /// The shard-ownership ledger the LCM replicas report into.
+    pub fn shard_tracker(&self) -> &crate::ownership::ShardTracker {
+        &self.handles.shard_tracker
     }
 
     /// The platform's metrics registry — the same deterministic store the

@@ -8,7 +8,7 @@ use dlaas_net::{Addr, RpcError};
 use dlaas_raft::NodeId;
 use dlaas_sim::{Sim, SimDuration};
 
-use crate::kv::{KvEvent, Revision};
+use crate::kv::{KvEvent, LeaseId, Revision};
 use crate::proto::{etcd_addr, EtcdError, EtcdRequest, EtcdResponse, WatchNotify};
 use crate::server::{EtcdRpc, WatchNet};
 
@@ -164,9 +164,23 @@ impl EtcdClient {
         value: impl Into<String>,
         done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
     ) {
+        self.put_with_lease(sim, key, value, None, done);
+    }
+
+    /// Sets `key` to `value` attached to `lease` (`None` detaches). Fails
+    /// with [`EtcdError::Failed`] when the named lease has been revoked.
+    pub fn put_with_lease(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        value: impl Into<String>,
+        lease: Option<LeaseId>,
+        done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
+    ) {
         let req = EtcdRequest::Put {
             key: key.into(),
             value: value.into(),
+            lease,
         };
         self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
             done(sim, r.map(expect_revision));
@@ -252,10 +266,27 @@ impl EtcdClient {
         value: Option<String>,
         done: impl FnOnce(&mut Sim, Result<bool, EtcdError>) + 'static,
     ) {
+        self.cas_with_lease(sim, key, expect, value, None, done);
+    }
+
+    /// Compare-and-swap attaching the written key to `lease`. A CAS
+    /// naming a revoked lease reports `false` without touching the key —
+    /// the fence that stops a holder whose lease expired from re-winning
+    /// an ownership key.
+    pub fn cas_with_lease(
+        &self,
+        sim: &mut Sim,
+        key: impl Into<String>,
+        expect: Option<String>,
+        value: Option<String>,
+        lease: Option<LeaseId>,
+        done: impl FnOnce(&mut Sim, Result<bool, EtcdError>) + 'static,
+    ) {
         let req = EtcdRequest::Cas {
             key: key.into(),
             expect,
             value,
+            lease,
         };
         self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
             done(
@@ -266,6 +297,67 @@ impl EtcdClient {
                     other => panic!("unexpected response to Cas: {other:?}"),
                 }),
             );
+        });
+    }
+
+    /// Grants a lease with the given sim-time TTL; the callback receives
+    /// the allocated lease id. An RPC retry after a timed-out ack may
+    /// leave an extra unreferenced lease behind — it is never keepalive'd,
+    /// so the leader's expiry sweep collects it one TTL later.
+    pub fn lease_grant(
+        &self,
+        sim: &mut Sim,
+        ttl: SimDuration,
+        done: impl FnOnce(&mut Sim, Result<LeaseId, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::LeaseGrant {
+            ttl_us: ttl.as_micros(),
+        };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(
+                sim,
+                r.map(|resp| match resp {
+                    EtcdResponse::LeaseGranted { id, .. } => id,
+                    // dlaas-lint: allow(panic-reachable): response-pairing invariant — the server answers each request variant with its matching response variant; a mismatch is a protocol bug in this closed codebase, not a runtime fault, and retrying a wrong-typed response would mask it
+                    other => panic!("unexpected response to LeaseGrant: {other:?}"),
+                }),
+            );
+        });
+    }
+
+    /// Refreshes a lease's deadline to now + TTL. The callback receives
+    /// `true` while the lease is live; `false` means it was revoked (the
+    /// holder must stop relying on anything the lease protected).
+    pub fn lease_keepalive(
+        &self,
+        sim: &mut Sim,
+        id: LeaseId,
+        done: impl FnOnce(&mut Sim, Result<bool, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::LeaseKeepAlive { id };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(
+                sim,
+                r.map(|resp| match resp {
+                    EtcdResponse::LeaseKept { alive, .. } => alive,
+                    // dlaas-lint: allow(panic-reachable): response-pairing invariant — the server answers each request variant with its matching response variant; a mismatch is a protocol bug in this closed codebase, not a runtime fault, and retrying a wrong-typed response would mask it
+                    other => panic!("unexpected response to LeaseKeepAlive: {other:?}"),
+                }),
+            );
+        });
+    }
+
+    /// Revokes a lease, deleting every attached key (watchers see the
+    /// deletions as ordinary delete events). Idempotent.
+    pub fn lease_revoke(
+        &self,
+        sim: &mut Sim,
+        id: LeaseId,
+        done: impl FnOnce(&mut Sim, Result<Revision, EtcdError>) + 'static,
+    ) {
+        let req = EtcdRequest::LeaseRevoke { id };
+        self.request(sim, req, MAX_ATTEMPTS, move |sim, r| {
+            done(sim, r.map(expect_revision));
         });
     }
 

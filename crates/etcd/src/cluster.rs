@@ -89,12 +89,16 @@ impl EtcdCluster {
 
         let servers: Vec<Rc<EtcdServer>> = (0..n)
             .map(|id| {
-                EtcdServer::new(
+                let server = EtcdServer::new(
                     id,
                     raft.node(id).clone(),
                     cores[id as usize].clone(),
                     rpc.clone(),
-                )
+                );
+                // Every node runs the lease-expiry sweep; only the
+                // current leader proposes, so expiry survives failover.
+                server.start_lease_sweeper(sim);
+                server
             })
             .collect();
 

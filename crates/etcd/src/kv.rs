@@ -4,11 +4,31 @@
 //! produces the same store, which is what lets a restarted etcd node
 //! rebuild itself by replaying the Raft log.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A store revision; increments on every mutating command that changes
 /// state (mirrors etcd's `mod_revision` semantics at key granularity).
 pub type Revision = u64;
+
+/// A lease identifier, allocated by the state machine at apply time so
+/// every replica agrees on it (ids start at 1; 0 never names a lease).
+pub type LeaseId = u64;
+
+/// One granted lease. The deadline is stamped by the *proposing* server
+/// from its sim clock and replicated verbatim, so all replicas store an
+/// identical deadline regardless of when they apply the entry. Expiry is
+/// revoke-driven: a lease stays live until a [`KvOp::LeaseRevoke`]
+/// commits, and log order — not wall inspection — is what fences a
+/// stale holder out (a CAS naming a revoked lease can never win).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// Granted time-to-live, microseconds of sim time.
+    pub ttl_us: u64,
+    /// Sim-time deadline after which the leader's sweep may revoke.
+    pub deadline_us: u64,
+    /// Keys currently attached to this lease (deleted on revoke).
+    pub keys: BTreeSet<String>,
+}
 
 /// One stored value with its revision metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +41,8 @@ pub struct VersionedValue {
     pub mod_revision: Revision,
     /// Number of modifications since creation (1 = just created).
     pub version: u64,
+    /// Lease this key is attached to, if any (key dies with the lease).
+    pub lease: Option<LeaseId>,
 }
 
 /// Mutating operations, replicated through Raft.
@@ -34,6 +56,9 @@ pub enum KvOp {
         key: String,
         /// New value.
         value: String,
+        /// Lease to attach the key to (`None` detaches). The put fails
+        /// if the named lease has been revoked.
+        lease: Option<LeaseId>,
     },
     /// Removes `key` (no-op if absent).
     Delete {
@@ -54,6 +79,38 @@ pub enum KvOp {
         expect: Option<String>,
         /// Replacement (`None` deletes the key).
         value: Option<String>,
+        /// Lease to attach the written key to. A CAS naming a revoked
+        /// lease fails outright — this is the fence that keeps a shard
+        /// owner whose lease expired from re-winning the owner key.
+        lease: Option<LeaseId>,
+    },
+    /// Grants a new lease. `now_us` is the proposer's sim clock at
+    /// proposal time; the deadline `now_us + ttl_us` is replicated so
+    /// every node stores the same expiry.
+    LeaseGrant {
+        /// Time-to-live in sim microseconds.
+        ttl_us: u64,
+        /// Proposer's sim clock at grant time.
+        now_us: u64,
+    },
+    /// Extends a lease's deadline to `now_us + ttl`. Fails (without
+    /// burning a revision) if the lease has been revoked.
+    LeaseKeepAlive {
+        /// The lease to refresh.
+        id: LeaseId,
+        /// Proposer's sim clock at keepalive time.
+        now_us: u64,
+    },
+    /// Revokes a lease and deletes every attached key (ordinary delete
+    /// events, so watchers observe expiry as plain deletions).
+    LeaseRevoke {
+        /// The lease to revoke.
+        id: LeaseId,
+        /// When set, the revoke is an expiry sweep: it only applies if
+        /// the stored deadline is `<=` this stamp. A keepalive that
+        /// raced ahead in the log pushes the deadline out and the
+        /// guarded revoke becomes a no-op — the holder wins.
+        if_expired_at_us: Option<u64>,
     },
 }
 
@@ -118,12 +175,26 @@ impl KvEvent {
 /// Result of applying a command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApplyOutcome {
-    /// `false` only for a failed CAS.
+    /// `false` for a failed CAS, a put/CAS naming a revoked lease, or a
+    /// keepalive on a revoked lease.
     pub succeeded: bool,
     /// Store revision after the command.
     pub revision: Revision,
     /// Events to deliver to watchers.
     pub events: Vec<KvEvent>,
+    /// The lease id allocated by a [`KvOp::LeaseGrant`].
+    pub lease: Option<LeaseId>,
+}
+
+impl ApplyOutcome {
+    fn new(succeeded: bool, revision: Revision, events: Vec<KvEvent>) -> Self {
+        ApplyOutcome {
+            succeeded,
+            revision,
+            events,
+            lease: None,
+        }
+    }
 }
 
 /// The deterministic key-value store.
@@ -131,6 +202,8 @@ pub struct ApplyOutcome {
 pub struct KvState {
     map: BTreeMap<String, VersionedValue>,
     revision: Revision,
+    leases: BTreeMap<LeaseId, LeaseRecord>,
+    next_lease_id: LeaseId,
 }
 
 impl KvState {
@@ -168,29 +241,42 @@ impl KvState {
             .collect()
     }
 
+    /// The lease record for `id`, if still live.
+    pub fn lease(&self, id: LeaseId) -> Option<&LeaseRecord> {
+        self.leases.get(&id)
+    }
+
+    /// All live leases, in id order.
+    pub fn leases(&self) -> &BTreeMap<LeaseId, LeaseRecord> {
+        &self.leases
+    }
+
+    /// Ids of leases whose deadline is at or before `now_us`, in id
+    /// order — the candidates for the leader's guarded revoke sweep.
+    pub fn expired_leases(&self, now_us: u64) -> Vec<LeaseId> {
+        self.leases
+            .iter()
+            .filter(|(_, r)| r.deadline_us <= now_us)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
     /// Applies a replicated command, returning the outcome and events.
     pub fn apply(&mut self, cmd: &KvCommand) -> ApplyOutcome {
         match &cmd.op {
-            KvOp::Noop => ApplyOutcome {
-                succeeded: true,
-                revision: self.revision,
-                events: Vec::new(),
-            },
-            KvOp::Put { key, value } => {
-                let ev = self.do_put(key.clone(), value.clone());
-                ApplyOutcome {
-                    succeeded: true,
-                    revision: self.revision,
-                    events: vec![ev],
+            KvOp::Noop => ApplyOutcome::new(true, self.revision, Vec::new()),
+            KvOp::Put { key, value, lease } => {
+                if let Some(l) = lease {
+                    if !self.leases.contains_key(l) {
+                        return ApplyOutcome::new(false, self.revision, Vec::new());
+                    }
                 }
+                let ev = self.do_put(key.clone(), value.clone(), *lease);
+                ApplyOutcome::new(true, self.revision, vec![ev])
             }
             KvOp::Delete { key } => {
                 let events = self.do_delete(key).into_iter().collect();
-                ApplyOutcome {
-                    succeeded: true,
-                    revision: self.revision,
-                    events,
-                }
+                ApplyOutcome::new(true, self.revision, events)
             }
             KvOp::DeletePrefix { prefix } => {
                 let keys: Vec<String> = self
@@ -203,50 +289,106 @@ impl KvState {
                 for k in keys {
                     events.extend(self.do_delete(&k));
                 }
-                ApplyOutcome {
-                    succeeded: true,
-                    revision: self.revision,
-                    events,
-                }
+                ApplyOutcome::new(true, self.revision, events)
             }
-            KvOp::Cas { key, expect, value } => {
+            KvOp::Cas {
+                key,
+                expect,
+                value,
+                lease,
+            } => {
+                if let Some(l) = lease {
+                    if !self.leases.contains_key(l) {
+                        return ApplyOutcome::new(false, self.revision, Vec::new());
+                    }
+                }
                 let current = self.map.get(key).map(|v| &v.value);
                 if current != expect.as_ref() {
-                    return ApplyOutcome {
-                        succeeded: false,
-                        revision: self.revision,
-                        events: Vec::new(),
-                    };
+                    return ApplyOutcome::new(false, self.revision, Vec::new());
                 }
                 let events = match value {
-                    Some(v) => vec![self.do_put(key.clone(), v.clone())],
+                    Some(v) => vec![self.do_put(key.clone(), v.clone(), *lease)],
                     None => self.do_delete(key).into_iter().collect(),
                 };
-                ApplyOutcome {
-                    succeeded: true,
-                    revision: self.revision,
-                    events,
+                ApplyOutcome::new(true, self.revision, events)
+            }
+            KvOp::LeaseGrant { ttl_us, now_us } => {
+                self.next_lease_id += 1;
+                let id = self.next_lease_id;
+                self.leases.insert(
+                    id,
+                    LeaseRecord {
+                        ttl_us: *ttl_us,
+                        deadline_us: now_us.saturating_add(*ttl_us),
+                        keys: BTreeSet::new(),
+                    },
+                );
+                let mut out = ApplyOutcome::new(true, self.revision, Vec::new());
+                out.lease = Some(id);
+                out
+            }
+            KvOp::LeaseKeepAlive { id, now_us } => match self.leases.get_mut(id) {
+                Some(rec) => {
+                    // Deadlines only move forward: a late-delivered
+                    // keepalive never shortens a newer extension.
+                    rec.deadline_us = rec.deadline_us.max(now_us.saturating_add(rec.ttl_us));
+                    ApplyOutcome::new(true, self.revision, Vec::new())
                 }
+                None => ApplyOutcome::new(false, self.revision, Vec::new()),
+            },
+            KvOp::LeaseRevoke {
+                id,
+                if_expired_at_us,
+            } => {
+                // Already gone: idempotent success.
+                let Some(rec) = self.leases.remove(id) else {
+                    return ApplyOutcome::new(true, self.revision, Vec::new());
+                };
+                if let Some(stamp) = if_expired_at_us {
+                    if rec.deadline_us > *stamp {
+                        // A keepalive committed between the sweep's read
+                        // and this revoke: the holder won the race, so
+                        // reinstate the record untouched.
+                        self.leases.insert(*id, rec);
+                        return ApplyOutcome::new(true, self.revision, Vec::new());
+                    }
+                }
+                let mut events = Vec::new();
+                for k in &rec.keys {
+                    events.extend(self.do_delete(k));
+                }
+                ApplyOutcome::new(true, self.revision, events)
             }
         }
     }
 
-    fn do_put(&mut self, key: String, value: String) -> KvEvent {
+    fn do_put(&mut self, key: String, value: String, lease: Option<LeaseId>) -> KvEvent {
         self.revision += 1;
         let rev = self.revision;
+        let prev_lease = self.map.get(&key).and_then(|v| v.lease);
         self.map
             .entry(key.clone())
             .and_modify(|v| {
                 v.value = value.clone();
                 v.mod_revision = rev;
                 v.version += 1;
+                v.lease = lease;
             })
             .or_insert_with(|| VersionedValue {
                 value: value.clone(),
                 create_revision: rev,
                 mod_revision: rev,
                 version: 1,
+                lease,
             });
+        if prev_lease != lease {
+            if let Some(old) = prev_lease.and_then(|l| self.leases.get_mut(&l)) {
+                old.keys.remove(&key);
+            }
+            if let Some(new) = lease.and_then(|l| self.leases.get_mut(&l)) {
+                new.keys.insert(key.clone());
+            }
+        }
         KvEvent::Put {
             key,
             value,
@@ -255,7 +397,10 @@ impl KvState {
     }
 
     fn do_delete(&mut self, key: &str) -> Option<KvEvent> {
-        if self.map.remove(key).is_some() {
+        if let Some(old) = self.map.remove(key) {
+            if let Some(rec) = old.lease.and_then(|l| self.leases.get_mut(&l)) {
+                rec.keys.remove(key);
+            }
             self.revision += 1;
             Some(KvEvent::Delete {
                 key: key.to_owned(),
@@ -271,14 +416,24 @@ impl KvState {
     /// are written in key order, so equal states encode identically.
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(format!("kv1 {} {}\n", self.revision, self.map.len()).as_bytes());
+        out.extend_from_slice(
+            format!(
+                "kv2 {} {} {} {}\n",
+                self.revision,
+                self.map.len(),
+                self.leases.len(),
+                self.next_lease_id
+            )
+            .as_bytes(),
+        );
         for (k, v) in &self.map {
             out.extend_from_slice(
                 format!(
-                    "{} {} {} {} {}\n",
+                    "{} {} {} {} {} {}\n",
                     v.create_revision,
                     v.mod_revision,
                     v.version,
+                    v.lease.unwrap_or(0),
                     k.len(),
                     v.value.len()
                 )
@@ -287,6 +442,13 @@ impl KvState {
             out.extend_from_slice(k.as_bytes());
             out.extend_from_slice(v.value.as_bytes());
             out.push(b'\n');
+        }
+        // Lease records; attached keys are rebuilt from the per-key
+        // back-pointers above, so only the scalars are written.
+        for (id, rec) in &self.leases {
+            out.extend_from_slice(
+                format!("{} {} {}\n", id, rec.ttl_us, rec.deadline_us).as_bytes(),
+            );
         }
         out
     }
@@ -304,11 +466,13 @@ impl KvState {
         let mut pos = 0;
         let header = take_line(data, &mut pos)?;
         let mut parts = header.split(' ');
-        if parts.next()? != "kv1" {
+        if parts.next()? != "kv2" {
             return None;
         }
         let revision: Revision = parts.next()?.parse().ok()?;
         let count: usize = parts.next()?.parse().ok()?;
+        let lease_count: usize = parts.next()?.parse().ok()?;
+        let next_lease_id: LeaseId = parts.next()?.parse().ok()?;
 
         let mut map = BTreeMap::new();
         for _ in 0..count {
@@ -317,6 +481,7 @@ impl KvState {
             let create_revision: Revision = m.next()?.parse().ok()?;
             let mod_revision: Revision = m.next()?.parse().ok()?;
             let version: u64 = m.next()?.parse().ok()?;
+            let lease_raw: LeaseId = m.next()?.parse().ok()?;
             let klen: usize = m.next()?.parse().ok()?;
             let vlen: usize = m.next()?.parse().ok()?;
             if pos + klen + vlen + 1 > data.len() {
@@ -332,10 +497,39 @@ impl KvState {
                     create_revision,
                     mod_revision,
                     version,
+                    lease: (lease_raw != 0).then_some(lease_raw),
                 },
             );
         }
-        Some(KvState { map, revision })
+        let mut leases: BTreeMap<LeaseId, LeaseRecord> = BTreeMap::new();
+        for _ in 0..lease_count {
+            let line = take_line(data, &mut pos)?;
+            let mut m = line.split(' ');
+            let id: LeaseId = m.next()?.parse().ok()?;
+            let ttl_us: u64 = m.next()?.parse().ok()?;
+            let deadline_us: u64 = m.next()?.parse().ok()?;
+            leases.insert(
+                id,
+                LeaseRecord {
+                    ttl_us,
+                    deadline_us,
+                    keys: BTreeSet::new(),
+                },
+            );
+        }
+        // Rebuild lease key attachments from the per-key back-pointers;
+        // a key naming an unknown lease is a framing error.
+        for (k, v) in &map {
+            if let Some(l) = v.lease {
+                leases.get_mut(&l)?.keys.insert(k.clone());
+            }
+        }
+        Some(KvState {
+            map,
+            revision,
+            leases,
+            next_lease_id,
+        })
     }
 }
 
@@ -349,6 +543,7 @@ mod tests {
             op: KvOp::Put {
                 key: k.into(),
                 value: v.into(),
+                lease: None,
             },
         }
     }
@@ -445,6 +640,7 @@ mod tests {
                 key: "lock".into(),
                 expect: Some("guardian-2".into()),
                 value: Some("guardian-3".into()),
+                lease: None,
             },
         });
         assert!(!out.succeeded);
@@ -458,6 +654,7 @@ mod tests {
                 key: "lock".into(),
                 expect: Some("guardian-1".into()),
                 value: Some("guardian-2".into()),
+                lease: None,
             },
         });
         assert!(out.succeeded);
@@ -470,6 +667,7 @@ mod tests {
                 key: "fresh".into(),
                 expect: None,
                 value: Some("x".into()),
+                lease: None,
             },
         });
         assert!(out.succeeded);
@@ -481,6 +679,7 @@ mod tests {
                 key: "fresh".into(),
                 expect: Some("x".into()),
                 value: None,
+                lease: None,
             },
         });
         assert!(out.succeeded);
@@ -498,6 +697,7 @@ mod tests {
                     key: "a".into(),
                     expect: Some("1".into()),
                     value: Some("3".into()),
+                    lease: None,
                 },
             },
             KvCommand {
@@ -545,6 +745,248 @@ mod tests {
         // Garbage is rejected, not mis-parsed.
         assert!(KvState::from_snapshot_bytes(b"not a snapshot").is_none());
         assert!(KvState::from_snapshot_bytes(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    fn grant(req_id: u64, ttl_us: u64, now_us: u64) -> KvCommand {
+        KvCommand {
+            req_id,
+            op: KvOp::LeaseGrant { ttl_us, now_us },
+        }
+    }
+
+    #[test]
+    fn lease_grant_allocates_sequential_ids() {
+        let mut kv = KvState::new();
+        let a = kv.apply(&grant(1, 1_000, 0));
+        let b = kv.apply(&grant(2, 1_000, 10));
+        assert_eq!(a.lease, Some(1));
+        assert_eq!(b.lease, Some(2));
+        assert_eq!(kv.lease(1).unwrap().deadline_us, 1_000);
+        assert_eq!(kv.lease(2).unwrap().deadline_us, 1_010);
+        assert_eq!(kv.revision(), 0, "lease ops burn no revision");
+    }
+
+    #[test]
+    fn keepalive_extends_and_never_shortens() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 0));
+        let out = kv.apply(&KvCommand {
+            req_id: 2,
+            op: KvOp::LeaseKeepAlive { id: 1, now_us: 500 },
+        });
+        assert!(out.succeeded);
+        assert_eq!(kv.lease(1).unwrap().deadline_us, 1_500);
+
+        // A late-delivered (older-stamped) keepalive must not rewind.
+        kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::LeaseKeepAlive { id: 1, now_us: 100 },
+        });
+        assert_eq!(kv.lease(1).unwrap().deadline_us, 1_500);
+
+        let out = kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::LeaseKeepAlive { id: 7, now_us: 100 },
+        });
+        assert!(!out.succeeded, "keepalive on unknown lease fails");
+    }
+
+    #[test]
+    fn revoke_deletes_attached_keys_as_ordinary_events() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 0));
+        kv.apply(&KvCommand {
+            req_id: 2,
+            op: KvOp::Put {
+                key: "lcm/shards/001".into(),
+                value: "lcm-0".into(),
+                lease: Some(1),
+            },
+        });
+        kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::Cas {
+                key: "lcm/shards/002".into(),
+                expect: None,
+                value: Some("lcm-0".into()),
+                lease: Some(1),
+            },
+        });
+        assert_eq!(kv.lease(1).unwrap().keys.len(), 2);
+
+        let out = kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: None,
+            },
+        });
+        assert!(out.succeeded);
+        let deleted: Vec<&str> = out.events.iter().map(KvEvent::key).collect();
+        assert_eq!(deleted, vec!["lcm/shards/001", "lcm/shards/002"]);
+        assert!(kv.get("lcm/shards/001").is_none());
+        assert!(kv.lease(1).is_none());
+
+        // Revoking again is idempotent.
+        let out = kv.apply(&KvCommand {
+            req_id: 5,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: None,
+            },
+        });
+        assert!(out.succeeded);
+        assert!(out.events.is_empty());
+    }
+
+    #[test]
+    fn guarded_revoke_loses_to_a_keepalive_ahead_in_the_log() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 0));
+        // Keepalive commits first (deadline now 2_000)…
+        kv.apply(&KvCommand {
+            req_id: 2,
+            op: KvOp::LeaseKeepAlive {
+                id: 1,
+                now_us: 1_000,
+            },
+        });
+        // …so the sweep's revoke stamped at 1_500 is a no-op.
+        let out = kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: Some(1_500),
+            },
+        });
+        assert!(out.succeeded);
+        assert!(kv.lease(1).is_some(), "keepalive must win the race");
+
+        // Once genuinely expired, the guarded revoke applies.
+        let out = kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: Some(2_000),
+            },
+        });
+        assert!(out.succeeded);
+        assert!(kv.lease(1).is_none());
+    }
+
+    #[test]
+    fn writes_naming_a_revoked_lease_fail() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 0));
+        kv.apply(&KvCommand {
+            req_id: 2,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: None,
+            },
+        });
+        let out = kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+                lease: Some(1),
+            },
+        });
+        assert!(!out.succeeded, "put with dead lease must fail");
+        assert!(kv.get("k").is_none());
+
+        let out = kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::Cas {
+                key: "k".into(),
+                expect: None,
+                value: Some("v".into()),
+                lease: Some(1),
+            },
+        });
+        assert!(!out.succeeded, "cas with dead lease must fail");
+        assert!(kv.get("k").is_none());
+    }
+
+    #[test]
+    fn overwrite_moves_lease_attachment() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 0));
+        kv.apply(&grant(2, 1_000, 0));
+        kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::Put {
+                key: "k".into(),
+                value: "a".into(),
+                lease: Some(1),
+            },
+        });
+        // Re-put under a different lease moves the attachment.
+        kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::Put {
+                key: "k".into(),
+                value: "b".into(),
+                lease: Some(2),
+            },
+        });
+        assert!(kv.lease(1).unwrap().keys.is_empty());
+        assert!(kv.lease(2).unwrap().keys.contains("k"));
+
+        // Plain put detaches; the later revoke then spares the key.
+        kv.apply(&put("k", "c"));
+        assert!(kv.lease(2).unwrap().keys.is_empty());
+        let out = kv.apply(&KvCommand {
+            req_id: 5,
+            op: KvOp::LeaseRevoke {
+                id: 2,
+                if_expired_at_us: None,
+            },
+        });
+        assert!(out.events.is_empty());
+        assert_eq!(kv.get("k").unwrap().value, "c");
+    }
+
+    #[test]
+    fn expired_leases_reports_in_id_order() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 500, 0)); // deadline 500
+        kv.apply(&grant(2, 2_000, 0)); // deadline 2000
+        kv.apply(&grant(3, 100, 200)); // deadline 300
+        assert_eq!(kv.expired_leases(600), vec![1, 3]);
+        assert_eq!(kv.expired_leases(50), Vec::<LeaseId>::new());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_leases() {
+        let mut kv = KvState::new();
+        kv.apply(&grant(1, 1_000, 7));
+        kv.apply(&grant(2, 9_999, 40));
+        kv.apply(&KvCommand {
+            req_id: 3,
+            op: KvOp::Put {
+                key: "lcm/shards/000".into(),
+                value: "lcm-1".into(),
+                lease: Some(2),
+            },
+        });
+        kv.apply(&KvCommand {
+            req_id: 4,
+            op: KvOp::LeaseRevoke {
+                id: 1,
+                if_expired_at_us: None,
+            },
+        });
+        let bytes = kv.to_snapshot_bytes();
+        let back = KvState::from_snapshot_bytes(&bytes).expect("snapshot parses");
+        assert_eq!(back, kv);
+        // next_lease_id survives: a grant after restore continues at 3.
+        let mut back = back;
+        let out = kv.apply(&grant(5, 1, 0));
+        let out2 = back.apply(&grant(5, 1, 0));
+        assert_eq!(out.lease, out2.lease);
+        assert_eq!(out.lease, Some(3));
     }
 
     #[test]

@@ -51,6 +51,8 @@ mod server;
 
 pub use client::EtcdClient;
 pub use cluster::EtcdCluster;
-pub use kv::{ApplyOutcome, KvCommand, KvEvent, KvOp, KvState, Revision, VersionedValue};
+pub use kv::{
+    ApplyOutcome, KvCommand, KvEvent, KvOp, KvState, LeaseId, LeaseRecord, Revision, VersionedValue,
+};
 pub use proto::{etcd_addr, EtcdError, EtcdRequest, EtcdResponse, WatchNotify};
-pub use server::{EtcdRpc, EtcdServer, ServerCore, WatchNet};
+pub use server::{EtcdRpc, EtcdServer, ServerCore, WatchNet, LEASE_SWEEP_PERIOD};

@@ -3,7 +3,7 @@
 use dlaas_net::Addr;
 use dlaas_raft::NodeId;
 
-use crate::kv::{KvEvent, Revision};
+use crate::kv::{KvEvent, LeaseId, Revision};
 
 /// Requests a client sends to an etcd server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +14,8 @@ pub enum EtcdRequest {
         key: String,
         /// New value.
         value: String,
+        /// Lease to attach the key to (`None` detaches).
+        lease: Option<LeaseId>,
     },
     /// Linearizable read of one key.
     Get {
@@ -43,6 +45,26 @@ pub enum EtcdRequest {
         expect: Option<String>,
         /// Replacement (`None` deletes).
         value: Option<String>,
+        /// Lease to attach the written key to; the CAS fails if the
+        /// lease has been revoked.
+        lease: Option<LeaseId>,
+    },
+    /// Grant a lease with the given sim-time TTL. The server stamps the
+    /// proposal with its own clock; the id comes back in
+    /// [`EtcdResponse::LeaseGranted`].
+    LeaseGrant {
+        /// Time-to-live in sim microseconds.
+        ttl_us: u64,
+    },
+    /// Refresh a lease's deadline to now + TTL.
+    LeaseKeepAlive {
+        /// The lease to refresh.
+        id: LeaseId,
+    },
+    /// Revoke a lease, deleting every attached key.
+    LeaseRevoke {
+        /// The lease to revoke.
+        id: LeaseId,
     },
     /// Register a prefix watch; events flow to `watcher` on the watch
     /// channel, tagged with `watch_id`.
@@ -90,6 +112,20 @@ pub enum EtcdResponse {
         /// `false` when the expectation did not hold.
         succeeded: bool,
         /// Store revision after the command.
+        revision: Revision,
+    },
+    /// Result of [`EtcdRequest::LeaseGrant`].
+    LeaseGranted {
+        /// The allocated lease id.
+        id: LeaseId,
+        /// Store revision when the grant applied.
+        revision: Revision,
+    },
+    /// Result of [`EtcdRequest::LeaseKeepAlive`].
+    LeaseKept {
+        /// `false` when the lease no longer exists (revoked/expired).
+        alive: bool,
+        /// Store revision when the keepalive applied.
         revision: Revision,
     },
     /// This node is not the leader; retry at `hint` if known.

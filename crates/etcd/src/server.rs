@@ -11,10 +11,15 @@ use std::rc::Rc;
 
 use dlaas_net::{Addr, Net, Responder, RpcLayer};
 use dlaas_raft::{NodeId, Raft};
-use dlaas_sim::Sim;
+use dlaas_sim::{Sim, SimDuration};
 
 use crate::kv::{KvCommand, KvOp, KvState};
 use crate::proto::{etcd_addr, EtcdRequest, EtcdResponse, WatchNotify};
+
+/// How often each server checks (when leader) for leases whose deadline
+/// has passed and proposes guarded revokes for them. Well below any
+/// practical TTL so expiry lag is bounded by the sweep, not the lease.
+pub const LEASE_SWEEP_PERIOD: SimDuration = SimDuration::from_millis(500);
 
 /// RPC layer type used by etcd.
 pub type EtcdRpc = RpcLayer<EtcdRequest, EtcdResponse>;
@@ -163,8 +168,11 @@ impl ServerCore {
 struct RequestCounters {
     reads: Option<dlaas_sim::CounterHandle>,
     /// One handle per proposal op, in `KvOp` label order:
-    /// put, delete, delete_prefix, cas, noop.
-    proposals: Option<[dlaas_sim::CounterHandle; 5]>,
+    /// put, delete, delete_prefix, cas, noop, lease_grant,
+    /// lease_keepalive, lease_revoke.
+    proposals: Option<[dlaas_sim::CounterHandle; 8]>,
+    /// Guarded revokes proposed by the leader's expiry sweep.
+    lease_expirations: Option<dlaas_sim::CounterHandle>,
 }
 
 /// One etcd server bound to one Raft node.
@@ -275,16 +283,45 @@ impl EtcdServer {
                 watch_net.send(sim, self_addr.clone(), watcher, notify);
             }
             if let Some(r) = responder {
-                let resp = match cmd.op {
-                    KvOp::Cas { .. } => EtcdResponse::CasResult {
-                        succeeded: outcome.succeeded,
-                        revision: outcome.revision,
+                match cmd.op {
+                    KvOp::Cas { .. } => r.ok(
+                        sim,
+                        EtcdResponse::CasResult {
+                            succeeded: outcome.succeeded,
+                            revision: outcome.revision,
+                        },
+                    ),
+                    KvOp::LeaseGrant { .. } => match outcome.lease {
+                        Some(id) => r.ok(
+                            sim,
+                            EtcdResponse::LeaseGranted {
+                                id,
+                                revision: outcome.revision,
+                            },
+                        ),
+                        // Grants are infallible; a missing id means the
+                        // state machine broke its own contract.
+                        None => r.err(sim, "lease grant allocated no id"),
                     },
-                    _ => EtcdResponse::Ok {
-                        revision: outcome.revision,
-                    },
-                };
-                r.ok(sim, resp);
+                    KvOp::LeaseKeepAlive { .. } => r.ok(
+                        sim,
+                        EtcdResponse::LeaseKept {
+                            alive: outcome.succeeded,
+                            revision: outcome.revision,
+                        },
+                    ),
+                    // A put naming a revoked lease is an application
+                    // error, not a CAS-style soft failure.
+                    KvOp::Put { .. } if !outcome.succeeded => {
+                        r.err(sim, "lease revoked or unknown");
+                    }
+                    _ => r.ok(
+                        sim,
+                        EtcdResponse::Ok {
+                            revision: outcome.revision,
+                        },
+                    ),
+                }
             }
         })
     }
@@ -302,6 +339,59 @@ impl EtcdServer {
     /// Re-registers the RPC handler (after restart).
     pub fn resume(self: &Rc<Self>) {
         self.start_serving();
+    }
+
+    /// Starts this server's lease-expiry sweep. The timer runs on every
+    /// node but only the current Raft leader proposes revokes, so expiry
+    /// survives leader failover without coordination: whoever is leader
+    /// at the next tick picks the sweep up. Revokes are guarded by the
+    /// sweep's own clock stamp, so a keepalive that commits first wins.
+    pub fn start_lease_sweeper(self: &Rc<Self>, sim: &mut Sim) {
+        let me = Rc::downgrade(self);
+        dlaas_sim::every(sim, LEASE_SWEEP_PERIOD, move |sim, _n| {
+            let Some(server) = me.upgrade() else {
+                return false;
+            };
+            server.sweep_expired_leases(sim);
+            true
+        });
+    }
+
+    fn sweep_expired_leases(&self, sim: &mut Sim) {
+        if self.raft.role() != dlaas_raft::Role::Leader {
+            return;
+        }
+        let now_us = sim.now().as_micros();
+        let expired = self.core.borrow().kv.expired_leases(now_us);
+        if expired.is_empty() {
+            return;
+        }
+        self.counters
+            .borrow_mut()
+            .lease_expirations
+            .get_or_insert_with(|| {
+                sim.metrics()
+                    .counter_handle("etcd_lease_expirations_total", &[])
+            })
+            .add(expired.len() as u64);
+        for id in expired {
+            let req_id = {
+                let mut c = self.core.borrow_mut();
+                c.next_req_id += 1;
+                c.next_req_id
+            };
+            // dlaas-lint: allow(discarded-result): losing leadership between the role check and the proposal just drops this revoke; the lease is still expired, so the new leader's next sweep tick re-proposes it
+            let _ = self.raft.propose(
+                sim,
+                KvCommand {
+                    req_id,
+                    op: KvOp::LeaseRevoke {
+                        id,
+                        if_expired_at_us: Some(now_us),
+                    },
+                },
+            );
+        }
     }
 
     /// This server's Raft handle.
@@ -327,15 +417,49 @@ impl EtcdServer {
         responder: Responder<EtcdRequest, EtcdResponse>,
     ) {
         match req {
-            EtcdRequest::Put { key, value } => {
-                self.propose(sim, KvOp::Put { key, value }, responder);
+            EtcdRequest::Put { key, value, lease } => {
+                self.propose(sim, KvOp::Put { key, value, lease }, responder);
             }
             EtcdRequest::Delete { key } => self.propose(sim, KvOp::Delete { key }, responder),
             EtcdRequest::DeletePrefix { prefix } => {
                 self.propose(sim, KvOp::DeletePrefix { prefix }, responder);
             }
-            EtcdRequest::Cas { key, expect, value } => {
-                self.propose(sim, KvOp::Cas { key, expect, value }, responder);
+            EtcdRequest::Cas {
+                key,
+                expect,
+                value,
+                lease,
+            } => {
+                self.propose(
+                    sim,
+                    KvOp::Cas {
+                        key,
+                        expect,
+                        value,
+                        lease,
+                    },
+                    responder,
+                );
+            }
+            EtcdRequest::LeaseGrant { ttl_us } => {
+                // The proposer stamps the grant with its own sim clock;
+                // the replicated deadline is identical on every node.
+                let now_us = sim.now().as_micros();
+                self.propose(sim, KvOp::LeaseGrant { ttl_us, now_us }, responder);
+            }
+            EtcdRequest::LeaseKeepAlive { id } => {
+                let now_us = sim.now().as_micros();
+                self.propose(sim, KvOp::LeaseKeepAlive { id, now_us }, responder);
+            }
+            EtcdRequest::LeaseRevoke { id } => {
+                self.propose(
+                    sim,
+                    KvOp::LeaseRevoke {
+                        id,
+                        if_expired_at_us: None,
+                    },
+                    responder,
+                );
             }
             EtcdRequest::Get { key } => {
                 self.linearizable_read(sim, responder, move |kv| EtcdResponse::Value {
@@ -420,9 +544,22 @@ impl EtcdServer {
             KvOp::DeletePrefix { .. } => 2,
             KvOp::Cas { .. } => 3,
             KvOp::Noop => 4,
+            KvOp::LeaseGrant { .. } => 5,
+            KvOp::LeaseKeepAlive { .. } => 6,
+            KvOp::LeaseRevoke { .. } => 7,
         };
         self.counters.borrow_mut().proposals.get_or_insert_with(|| {
-            ["put", "delete", "delete_prefix", "cas", "noop"].map(|op_label| {
+            [
+                "put",
+                "delete",
+                "delete_prefix",
+                "cas",
+                "noop",
+                "lease_grant",
+                "lease_keepalive",
+                "lease_revoke",
+            ]
+            .map(|op_label| {
                 sim.metrics()
                     .counter_handle("etcd_proposals_total", &[("op", op_label)])
             })

@@ -65,6 +65,14 @@ pub enum FaultAction {
     CrashNode(String),
     /// Bring a crashed node back.
     RestartNode(String),
+    /// Crash LCM replica `i` in place (kubelet restarts it as a fresh
+    /// incarnation; its etcd lease is orphaned until the TTL expires and
+    /// the survivors adopt its shards).
+    CrashLcm(u32),
+    /// Delete LCM replica `i`'s pod (`kubectl delete pod`; the
+    /// deployment recreates it). Same lease-expiry takeover path as
+    /// [`FaultAction::CrashLcm`], but with a scheduler round trip.
+    RestartLcm(u32),
 }
 
 impl FaultAction {
@@ -76,6 +84,8 @@ impl FaultAction {
             FaultAction::DeletePod(p) => kube.delete_pod(sim, p),
             FaultAction::CrashNode(n) => kube.crash_node(sim, n),
             FaultAction::RestartNode(n) => kube.restart_node(sim, n),
+            FaultAction::CrashLcm(i) => kube.crash_pod(sim, &format!("dlaas-lcm-{i}")),
+            FaultAction::RestartLcm(i) => kube.delete_pod(sim, &format!("dlaas-lcm-{i}")),
         }
     }
 }
@@ -87,6 +97,8 @@ impl fmt::Display for FaultAction {
             FaultAction::DeletePod(p) => write!(f, "delete pod {p}"),
             FaultAction::CrashNode(n) => write!(f, "crash node {n}"),
             FaultAction::RestartNode(n) => write!(f, "restart node {n}"),
+            FaultAction::CrashLcm(i) => write!(f, "crash LCM replica {i}"),
+            FaultAction::RestartLcm(i) => write!(f, "restart LCM replica {i}"),
         }
     }
 }
@@ -432,6 +444,24 @@ mod tests {
         assert!(!FaultAction::RestartNode("ghost".into()).apply(&mut sim, &kube));
         assert!(FaultAction::CrashNode("n1".into()).apply(&mut sim, &kube));
         assert!(FaultAction::RestartNode("n1".into()).apply(&mut sim, &kube));
+        // No dlaas-lcm deployment in this toy cluster: LCM faults miss.
+        assert!(!FaultAction::CrashLcm(0).apply(&mut sim, &kube));
+        assert!(!FaultAction::RestartLcm(0).apply(&mut sim, &kube));
+    }
+
+    #[test]
+    fn lcm_faults_target_the_lcm_deployment_pods() {
+        let (mut sim, kube) = boot(7);
+        kube.create_deployment(&mut sim, "dlaas-lcm", 2, pod("lcm"));
+        sim.run_for(SimDuration::from_secs(10));
+        assert!(FaultAction::CrashLcm(1).apply(&mut sim, &kube));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(kube.pod_restarts("dlaas-lcm-1"), Some(1));
+        assert!(FaultAction::RestartLcm(0).apply(&mut sim, &kube));
+        sim.run_for(SimDuration::from_secs(60));
+        assert!(kube.pod_ready(&sim, "dlaas-lcm-0"));
+        assert!(kube.pod_ready(&sim, "dlaas-lcm-1"));
+        assert_eq!(FaultAction::CrashLcm(1).to_string(), "crash LCM replica 1");
     }
 
     #[test]

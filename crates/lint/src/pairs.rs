@@ -47,9 +47,11 @@ pub struct PairSpec {
 /// Crates whose lib code is subject to paired-resource analysis.
 pub const PAIR_CRATES: &[&str] = &["core", "etcd", "docstore", "kube"];
 
-/// The pairs table. `lease_grant`/`journal_begin` have no workspace
-/// call sites yet; they are listed so the contract exists the day the
-/// API grows one (and so fixtures can exercise the shapes).
+/// The pairs table. `lease_grant` went live with the replicated LCM
+/// (`crates/core/src/lcm.rs` holds one lease per replica; its one
+/// sanctioned unbalanced grant carries a justification — server-side
+/// expiry is the release). `journal_begin` has no workspace call sites
+/// yet; it is listed so the contract exists the day the API grows one.
 pub const PAIRS: &[PairSpec] = &[
     PairSpec {
         name: "etcd-watch",

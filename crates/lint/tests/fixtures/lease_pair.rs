@@ -1,0 +1,40 @@
+// Paired-resource fixture: the etcd-lease pair (PR 9 bug shapes). A
+// granted lease that nobody revokes (or closes the client of) keeps
+// its owner keys alive past the holder's death — the raw ingredient of
+// a double-driven shard.
+pub fn discarded_grant(sim: &mut Sim) {
+    etcd.lease_grant(sim, ttl, handler);
+}
+
+pub fn leak_on_early_return(sim: &mut Sim) -> Result<(), EtcdError> {
+    let lease = etcd.lease_grant(sim, ttl, handler);
+    let v = probe(sim)?;
+    apply(v);
+    lease.lease_revoke(sim);
+    Ok(())
+}
+
+pub fn revoked_on_all_paths(sim: &mut Sim) {
+    let lease = etcd.lease_grant(sim, ttl, handler);
+    if degraded(sim) {
+        lease.lease_revoke(sim);
+        return;
+    }
+    sweep(sim);
+    lease.lease_revoke(sim);
+}
+
+pub fn closing_the_client_releases_the_lease(sim: &mut Sim) {
+    let lease = etcd.lease_grant(sim, ttl, handler);
+    sweep(sim);
+    etcd.close(sim);
+}
+
+pub fn consumed_grant_transfers_ownership(sim: &mut Sim) -> Lease {
+    etcd.lease_grant(sim, ttl, handler)
+}
+
+pub fn suppressed_leak(sim: &mut Sim) {
+    // dlaas-lint: allow(resource-leak): fixture — expiry is the designed release path
+    etcd.lease_grant(sim, ttl, handler);
+}

@@ -233,6 +233,29 @@ fn resource_leak_scoped_to_pair_crates() {
 }
 
 #[test]
+fn lease_pair_rule() {
+    // The etcd-lease pair went live with the replicated LCM: a grant
+    // must be balanced by `lease_revoke` or `close` on every path (or
+    // carry a justification naming expiry as the designed release).
+    let r = lint_fixture("lease_pair.rs", "crates/core/src/demo.rs");
+    assert_eq!(
+        rules_and_lines(&r),
+        vec![("resource-leak", 6), ("resource-leak", 10)]
+    );
+    assert!(r.findings.iter().all(|f| f.message.contains("etcd-lease")));
+    assert_eq!(suppressed_rules_and_lines(&r), vec![("resource-leak", 39)]);
+    assert!(r.suppressed[0].justification.contains("expiry"));
+}
+
+#[test]
+fn lease_pair_scoped_to_pair_crates() {
+    // `bench` drives platforms from outside; its lease calls model
+    // other components' resources, not its own.
+    let r = lint_fixture("lease_pair.rs", "crates/bench/src/demo.rs");
+    assert_eq!(rules_and_lines(&r), vec![]);
+}
+
+#[test]
 fn error_sink_rules() {
     let r = lint_fixture("error_sink.rs", "crates/core/src/demo.rs");
     assert_eq!(

@@ -14,7 +14,7 @@ use dlaas_sim::SimDuration;
 
 #[test]
 fn jobs_survive_platform_wide_chaos_monkey() {
-    let (mut sim, platform) = boot(200);
+    let (mut sim, platform) = boot(206);
     let client = platform.client("soak", dlaas_integration::KEY);
 
     let monkey = ChaosMonkey::unleash(

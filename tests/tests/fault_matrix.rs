@@ -15,6 +15,10 @@ fn subset() -> Vec<(FaultKind, InjectionPoint)> {
         (FaultKind::MongoCrash, InjectionPoint::GuardianUp),
         (FaultKind::NfsOutage, InjectionPoint::ProvisionVolume),
         (FaultKind::Partition, InjectionPoint::ApplyPolicies),
+        // The sweep-leader kill: the LCM replica owning the job's shard
+        // dies mid-deploy; a survivor must take the shard over (lease
+        // expiry + CAS) without ever double-driving the job.
+        (FaultKind::LcmOwnerCrash, InjectionPoint::MarkDeploying),
     ]
 }
 

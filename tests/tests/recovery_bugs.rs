@@ -3,11 +3,23 @@
 //! reproduces the exact fault timing that exposed the bug and fails
 //! against the pre-fix behaviour.
 
-use dlaas_core::{check_invariants, paths, JobStatus};
+use dlaas_core::{check_invariants, paths, DlaasPlatform, InvariantMonitor, JobStatus};
 use dlaas_docstore::Value;
-use dlaas_faults::{nfs_outage_window, when};
+use dlaas_faults::{nfs_outage_window, partition_window, when, FaultAction};
 use dlaas_integration::{boot, manifest, submit_blocking, KEY};
+use dlaas_net::Addr;
 use dlaas_sim::SimDuration;
+
+/// The pod currently holding `shard`'s owner key, read off the etcd
+/// leader's store.
+fn shard_owner(platform: &DlaasPlatform, shard: u32) -> Option<String> {
+    let leader = platform.etcd().leader_id()?;
+    platform
+        .etcd()
+        .kv_snapshot(leader)
+        .get(&paths::lcm_shard_owner(shard))
+        .map(|v| v.value.clone())
+}
 
 /// Bug 1: a Guardian incarnation whose `inc("attempts")` write never
 /// became durable used to proceed with the deployment anyway, so the
@@ -209,6 +221,158 @@ fn learner_completion_markers_survive_nfs_outage() {
     );
     sim.run_for(platform.handles().config.lcm_scan * 6);
     check_invariants(&sim, &platform).assert_clean();
+}
+
+/// Bug 5 (HA): a partitioned LCM replica used to keep sweeping its
+/// shards on cached ownership. Its keepalives failed, the server
+/// expired the lease and a survivor took the shards over via the
+/// owner-key delete events — and from then on *two* live replicas
+/// drove the same jobs (double redeploys, double GC teardowns). The
+/// replica now fences itself locally: keepalive stamps the fence at
+/// RPC *send* time, so the local fence always lapses no later than the
+/// server-side lease deadline, and every shard is dropped the moment
+/// the fence passes — strictly before the server can hand it to
+/// anyone else. Pre-fix this test trips the shard-single-owner
+/// invariant (and the loss counter stays at zero because nothing is
+/// ever dropped).
+#[test]
+fn partitioned_lcm_replica_fences_itself_before_lease_expiry() {
+    let (mut sim, platform) = boot(305);
+    let client = platform.client("itest", KEY);
+    let job = submit_blocking(&mut sim, &client, manifest("fence", 900));
+
+    let ttl = platform.handles().config.lcm_lease_ttl;
+    let scan = platform.handles().config.lcm_scan;
+    let shard = paths::job_shard(&job, platform.handles().config.lcm_shards);
+
+    // Let the job get in flight; by then every shard has an owner.
+    let mid = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Processing,
+        SimDuration::from_mins(30),
+    );
+    assert_eq!(mid, Some(JobStatus::Processing), "{job} never started");
+    let owner = shard_owner(&platform, shard).expect("shard owned once the platform is up");
+
+    // Partition exactly that replica's etcd client away from the
+    // cluster for several lease TTLs: keepalives fail, the server
+    // expires the lease, a survivor takes the shard over. Both sides
+    // must be listed — unlisted addresses (every other client) are
+    // unaffected by a group partition.
+    let servers: Vec<Addr> = (0..platform.etcd().len() as u32)
+        .map(dlaas_etcd::etcd_addr)
+        .collect();
+    partition_window(
+        &mut sim,
+        platform.etcd().rpc().net(),
+        vec![vec![Addr::new(format!("etcdc/{owner}"))], servers],
+        ttl * 4,
+    );
+
+    // Throughout expiry and takeover, no shard may ever have two live
+    // sweepers.
+    let end_at = sim.now() + ttl * 4 + scan * 2;
+    while sim.now() < end_at {
+        sim.run_for(SimDuration::from_millis(500));
+        let conflicts = platform.shard_tracker().conflicts();
+        assert!(
+            conflicts.is_empty(),
+            "double drive under partition: {conflicts:?}"
+        );
+    }
+
+    // The partitioned replica dropped its shards at the local fence…
+    assert!(
+        platform
+            .metrics()
+            .counter_total(dlaas_core::metrics::LCM_SHARD_LOSSES)
+            > 0,
+        "partitioned replica never fenced itself"
+    );
+    // …and a live replica owns the job's shard again.
+    assert!(
+        shard_owner(&platform, shard).is_some(),
+        "shard left orphaned after the takeover window"
+    );
+
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(2),
+    );
+    assert_eq!(
+        end,
+        Some(JobStatus::Completed),
+        "{job} lost to the partition"
+    );
+    sim.run_for(scan * 6);
+    check_invariants(&sim, &platform).assert_clean();
+}
+
+/// Bug 6 (HA): the LCM replica used to *list* `lcm/shards/` first and
+/// register its watch afterwards, so an owner key whose delete landed
+/// in that gap was seen by nobody — the listing still showed the dead
+/// owner and the delete event predated the watch. The shard then sat
+/// orphaned until a periodic reconcile happened to notice, far past
+/// the lease-TTL + takeover bound the platform promises. Watch
+/// registration now strictly precedes the initial listing, so takeover
+/// is event-driven: crash the owning replica mid-deployment and the
+/// continuous monitor must never see a shard orphaned past the bound,
+/// while the job still completes.
+#[test]
+fn crashed_shard_owner_is_replaced_within_the_takeover_bound() {
+    let (mut sim, platform) = boot(306);
+    let client = platform.client("itest", KEY);
+    let monitor = InvariantMonitor::install(&mut sim, &platform, SimDuration::from_secs(5));
+
+    let job = submit_blocking(&mut sim, &client, manifest("owner-crash", 400));
+    let shard = paths::job_shard(&job, platform.handles().config.lcm_shards);
+
+    // Kill the owning replica the moment the deployment starts.
+    let p2 = platform.clone();
+    let j2 = job.clone();
+    let p3 = platform.clone();
+    when(
+        &mut sim,
+        SimDuration::from_millis(200),
+        "crash shard owner at DEPLOYING",
+        move |_| p2.job_status(&j2) == Some(JobStatus::Deploying),
+        move |sim| {
+            let owner = shard_owner(&p3, shard).unwrap_or_else(|| "dlaas-lcm-0".into());
+            let idx: u32 = owner
+                .rsplit('-')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            assert!(FaultAction::CrashLcm(idx).apply(sim, p3.kube()));
+        },
+    );
+
+    let end = platform.wait_for_status(
+        &mut sim,
+        &job,
+        JobStatus::Completed,
+        SimDuration::from_hours(2),
+    );
+    assert_eq!(
+        end,
+        Some(JobStatus::Completed),
+        "{job} lost to the owner crash"
+    );
+    sim.run_for(platform.handles().config.lcm_scan * 6);
+    assert_eq!(
+        monitor.violations_seen(),
+        0,
+        "invariant violated during shard takeover"
+    );
+    monitor.cancel();
+    check_invariants(&sim, &platform).assert_clean();
+    assert!(
+        shard_owner(&platform, shard).is_some(),
+        "job's shard still orphaned after recovery"
+    );
 }
 
 /// Regression: the learner's NFS bookkeeping writes (status, log,
