@@ -714,7 +714,7 @@ fn soak_inner(seed: u64, hours: u64, lcm_replicas: Option<u32>) -> (SoakOutcome,
     // to terminal is queueing plus several full trainings.
     let bounds = dlaas_core::InvariantBounds {
         terminal_within: SimDuration::from_hours(4),
-        gc_grace: platform.handles().config.lcm_scan * 3,
+        ..dlaas_core::InvariantBounds::from_config(&platform.handles().config)
     };
     let monitor =
         InvariantMonitor::install_with(&mut sim, &platform, SimDuration::from_secs(60), bounds);

@@ -331,6 +331,23 @@ fn submit(
             if tenant.max_gpus == 0 {
                 return record_and_deploy(sim, &h, &meta2, &tenant.id, manifest, from, responder);
             }
+            // A job demanding more GPUs than the tenant's whole quota can
+            // never be admitted — queueing it would head-of-line block
+            // the tenant's fair queue forever. Reject it outright.
+            if manifest.total_gpus() > tenant.max_gpus {
+                sim.metrics().inc(
+                    crate::metrics::API_SUBMISSIONS,
+                    &[("outcome", "rejected_quota")],
+                );
+                return responder.err(
+                    sim,
+                    format!(
+                        "quota exceeded: job needs {} GPUs, tenant quota is {}",
+                        manifest.total_gpus(),
+                        tenant.max_gpus
+                    ),
+                );
+            }
             let quota_filter = Filter::and(vec![
                 Filter::eq("tenant", tenant.id.clone()),
                 Filter::In("status".into(), active_statuses()),
@@ -342,31 +359,68 @@ fn submit(
                     Ok(d) => d,
                     Err(e) => return responder.err(sim, e.to_string()),
                 };
-                let in_use: u32 = docs
-                    .iter()
-                    .filter_map(|d| d.path("manifest")?.as_str())
-                    .filter_map(|s| TrainingManifest::from_json(s).ok())
-                    .map(|m| m.total_gpus())
-                    .sum();
+                let in_use: u32 = docs.iter().map(doc_gpus).sum();
                 if in_use + manifest.total_gpus() > tenant.max_gpus {
-                    sim.metrics().inc(
-                        crate::metrics::API_SUBMISSIONS,
-                        &[("outcome", "rejected_quota")],
-                    );
-                    return responder.err(
-                        sim,
-                        format!(
-                            "quota exceeded: {} GPUs in use, {} requested, limit {}",
-                            in_use,
-                            manifest.total_gpus(),
-                            tenant.max_gpus
-                        ),
-                    );
+                    // Over quota: accept the job into the weighted fair
+                    // queue instead of rejecting. The LCM's admission
+                    // arbiter promotes it once the tenant has headroom.
+                    return record_queued(sim, &meta3, &tenant.id, manifest, responder);
                 }
                 record_and_deploy(sim, &h2, &meta3, &tenant.id, manifest, from, responder);
             });
         },
     );
+}
+
+/// A job document's GPU demand. Documents written since the fairness
+/// change carry a denormalized `gpus` field; older ones fall back to
+/// parsing the stored manifest.
+pub(crate) fn doc_gpus(doc: &Value) -> u32 {
+    if let Some(g) = doc
+        .path("gpus")
+        .and_then(Value::as_i64)
+        .and_then(|v| u32::try_from(v).ok())
+    {
+        return g;
+    }
+    doc.path("manifest")
+        .and_then(Value::as_str)
+        .and_then(|s| TrainingManifest::from_json(s).ok())
+        .map(|m| m.total_gpus())
+        .unwrap_or(0)
+}
+
+/// Durably record an over-quota job as QUEUED and acknowledge the client.
+/// No DeployJob message is sent: the LCM's fair-queue arbiter admits the
+/// job (QUEUED → PENDING) when the tenant has quota headroom, and its
+/// normal pending sweep deploys it from there.
+fn record_queued(
+    sim: &mut Sim,
+    meta: &Rc<MetaClient>,
+    tenant_id: &str,
+    manifest: TrainingManifest,
+    responder: Resp,
+) {
+    let doc = MetaClient::job_document(
+        tenant_id,
+        &manifest,
+        sim.now().as_micros(),
+        JobStatus::Queued,
+    );
+    meta.insert(sim, JOBS, doc, move |sim, r| {
+        let id = match r {
+            Ok(id) => JobId::new(id),
+            Err(e) => {
+                sim.metrics()
+                    .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "error")]);
+                return responder.err(sim, e.to_string());
+            }
+        };
+        sim.metrics()
+            .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "queued")]);
+        sim.record("api", format!("job {id} over quota; queued"));
+        responder.ok(sim, CoreResponse::Submitted { job: id });
+    });
 }
 
 /// Durably record the job, acknowledge the client, then hand the job id to
@@ -381,8 +435,14 @@ fn record_and_deploy(
     from: dlaas_net::Addr,
     responder: Resp,
 ) {
-    let doc = MetaClient::job_document(tenant_id, &manifest, sim.now().as_micros());
+    let doc = MetaClient::job_document(
+        tenant_id,
+        &manifest,
+        sim.now().as_micros(),
+        JobStatus::Pending,
+    );
     let h = h.clone();
+    let tenant_id = tenant_id.to_owned();
     meta.insert(sim, JOBS, doc, move |sim, r| {
         let id = match r {
             Ok(id) => JobId::new(id),
@@ -394,6 +454,13 @@ fn record_and_deploy(
         };
         sim.metrics()
             .inc(crate::metrics::API_SUBMISSIONS, &[("outcome", "accepted")]);
+        // In-quota jobs are admitted at submission: a zero admission wait,
+        // so the per-tenant wait histogram covers every accepted job.
+        sim.metrics().observe(
+            crate::metrics::TENANT_ADMISSION_WAIT,
+            &[("tenant", &tenant_id)],
+            0.0,
+        );
         sim.record("api", format!("job {id} recorded; acknowledging"));
         responder.ok(sim, CoreResponse::Submitted { job: id.clone() });
 

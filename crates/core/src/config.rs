@@ -48,6 +48,11 @@ pub struct CoreConfig {
     /// undeployable (e.g. it requests GPUs the cluster does not have) and
     /// fails it with full cleanup.
     pub deploy_timeout: SimDuration,
+    /// Fairness bound: a QUEUED job that waits longer than this while its
+    /// tenant has quota headroom for it is a starvation invariant
+    /// violation (the admission arbiter runs every `lcm_scan`, so this
+    /// must cover several sweeps plus arbiter-failover time).
+    pub admission_starvation_bound: SimDuration,
     /// Learner progress-report period.
     pub learner_report: SimDuration,
     /// RPC deadline for service-to-service calls.
@@ -85,6 +90,7 @@ impl Default for CoreConfig {
             lcm_scan: SimDuration::from_secs(20),
             pending_redeploy_after: SimDuration::from_secs(45),
             deploy_timeout: SimDuration::from_mins(30),
+            admission_starvation_bound: SimDuration::from_mins(5),
             learner_report: SimDuration::from_millis(2_000),
             rpc_timeout: SimDuration::from_millis(800),
             api_cold_start: SimDuration::from_millis(1_600),
@@ -127,6 +133,9 @@ impl CoreConfig {
         }
         if self.deploy_timeout <= self.pending_redeploy_after {
             return Err("deploy_timeout must exceed pending_redeploy_after".into());
+        }
+        if self.admission_starvation_bound < self.lcm_scan * 3 {
+            return Err("admission_starvation_bound must cover at least 3 LCM sweeps".into());
         }
         Ok(())
     }
@@ -184,5 +193,11 @@ mod tests {
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err(), "keepalive must be < ttl/2");
+
+        let c = CoreConfig {
+            admission_starvation_bound: SimDuration::from_secs(30),
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err(), "starvation bound must cover sweeps");
     }
 }

@@ -69,6 +69,11 @@ struct Guardian {
     /// Sim-time (µs) the current deployment attempt started, for the
     /// deploy-to-PROCESSING histogram. `None` while only monitoring.
     deploy_started_us: Cell<Option<u64>>,
+    /// Owning tenant and submission stamp, loaded at boot — the
+    /// per-tenant turnaround histogram is observed on the terminal
+    /// transition this guardian applies.
+    tenant: RefCell<Option<String>>,
+    submitted_us: Cell<u64>,
 }
 
 /// Behavior factory for the Guardian container (arg = job id).
@@ -85,6 +90,8 @@ pub fn guardian_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup 
         manifest: RefCell::new(None),
         mon: RefCell::new(MonitorState::default()),
         deploy_started_us: Cell::new(None),
+        tenant: RefCell::new(None),
+        submitted_us: Cell::new(0),
     });
     g.ctx.record(sim, "guardian up; loading job record");
     let etcd_for_cleanup = g.etcd.clone();
@@ -150,6 +157,16 @@ impl Guardian {
                     .and_then(Value::as_str)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(JobStatus::Failed);
+                *me.tenant.borrow_mut() = doc
+                    .path("tenant")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                me.submitted_us.set(
+                    doc.path("submitted_us")
+                        .and_then(Value::as_i64)
+                        .and_then(|us| u64::try_from(us).ok())
+                        .unwrap_or(0),
+                );
                 let manifest = doc
                     .path("manifest")
                     .and_then(Value::as_str)
@@ -265,6 +282,25 @@ impl Guardian {
             .is_empty()
     }
 
+    /// Records the per-tenant turnaround histogram: submission → terminal
+    /// status, queue wait included. Called only on an *applied* terminal
+    /// transition (`advance_status` returned true), so racing guardian
+    /// incarnations observe each job exactly once.
+    fn observe_turnaround(&self, sim: &mut Sim) {
+        let Some(tenant) = self.tenant.borrow().clone() else {
+            return;
+        };
+        let elapsed_us = sim
+            .now()
+            .as_micros()
+            .saturating_sub(self.submitted_us.get());
+        sim.metrics().observe(
+            crate::metrics::TENANT_JOB_TURNAROUND,
+            &[("tenant", &tenant)],
+            elapsed_us as f64 / 1e6,
+        );
+    }
+
     /// Marks the job FAILED, tears everything down and exits cleanly (so
     /// the K8s Job stops retrying us).
     fn fail_job(self: &Rc<Self>, sim: &mut Sim, reason: &str) {
@@ -273,7 +309,10 @@ impl Guardian {
         let reason = reason.to_owned();
         self.meta
             .clone()
-            .advance_status(sim, &self.job, JobStatus::Failed, move |sim, _r| {
+            .advance_status(sim, &self.job, JobStatus::Failed, move |sim, r| {
+                if matches!(r, Ok(true)) {
+                    me.observe_turnaround(sim);
+                }
                 sim.record(
                     format!("guardian/{}", me.job),
                     format!("job failed: {reason}"),
@@ -697,7 +736,10 @@ impl Guardian {
                             sim,
                             &me.job,
                             JobStatus::Completed,
-                            move |sim, _r| {
+                            move |sim, r| {
+                                if matches!(r, Ok(true)) {
+                                    me2.observe_turnaround(sim);
+                                }
                                 teardown_job(sim, &me2.h, &me2.job, false);
                                 me2.ctx.exit(sim, 0);
                             },

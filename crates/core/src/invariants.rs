@@ -25,6 +25,17 @@
 //!    Read from the [`crate::ownership::ShardTracker`] ledger the
 //!    replicas report into; violations carry a synthetic `shard-N` job
 //!    id since they concern the partition, not one job.
+//! 6. **No starvation** — a QUEUED job must not wait past the admission
+//!    bound while its tenant has quota headroom for it AND the tenant
+//!    saw no admission for a full bound (the weighted fair queue
+//!    guarantees progress whenever capacity exists; headroom alone is
+//!    not enough evidence, since a snapshot can land in the short window
+//!    between a completion and the next arbiter sweep — but headroom
+//!    plus a tenant whose `admitted_us` stamps all predate the bound
+//!    means the arbiter is broken or its shard-0 owner failed over
+//!    without takeover). The periodic [`InvariantMonitor`] additionally
+//!    requires a starvation candidate to persist across two consecutive
+//!    passes before recording it.
 //!
 //! [`check_all`] evaluates every invariant against the current state of a
 //! [`DlaasPlatform`]; [`InvariantMonitor`] re-checks periodically inside
@@ -34,7 +45,7 @@
 //! fault-injection trial.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -46,6 +57,7 @@ use crate::config::CoreConfig;
 use crate::job::{JobId, JobStatus};
 use crate::paths;
 use crate::platform::DlaasPlatform;
+use crate::tenant::Tenant;
 
 /// Time bounds used by the checker.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +69,9 @@ pub struct InvariantBounds {
     /// Grace period after a job turns terminal before leak checks apply
     /// (the LCM scan needs at least one period to garbage-collect).
     pub gc_grace: SimDuration,
+    /// How long a QUEUED job may wait while its tenant has quota
+    /// headroom before the starvation invariant trips.
+    pub admission_within: SimDuration,
 }
 
 impl InvariantBounds {
@@ -67,6 +82,7 @@ impl InvariantBounds {
         InvariantBounds {
             terminal_within: cfg.deploy_timeout + SimDuration::from_hours(1),
             gc_grace: cfg.lcm_scan * 3,
+            admission_within: cfg.admission_starvation_bound,
         }
     }
 }
@@ -79,7 +95,7 @@ pub struct InvariantViolation {
     /// Stable short name of the invariant (`terminal-bound`,
     /// `history-monotone`, `attempts-bound`, `leak-pods`, `leak-volume`,
     /// `leak-netpol`, `leak-etcd`, `shard-single-owner`,
-    /// `shard-orphaned`).
+    /// `shard-orphaned`, `tenant-starved`).
     pub invariant: &'static str,
     /// Human-readable description of the observed state.
     pub detail: String,
@@ -167,6 +183,42 @@ pub fn check_with(
     let max_attempts = platform.handles().config.deploy_max_attempts;
 
     let docs = platform.job_documents();
+
+    // Tenant quotas plus per-tenant GPUs held by admitted (non-QUEUED,
+    // non-terminal) jobs, for the starvation rule (6).
+    let tenants: BTreeMap<String, Tenant> = platform
+        .tenant_documents()
+        .iter()
+        .filter_map(Tenant::from_document)
+        .map(|t| (t.id.clone(), t))
+        .collect();
+    let mut held: BTreeMap<&str, u32> = BTreeMap::new();
+    // Most recent admission per tenant (any doc with an `admitted_us`
+    // stamp, terminal included): evidence the arbiter is making
+    // progress for that tenant.
+    let mut last_admitted: BTreeMap<&str, u64> = BTreeMap::new();
+    for doc in &docs {
+        let Some(t) = doc.path("tenant").and_then(Value::as_str) else {
+            continue;
+        };
+        let admitted = doc
+            .path("status")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<JobStatus>().ok())
+            .is_some_and(|s| !s.is_terminal() && s != JobStatus::Queued);
+        if admitted {
+            *held.entry(t).or_insert(0) += crate::api::doc_gpus(doc);
+        }
+        if let Some(at) = doc
+            .path("admitted_us")
+            .and_then(Value::as_i64)
+            .and_then(|us| u64::try_from(us).ok())
+        {
+            let e = last_admitted.entry(t).or_insert(0);
+            *e = (*e).max(at);
+        }
+    }
+
     for doc in &docs {
         let Some(id) = doc.path("_id").and_then(Value::as_str) else {
             continue;
@@ -197,14 +249,54 @@ pub fn check_with(
                     check_leaks(platform, etcd_kv.as_ref(), &job, &mut violations);
                 }
             }
-            _ => {
-                // 1. Liveness: accepted jobs must terminate within bound.
-                let submitted = doc
+            Some(JobStatus::Queued) => {
+                // 6. No starvation: the fair queue must admit this job
+                //    while its tenant has headroom for it.
+                let since = doc
                     .path("submitted_us")
                     .and_then(Value::as_i64)
                     .map(|us| SimTime::from_micros(us as u64))
                     .unwrap_or(now);
-                let age = now.saturating_duration_since(submitted);
+                let waited = now.saturating_duration_since(since);
+                if waited > bounds.admission_within {
+                    let tenant = doc.path("tenant").and_then(Value::as_str).unwrap_or("");
+                    let gpus = crate::api::doc_gpus(doc);
+                    let headroom = tenants.get(tenant).is_some_and(|t| {
+                        t.max_gpus == 0
+                            || held.get(tenant).copied().unwrap_or(0) + gpus <= t.max_gpus
+                    });
+                    // A busy tenant's queue legitimately backs up for a
+                    // long time — that is backlog, not starvation. The
+                    // arbiter is broken only if the tenant ALSO made no
+                    // admission for a full bound (no `admitted_us`
+                    // stamp fresher than the bound).
+                    let stalled = now.saturating_duration_since(SimTime::from_micros(
+                        last_admitted.get(tenant).copied().unwrap_or(0),
+                    )) > bounds.admission_within;
+                    if headroom && stalled {
+                        violations.push(InvariantViolation {
+                            job: job.clone(),
+                            invariant: "tenant-starved",
+                            detail: format!(
+                                "QUEUED for {waited} despite quota headroom and no admission in {} (tenant {tenant}, {gpus} gpus)",
+                                bounds.admission_within
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {
+                // 1. Liveness, clocked from admission so time spent in
+                //    the fair queue does not count against the bound
+                //    (fallback: submission, for docs predating the
+                //    queue).
+                let started = doc
+                    .path("admitted_us")
+                    .and_then(Value::as_i64)
+                    .or_else(|| doc.path("submitted_us").and_then(Value::as_i64))
+                    .map(|us| SimTime::from_micros(us as u64))
+                    .unwrap_or(now);
+                let age = now.saturating_duration_since(started);
                 if age > bounds.terminal_within {
                     violations.push(InvariantViolation {
                         job: job.clone(),
@@ -407,9 +499,21 @@ impl InvariantMonitor {
             Rc::new(RefCell::new(BTreeSet::new()));
         let seen2 = seen.clone();
         let platform = platform.clone();
+        // Starvation candidates from the previous pass: "tenant-starved"
+        // is recorded only when the same job is a candidate on two
+        // consecutive passes, so a snapshot that races the admission
+        // arbiter (headroom freed moments ago) cannot false-positive.
+        let mut starved_prev: BTreeSet<String> = BTreeSet::new();
         let timer = dlaas_sim::every(sim, period, move |sim, _n| {
             let report = check_with(sim, &platform, &bounds);
+            let mut starved_now = BTreeSet::new();
             for v in &report.violations {
+                if v.invariant == "tenant-starved" {
+                    starved_now.insert(v.job.as_str().to_owned());
+                    if !starved_prev.contains(v.job.as_str()) {
+                        continue;
+                    }
+                }
                 let key = (v.job.as_str().to_owned(), v.invariant);
                 if seen2.borrow_mut().insert(key) {
                     sim.record("invariants", format!("VIOLATION {v}"));
@@ -419,6 +523,7 @@ impl InvariantMonitor {
                     );
                 }
             }
+            starved_prev = starved_now;
             true
         });
         InvariantMonitor { seen, timer }

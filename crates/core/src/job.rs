@@ -36,7 +36,10 @@ impl From<&str> for JobId {
 /// job is DEPLOYING, PROCESSING)").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobStatus {
-    /// Accepted and durably recorded; awaiting deployment.
+    /// Accepted and durably recorded, but the tenant is over its GPU
+    /// quota; held in the weighted fair queue until capacity frees up.
+    Queued,
+    /// Admitted against the tenant's quota; awaiting deployment.
     Pending,
     /// The Guardian is provisioning resources.
     Deploying,
@@ -56,17 +59,18 @@ impl JobStatus {
     /// Position in the lifecycle; equal ranks are both terminal.
     pub fn rank(self) -> u8 {
         match self {
-            JobStatus::Pending => 0,
-            JobStatus::Deploying => 1,
-            JobStatus::Processing => 2,
-            JobStatus::Storing => 3,
-            JobStatus::Completed | JobStatus::Failed | JobStatus::Killed => 4,
+            JobStatus::Queued => 0,
+            JobStatus::Pending => 1,
+            JobStatus::Deploying => 2,
+            JobStatus::Processing => 3,
+            JobStatus::Storing => 4,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Killed => 5,
         }
     }
 
     /// `true` for end states.
     pub fn is_terminal(self) -> bool {
-        self.rank() == 4
+        self.rank() == 5
     }
 
     /// `true` when moving from `self` to `next` goes forward in the
@@ -79,6 +83,7 @@ impl JobStatus {
 impl fmt::Display for JobStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            JobStatus::Queued => "QUEUED",
             JobStatus::Pending => "PENDING",
             JobStatus::Deploying => "DEPLOYING",
             JobStatus::Processing => "PROCESSING",
@@ -108,6 +113,7 @@ impl FromStr for JobStatus {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
+            "QUEUED" => Ok(JobStatus::Queued),
             "PENDING" => Ok(JobStatus::Pending),
             "DEPLOYING" => Ok(JobStatus::Deploying),
             "PROCESSING" => Ok(JobStatus::Processing),
@@ -196,6 +202,8 @@ mod tests {
     #[test]
     fn status_lifecycle_order() {
         use JobStatus::*;
+        assert!(Queued.can_advance_to(Pending));
+        assert!(Queued.can_advance_to(Killed));
         assert!(Pending.can_advance_to(Deploying));
         assert!(Deploying.can_advance_to(Processing));
         assert!(Processing.can_advance_to(Storing));
@@ -204,6 +212,7 @@ mod tests {
         assert!(Deploying.can_advance_to(Killed));
 
         // Never backwards.
+        assert!(!Pending.can_advance_to(Queued));
         assert!(!Processing.can_advance_to(Deploying));
         assert!(!Storing.can_advance_to(Processing));
         // Never out of a terminal state.
@@ -217,6 +226,7 @@ mod tests {
     #[test]
     fn status_string_roundtrip() {
         for s in [
+            JobStatus::Queued,
             JobStatus::Pending,
             JobStatus::Deploying,
             JobStatus::Processing,
@@ -232,6 +242,7 @@ mod tests {
 
     #[test]
     fn terminal_detection() {
+        assert!(!JobStatus::Queued.is_terminal());
         assert!(!JobStatus::Processing.is_terminal());
         assert!(JobStatus::Completed.is_terminal());
         assert!(JobStatus::Failed.is_terminal());

@@ -62,11 +62,19 @@ use dlaas_kube::{
 };
 use dlaas_sim::{Sim, SimTime};
 
+use crate::fairness::{admission_plan, QueuedJob, TenantShare};
 use crate::handles::Handles;
 use crate::job::{JobId, JobStatus};
-use crate::mongo::{MetaClient, JOBS};
+use crate::mongo::{MetaClient, JOBS, TENANTS};
 use crate::paths;
 use crate::proto::{CoreRequest, CoreResponse};
+use crate::tenant::Tenant;
+
+/// The shard whose owner runs the admission arbiter. Fair-queue admission
+/// is a global decision (usage ratios compare across tenants), so it runs
+/// on exactly one replica — and shard ownership already provides an
+/// at-most-one primitive with lease-fenced failover for free.
+const ARBITER_SHARD: u32 = 0;
 
 /// Behavior factory for the LCM container.
 pub fn lcm_behavior(h: Handles, sim: &mut Sim, ctx: ProcessCtx) -> Cleanup {
@@ -552,14 +560,46 @@ fn deploying_since(doc: &Value) -> Option<SimTime> {
 struct ScanState {
     /// Change-feed sequence number the next scan resumes from.
     watermark: u64,
-    /// PENDING jobs and when they were submitted (redeploy backstop).
+    /// PENDING jobs and when they were admitted (redeploy backstop).
     pending: BTreeMap<JobId, SimTime>,
     /// DEPLOYING jobs and when they entered that state (deploy timeout).
     deploying: BTreeMap<JobId, SimTime>,
-    /// All non-terminal jobs (Guardian gave-up watch).
+    /// All non-terminal admitted jobs (Guardian gave-up watch).
     active: BTreeSet<JobId>,
     /// Terminal jobs not yet confirmed free of cluster leftovers.
     terminal_gc: BTreeSet<JobId>,
+    /// QUEUED jobs awaiting fair-queue admission.
+    queued: BTreeMap<JobId, QueuedInfo>,
+    /// GPU demand of admitted, non-terminal jobs (tenant, gpus) — the
+    /// arbiter's usage view, folded to per-tenant sums each round.
+    usage: BTreeMap<JobId, (String, u32)>,
+    /// Tenants-collection change-feed watermark.
+    tenants_watermark: u64,
+    /// The tenant registry (quotas + fair-share weights), fed by the
+    /// tenants collection's change feed.
+    tenants: BTreeMap<String, TenantShare>,
+    /// Tenants whose queue-depth gauge this replica last set (so a
+    /// drained tenant's gauge drops back to 0 instead of going stale).
+    gauged: BTreeSet<String>,
+}
+
+/// The arbiter's view of one QUEUED job.
+#[derive(Debug)]
+struct QueuedInfo {
+    tenant: String,
+    gpus: u32,
+    since_us: u64,
+}
+
+/// Records an admitted non-terminal job's GPU demand in the arbiter's
+/// usage view (skipped when the document has no tenant — such a document
+/// is malformed, but quota math degrading to "uncounted" is the safe
+/// direction: the invariant checker still sees it).
+fn track_usage(st: &mut ScanState, job: &JobId, doc: &Value) {
+    if let Some(tenant) = doc.path("tenant").and_then(Value::as_str) {
+        st.usage
+            .insert(job.clone(), (tenant.to_owned(), crate::api::doc_gpus(doc)));
+    }
 }
 
 /// Folds one changed job document into the watchlists.
@@ -572,41 +612,76 @@ fn ingest(sim: &mut Sim, st: &mut ScanState, doc: &Value) {
     st.deploying.remove(&job);
     st.active.remove(&job);
     st.terminal_gc.remove(&job);
+    st.queued.remove(&job);
+    st.usage.remove(&job);
     let status: Option<JobStatus> = doc
         .path("status")
         .and_then(Value::as_str)
         .and_then(|s| s.parse().ok());
     match status {
-        Some(JobStatus::Pending) => {
-            st.active.insert(job.clone());
-            // A negative submitted_us is store corruption: leave the job
-            // off the redeploy watchlist like the other malformed-record
-            // paths instead of wrapping it to a huge timestamp (which
-            // would pin the job's age at zero and strand it forever).
-            match u64::try_from(
-                doc.path("submitted_us")
-                    .and_then(Value::as_i64)
-                    .unwrap_or(0),
-            ) {
-                Ok(submitted) => {
-                    st.pending.insert(job, SimTime::from_micros(submitted));
+        Some(JobStatus::Queued) => {
+            let tenant = doc.path("tenant").and_then(Value::as_str);
+            let since = doc
+                .path("submitted_us")
+                .and_then(Value::as_i64)
+                .and_then(|us| u64::try_from(us).ok());
+            match (tenant, since) {
+                (Some(tenant), Some(since_us)) => {
+                    st.queued.insert(
+                        job,
+                        QueuedInfo {
+                            tenant: tenant.to_owned(),
+                            gpus: crate::api::doc_gpus(doc),
+                            since_us,
+                        },
+                    );
                 }
-                Err(_) => {
+                // Missing tenant / negative timestamp is store
+                // corruption: keep the job off the admission queue like
+                // the other malformed-record paths.
+                _ => {
                     sim.metrics().inc(
                         crate::metrics::LCM_MALFORMED_RECORDS,
-                        &[("field", "submitted_us")],
+                        &[("field", "queued")],
                     );
+                }
+            }
+        }
+        Some(JobStatus::Pending) => {
+            st.active.insert(job.clone());
+            track_usage(st, &job, doc);
+            // Age from `admitted_us` (fair-queue admission stamps it; for
+            // directly admitted jobs it equals `submitted_us`, which
+            // remains the fallback for pre-fairness documents). A
+            // negative stamp is store corruption: leave the job off the
+            // redeploy watchlist instead of wrapping it to a huge
+            // timestamp (which would pin the job's age at zero and
+            // strand it forever).
+            let field = if doc.path("admitted_us").is_some() {
+                "admitted_us"
+            } else {
+                "submitted_us"
+            };
+            match u64::try_from(doc.path(field).and_then(Value::as_i64).unwrap_or(0)) {
+                Ok(admitted) => {
+                    st.pending.insert(job, SimTime::from_micros(admitted));
+                }
+                Err(_) => {
+                    sim.metrics()
+                        .inc(crate::metrics::LCM_MALFORMED_RECORDS, &[("field", field)]);
                 }
             }
         }
         Some(JobStatus::Deploying) => {
             st.active.insert(job.clone());
+            track_usage(st, &job, doc);
             if let Some(since) = deploying_since(doc) {
                 st.deploying.insert(job, since);
             }
         }
         Some(JobStatus::Processing | JobStatus::Storing) => {
-            st.active.insert(job);
+            st.active.insert(job.clone());
+            track_usage(st, &job, doc);
         }
         Some(JobStatus::Completed | JobStatus::Failed | JobStatus::Killed) => {
             st.terminal_gc.insert(job);
@@ -645,10 +720,139 @@ fn scan(
                 st.deploying.remove(&job);
                 st.active.remove(&job);
                 st.terminal_gc.remove(&job);
+                st.queued.remove(&job);
+                st.usage.remove(&job);
             }
         }
-        sweep(sim, &h2, &meta2, &state2, &rep2);
+        // Pull the tenants feed too (quota/weight edits are rare, so
+        // this is almost always an empty delta), then sweep and run the
+        // admission arbiter on the fresh view.
+        let tenants_since = state2.borrow().tenants_watermark;
+        let h3 = h2.clone();
+        let meta3 = meta2.clone();
+        let state3 = state2.clone();
+        let rep3 = rep2.clone();
+        meta2.find_changed(sim, TENANTS, tenants_since, move |sim, r| {
+            if let Ok((docs, gone, high_water)) = r {
+                let mut st = state3.borrow_mut();
+                st.tenants_watermark = high_water;
+                for doc in &docs {
+                    if let Some(t) = Tenant::from_document(doc) {
+                        st.tenants.insert(
+                            t.id,
+                            TenantShare {
+                                max_gpus: t.max_gpus,
+                                weight: t.weight,
+                            },
+                        );
+                    }
+                }
+                for id in &gone {
+                    st.tenants.remove(id);
+                }
+            }
+            // Tenants feed unreachable: sweep with the cached registry.
+            sweep(sim, &h3, &meta3, &state3, &rep3);
+            admit(sim, &h3, &meta3, &state3, &rep3);
+        });
     });
+}
+
+/// The fair-queue admission arbiter: runs only on the replica currently
+/// owning [`ARBITER_SHARD`], computes the pure [`admission_plan`] over
+/// the watchlists, and applies it with CAS-guarded QUEUED → PENDING
+/// updates. Admissions are deliberately NOT reported as sweep drives:
+/// the admitted job's shard may belong to another replica, and the
+/// ledger's at-most-one-owner check is about lifecycle sweeps — the
+/// admission write itself is single-winner by the status CAS, and
+/// [`ensure_guardian`] is idempotent under races with the owner's own
+/// pending sweep.
+fn admit(
+    sim: &mut Sim,
+    h: &Handles,
+    meta: &MetaClient,
+    state: &Rc<RefCell<ScanState>>,
+    rep: &Rc<Replica>,
+) {
+    if !lease_valid(rep, sim.now()) || !rep.own.borrow().owned.contains(&ARBITER_SHARD) {
+        return;
+    }
+
+    // Queue-depth gauges (single writer: this arbiter). Tenants whose
+    // queue drained since the last round are reset to 0.
+    let (tenants, usage, queued) = {
+        let mut st = state.borrow_mut();
+        let mut depths: BTreeMap<String, f64> = BTreeMap::new();
+        for info in st.queued.values() {
+            *depths.entry(info.tenant.clone()).or_insert(0.0) += 1.0;
+        }
+        for tenant in &st.gauged {
+            if !depths.contains_key(tenant) {
+                sim.metrics().set_gauge(
+                    crate::metrics::TENANT_QUEUE_DEPTH,
+                    &[("tenant", tenant)],
+                    0.0,
+                );
+            }
+        }
+        for (tenant, depth) in &depths {
+            sim.metrics().set_gauge(
+                crate::metrics::TENANT_QUEUE_DEPTH,
+                &[("tenant", tenant)],
+                *depth,
+            );
+        }
+        st.gauged = depths.keys().cloned().collect();
+
+        let mut usage: BTreeMap<String, u32> = BTreeMap::new();
+        for (tenant, gpus) in st.usage.values() {
+            *usage.entry(tenant.clone()).or_insert(0) += gpus;
+        }
+        let queued: Vec<QueuedJob> = st
+            .queued
+            .iter()
+            .map(|(job, i)| QueuedJob {
+                job: job.clone(),
+                tenant: i.tenant.clone(),
+                gpus: i.gpus,
+                since_us: i.since_us,
+            })
+            .collect();
+        (st.tenants.clone(), usage, queued)
+    };
+    if queued.is_empty() {
+        return;
+    }
+
+    for job in admission_plan(&tenants, &usage, &queued) {
+        let Some(q) = queued.iter().find(|q| q.job == job) else {
+            continue;
+        };
+        let tenant = q.tenant.clone();
+        let since_us = q.since_us;
+        let h2 = h.clone();
+        let job = job.clone();
+        // The local queued entry is left in place: on success the status
+        // change re-enters through the jobs feed before the next round
+        // (moving the job to the pending/usage lists), and on a lost CAS
+        // race or store error the entry must survive for a retry anyway.
+        meta.admit_job(sim, &job.clone(), move |sim, r| {
+            if !matches!(r, Ok(true)) {
+                return;
+            }
+            let waited = sim.now().as_micros().saturating_sub(since_us);
+            sim.metrics().observe(
+                crate::metrics::TENANT_ADMISSION_WAIT,
+                &[("tenant", &tenant)],
+                waited as f64,
+            );
+            sim.record(
+                "lcm",
+                format!("arbiter admitted {job} (tenant {tenant}, waited {waited}us)"),
+            );
+            ensure_guardian(sim, &h2, &job);
+        });
+    }
 }
 
 /// Records a sweep drive against `job` in the ownership ledger right
@@ -900,6 +1104,68 @@ mod tests {
         assert!(st.pending.is_empty());
         assert!(!st.active.contains(&JobId::new("p")));
         assert!(st.terminal_gc.contains(&JobId::new("p")));
+    }
+
+    #[test]
+    fn ingest_prefers_admitted_us_for_pending_age() {
+        // A fair-queue-admitted job's redeploy clock starts at admission,
+        // not submission — otherwise a long queue wait alone would trip
+        // the stranded-job redeploy (and the liveness invariant).
+        let mut sim = Sim::new(0);
+        let mut st = ScanState::default();
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "p", "status" => "PENDING",
+            "submitted_us" => 42, "admitted_us" => 9000},
+        );
+        assert_eq!(
+            st.pending.get(&JobId::new("p")),
+            Some(&SimTime::from_micros(9000))
+        );
+    }
+
+    #[test]
+    fn ingest_routes_queued_jobs_to_the_admission_queue() {
+        let mut sim = Sim::new(0);
+        let mut st = ScanState::default();
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "q", "status" => "QUEUED", "tenant" => "acme",
+            "gpus" => 4, "submitted_us" => 100},
+        );
+        let info = st.queued.get(&JobId::new("q")).unwrap();
+        assert_eq!(
+            (info.tenant.as_str(), info.gpus, info.since_us),
+            ("acme", 4, 100)
+        );
+        assert!(
+            !st.active.contains(&JobId::new("q")),
+            "queued is not active"
+        );
+        assert!(st.usage.is_empty(), "queued jobs hold no quota");
+
+        // Admission moves it to the pending + usage views.
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "q", "status" => "PENDING", "tenant" => "acme",
+            "gpus" => 4, "submitted_us" => 100, "admitted_us" => 500},
+        );
+        assert!(st.queued.is_empty());
+        assert_eq!(
+            st.usage.get(&JobId::new("q")),
+            Some(&("acme".to_owned(), 4))
+        );
+
+        // A queued document missing its tenant is malformed: skipped.
+        ingest(
+            &mut sim,
+            &mut st,
+            &obj! {"_id" => "bad", "status" => "QUEUED", "submitted_us" => 1},
+        );
+        assert!(st.queued.is_empty());
     }
 
     #[test]

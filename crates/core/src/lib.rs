@@ -54,6 +54,7 @@
 mod api;
 mod client;
 mod config;
+pub mod fairness;
 mod guardian;
 mod handles;
 mod helper;

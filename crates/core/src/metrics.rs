@@ -72,6 +72,17 @@ pub const CHECKPOINT_RESTORES: &str = "dlaas_checkpoint_restores_total";
 /// Seconds training stalled per checkpoint upload (§III-g trade-off).
 pub const CHECKPOINT_STALL_SECONDS: &str = "dlaas_checkpoint_stall_seconds";
 
+/// QUEUED jobs awaiting fair-queue admission, by tenant (gauge, set by
+/// the LCM admission arbiter each sweep).
+pub const TENANT_QUEUE_DEPTH: &str = "dlaas_tenant_queue_depth";
+/// Microseconds a job waited from submission to quota admission, by
+/// tenant (0 for jobs admitted directly at submission).
+pub const TENANT_ADMISSION_WAIT: &str = "dlaas_tenant_admission_wait_us";
+/// Seconds from submission to a terminal status, by tenant — the
+/// per-tenant job-throughput/completion-latency histogram the traffic
+/// bench reads its p50/p95/p99 from.
+pub const TENANT_JOB_TURNAROUND: &str = "dlaas_tenant_job_turnaround_seconds";
+
 /// Platform invariant violations observed by the checker, by invariant.
 pub const INVARIANT_VIOLATIONS: &str = "dlaas_invariant_violations_total";
 
@@ -95,7 +106,7 @@ pub const MONGO_DOCS_EXAMINED: &str = "mongo_docs_examined";
 /// are created on first use either way — but keeps the exposition page
 /// self-describing.
 pub fn register(registry: &Registry) {
-    use MetricKind::{Counter, Histogram};
+    use MetricKind::{Counter, Gauge, Histogram};
     let c = |name, help| registry.describe(name, Counter, help);
     c(API_REQUESTS, "user API requests served, by kind");
     c(API_SUBMISSIONS, "job submissions, by outcome");
@@ -172,9 +183,39 @@ pub fn register(registry: &Registry) {
         "trained models uploaded to the object store",
     );
     registry.describe(
+        TENANT_QUEUE_DEPTH,
+        Gauge,
+        "QUEUED jobs awaiting fair-queue admission, by tenant",
+    );
+    registry.describe(
         GUARDIAN_DEPLOY_SECONDS,
         Histogram,
         "seconds from deployment-attempt start to PROCESSING",
+    );
+    registry.describe(
+        TENANT_ADMISSION_WAIT,
+        Histogram,
+        "microseconds from submission to quota admission, by tenant",
+    );
+    // Admission waits span 0 (in-quota at submission) through many LCM
+    // sweep periods; decade-ish microsecond bounds up to ~3 hours.
+    registry.set_buckets(
+        TENANT_ADMISSION_WAIT,
+        &[1e3, 1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10],
+    );
+    registry.describe(
+        TENANT_JOB_TURNAROUND,
+        Histogram,
+        "seconds from submission to a terminal status, by tenant",
+    );
+    // Turnaround = queue wait + deploy + training; heavy-tailed job
+    // durations need bounds well past the default 600s ceiling.
+    registry.set_buckets(
+        TENANT_JOB_TURNAROUND,
+        &[
+            1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 1800.0, 3600.0, 7200.0,
+            14400.0,
+        ],
     );
     registry.describe(
         CHECKPOINT_STALL_SECONDS,

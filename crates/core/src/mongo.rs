@@ -256,22 +256,71 @@ impl MetaClient {
 
     /// Builds the document inserted at submission time. The store assigns
     /// the `_id` (which becomes the [`JobId`]) unless one is present.
-    pub fn job_document(tenant: &str, manifest: &TrainingManifest, now_us: u64) -> Value {
-        dlaas_docstore::obj! {
+    /// `status` is [`JobStatus::Pending`] for in-quota submissions
+    /// (admitted immediately: `admitted_us == submitted_us`) or
+    /// [`JobStatus::Queued`] for over-quota ones (no `admitted_us` until
+    /// the fair-queue arbiter admits them).
+    pub fn job_document(
+        tenant: &str,
+        manifest: &TrainingManifest,
+        now_us: u64,
+        status: JobStatus,
+    ) -> Value {
+        let mut doc = dlaas_docstore::obj! {
             "tenant" => tenant,
             "name" => manifest.name.clone(),
-            "status" => JobStatus::Pending.to_string(),
+            "status" => status.to_string(),
             "history" => vec![dlaas_docstore::obj! {
-                "status" => JobStatus::Pending.to_string(),
+                "status" => status.to_string(),
                 "t_us" => now_us,
             }],
             "manifest" => manifest.to_json(),
+            // The fair-queue arbiter and quota scans need the job's GPU
+            // demand without re-parsing the manifest on every sweep.
+            "gpus" => manifest.total_gpus(),
             "attempts" => 0,
             "learner_restarts" => 0,
             "iteration" => 0,
             "images_per_sec" => Value::Null,
             "submitted_us" => now_us,
+        };
+        if status == JobStatus::Pending {
+            Update::set("admitted_us", now_us).apply(&mut doc);
         }
+        doc
+    }
+
+    /// Admits a queued job: QUEUED → PENDING, stamping `admitted_us`.
+    /// The filter pins the current status, so concurrent arbiters (or an
+    /// arbiter racing a user Kill) resolve to exactly one winner; `done`
+    /// receives whether this call applied the transition.
+    pub fn admit_job(
+        &self,
+        sim: &mut Sim,
+        job: &JobId,
+        done: impl FnOnce(&mut Sim, Result<bool, MetaError>) + 'static,
+    ) {
+        let filter = Filter::and(vec![
+            Filter::eq("_id", job.as_str()),
+            Filter::eq("status", JobStatus::Queued.to_string()),
+        ]);
+        let now_us = sim.now().as_micros();
+        let to_str = JobStatus::Pending.to_string();
+        let update = Update::Many(vec![
+            Update::set("status", to_str.clone()),
+            Update::set("admitted_us", now_us),
+            Update::push(
+                "history",
+                dlaas_docstore::obj! { "status" => to_str.clone(), "t_us" => now_us },
+            ),
+        ]);
+        self.update_one(sim, JOBS, filter, update, move |sim, r| {
+            if matches!(r, Ok(true)) {
+                sim.metrics()
+                    .inc(crate::metrics::JOB_TRANSITIONS, &[("to", &to_str)]);
+            }
+            done(sim, r);
+        });
     }
 
     /// Advances a job's status, enforcing forward-only transitions: the
@@ -286,6 +335,7 @@ impl MetaClient {
         done: impl FnOnce(&mut Sim, Result<bool, MetaError>) + 'static,
     ) {
         let allowed: Vec<Value> = [
+            JobStatus::Queued,
             JobStatus::Pending,
             JobStatus::Deploying,
             JobStatus::Processing,
@@ -398,10 +448,15 @@ mod tests {
             .results("r")
             .build()
             .unwrap();
-        let mut doc = MetaClient::job_document("acme", &m, 123);
+        let mut doc = MetaClient::job_document("acme", &m, 123, JobStatus::Pending);
         assert!(doc.path("_id").is_none(), "id assigned by the store");
         assert_eq!(doc.path("status").unwrap().as_str(), Some("PENDING"));
         assert_eq!(doc.path("tenant").unwrap().as_str(), Some("acme"));
+        assert_eq!(doc.path("admitted_us").unwrap().as_i64(), Some(123));
+        assert_eq!(
+            doc.path("gpus").unwrap().as_i64(),
+            Some(i64::from(m.total_gpus()))
+        );
         dlaas_docstore::Update::set("_id", "j1").apply(&mut doc);
 
         let info = MetaClient::parse_job_info(&doc).unwrap();
@@ -413,6 +468,19 @@ mod tests {
         // The stored manifest round-trips.
         let stored = doc.path("manifest").unwrap().as_str().unwrap();
         assert_eq!(TrainingManifest::from_json(stored).unwrap(), m);
+    }
+
+    #[test]
+    fn queued_document_has_no_admitted_stamp() {
+        let m = TrainingManifest::builder("train")
+            .data("d", "p/", 100)
+            .results("r")
+            .build()
+            .unwrap();
+        let doc = MetaClient::job_document("acme", &m, 123, JobStatus::Queued);
+        assert_eq!(doc.path("status").unwrap().as_str(), Some("QUEUED"));
+        assert!(doc.path("admitted_us").is_none());
+        assert_eq!(doc.path("submitted_us").unwrap().as_i64(), Some(123));
     }
 
     #[test]

@@ -355,6 +355,16 @@ impl DlaasPlatform {
             .find(JOBS, &Filter::True)
     }
 
+    /// Every tenant document currently in the store (the invariant
+    /// checker's fairness rule needs quotas and weights).
+    pub fn tenant_documents(&self) -> Vec<Value> {
+        self.mongo
+            .borrow()
+            .store()
+            .borrow()
+            .find(TENANTS, &Filter::True)
+    }
+
     /// Ids of every accepted (durably recorded) job.
     pub fn all_job_ids(&self) -> Vec<JobId> {
         self.job_documents()

@@ -16,16 +16,27 @@ pub struct Tenant {
     pub api_key: String,
     /// Maximum GPUs the tenant may hold concurrently (0 = unlimited).
     pub max_gpus: u32,
+    /// Fair-share weight for over-quota admission: a tenant with weight 4
+    /// gets 4× the admission share of a weight-1 tenant when both have
+    /// queued jobs. Never 0 (clamped to 1 on parse).
+    pub weight: u32,
 }
 
 impl Tenant {
-    /// Creates a tenant.
+    /// Creates a tenant with the default fair-share weight of 1.
     pub fn new(id: impl Into<String>, api_key: impl Into<String>, max_gpus: u32) -> Self {
         Tenant {
             id: id.into(),
             api_key: api_key.into(),
             max_gpus,
+            weight: 1,
         }
+    }
+
+    /// Sets the fair-share weight (clamped to at least 1).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
     }
 
     /// The document stored in the tenants collection.
@@ -34,15 +45,23 @@ impl Tenant {
             "_id" => self.id.clone(),
             "api_key" => self.api_key.clone(),
             "max_gpus" => self.max_gpus,
+            "weight" => self.weight,
         }
     }
 
-    /// Parses a stored tenant document, if well-formed.
+    /// Parses a stored tenant document, if well-formed. Documents written
+    /// before fair-share weights existed carry no `weight` field; they
+    /// parse as weight 1.
     pub fn from_document(doc: &Value) -> Option<Tenant> {
+        let weight = match doc.path("weight") {
+            Some(v) => (v.as_i64()? as u32).max(1),
+            None => 1,
+        };
         Some(Tenant {
             id: doc.path("_id")?.as_str()?.to_owned(),
             api_key: doc.path("api_key")?.as_str()?.to_owned(),
             max_gpus: doc.path("max_gpus")?.as_i64()? as u32,
+            weight,
         })
     }
 }
@@ -53,9 +72,20 @@ mod tests {
 
     #[test]
     fn document_roundtrip() {
-        let t = Tenant::new("acme", "key-123", 16);
+        let t = Tenant::new("acme", "key-123", 16).with_weight(4);
         let doc = t.to_document();
         assert_eq!(Tenant::from_document(&doc), Some(t));
+    }
+
+    #[test]
+    fn weight_defaults_and_clamps() {
+        // Pre-weight documents parse as weight 1.
+        let legacy = obj! {"_id" => "x", "api_key" => "k", "max_gpus" => 8};
+        assert_eq!(Tenant::from_document(&legacy).unwrap().weight, 1);
+        // A stored weight of 0 would divide the fair share by zero; clamp.
+        let zero = obj! {"_id" => "x", "api_key" => "k", "max_gpus" => 8, "weight" => 0};
+        assert_eq!(Tenant::from_document(&zero).unwrap().weight, 1);
+        assert_eq!(Tenant::new("a", "k", 4).with_weight(0).weight, 1);
     }
 
     #[test]

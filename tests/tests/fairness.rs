@@ -1,0 +1,202 @@
+//! Per-tenant fairness integration: over-quota submissions queue in the
+//! weighted fair queue and drain through the LCM's admission arbiter,
+//! instead of being rejected — driving the real platform end to end.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dlaas_core::{check_invariants, metrics, JobStatus, Tenant, TrainingManifest};
+use dlaas_gpu::{DlModel, Framework, GpuKind};
+use dlaas_integration::{boot, submit_blocking};
+use dlaas_sim::SimDuration;
+
+fn quota_manifest(name: &str, gpus: u32, iters: u64) -> TrainingManifest {
+    TrainingManifest::builder(name)
+        .framework(Framework::TensorFlow)
+        .model(DlModel::Resnet50)
+        .gpus(GpuKind::K80, gpus)
+        .learners(1)
+        .data("itest-data", "d/", 2_000_000_000)
+        .results("itest-results")
+        .iterations(iters)
+        .build()
+        .expect("valid manifest")
+}
+
+/// Regression: an over-quota burst used to be rejected at the API; it
+/// must now queue durably and drain as the tenant's earlier jobs free
+/// quota, with every job completing and the invariants staying clean.
+#[test]
+fn over_quota_burst_queues_and_drains() {
+    let (mut sim, platform) = boot(301);
+    platform
+        .add_tenant(&Tenant::new("fq", "fq-key", 4))
+        .expect("tenant insert");
+    let client = platform.client("fq", "fq-key");
+
+    let mut jobs = Vec::new();
+    for i in 0..12 {
+        jobs.push(submit_blocking(
+            &mut sim,
+            &client,
+            quota_manifest(&format!("burst-{i}"), 1, 120),
+        ));
+    }
+    // With a 4-GPU quota, the tail of the burst must be held QUEUED —
+    // acknowledged and durable, not rejected.
+    let queued_now = jobs
+        .iter()
+        .filter(|j| platform.job_status(j) == Some(JobStatus::Queued))
+        .count();
+    assert!(
+        queued_now >= 4,
+        "expected most of the burst queued, got {queued_now}"
+    );
+
+    sim.run_for(SimDuration::from_hours(3));
+    for j in &jobs {
+        assert_eq!(
+            platform.job_status(j),
+            Some(JobStatus::Completed),
+            "queued job {j} must drain and complete"
+        );
+    }
+
+    let m = platform.metrics();
+    assert!(
+        m.counter_value(metrics::API_SUBMISSIONS, &[("outcome", "queued")]) >= queued_now as u64,
+        "queued submissions must be counted"
+    );
+    // Every queued job's admission wait was observed, and the queue
+    // depth gauge dropped back to zero once the backlog drained.
+    let waits = m
+        .histogram_merged(metrics::TENANT_ADMISSION_WAIT)
+        .expect("admission waits observed");
+    assert!(waits.count() >= queued_now as u64);
+    assert_eq!(
+        m.gauge_value(metrics::TENANT_QUEUE_DEPTH, &[("tenant", "fq")]),
+        Some(0.0),
+        "drained queue must gauge 0"
+    );
+    // Turnaround (submission → terminal) observed exactly once per job.
+    assert_eq!(
+        m.histogram(metrics::TENANT_JOB_TURNAROUND, &[("tenant", "fq")])
+            .map(|h| h.count()),
+        Some(jobs.len() as u64)
+    );
+
+    check_invariants(&sim, &platform).assert_clean();
+}
+
+/// A whale flooding its queue must not starve a small tenant: the
+/// arbiter shares by weight, so the small tenant's jobs admit promptly
+/// even while the whale's backlog is deep.
+#[test]
+fn whale_flood_does_not_starve_small_tenant() {
+    let (mut sim, platform) = boot(302);
+    platform
+        .add_tenant(&Tenant::new("whale", "whale-key", 6).with_weight(4))
+        .expect("tenant insert");
+    platform
+        .add_tenant(&Tenant::new("tiny", "tiny-key", 2))
+        .expect("tenant insert");
+
+    let whale = platform.client("whale", "whale-key");
+    let mut whale_jobs = Vec::new();
+    for i in 0..24 {
+        whale_jobs.push(submit_blocking(
+            &mut sim,
+            &whale,
+            quota_manifest(&format!("whale-{i}"), 1, 1_000),
+        ));
+    }
+
+    let tiny = platform.client("tiny", "tiny-key");
+    let tiny_jobs: Vec<_> = (0..3)
+        .map(|i| {
+            submit_blocking(
+                &mut sim,
+                &tiny,
+                quota_manifest(&format!("tiny-{i}"), 1, 100),
+            )
+        })
+        .collect();
+
+    // The small tenant's jobs run against its own quota slice: they must
+    // all finish long before the whale's backlog is done.
+    sim.run_for(SimDuration::from_mins(45));
+    for j in &tiny_jobs {
+        assert_eq!(
+            platform.job_status(j),
+            Some(JobStatus::Completed),
+            "small tenant starved behind the whale flood"
+        );
+    }
+    assert!(
+        whale_jobs
+            .iter()
+            .any(|j| platform.job_status(j) != Some(JobStatus::Completed)),
+        "whale backlog should still be draining when the small tenant is done"
+    );
+
+    sim.run_for(SimDuration::from_hours(4));
+    for j in &whale_jobs {
+        assert_eq!(platform.job_status(j), Some(JobStatus::Completed));
+    }
+    check_invariants(&sim, &platform).assert_clean();
+}
+
+/// A job demanding more GPUs than the tenant's entire quota can never
+/// run: it must be rejected at submission (queueing it would deadlock
+/// the tenant's FIFO behind an inadmissible head).
+#[test]
+fn impossible_job_is_rejected_not_queued() {
+    let (mut sim, platform) = boot(303);
+    platform
+        .add_tenant(&Tenant::new("cap", "cap-key", 2))
+        .expect("tenant insert");
+    let client = platform.client("cap", "cap-key");
+
+    let got: Rc<RefCell<Option<Result<_, dlaas_core::ClientError>>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.submit(&mut sim, quota_manifest("too-big", 4, 100), move |_s, r| {
+        *g.borrow_mut() = Some(r);
+    });
+    sim.run_until_pred(|_| got.borrow().is_some());
+    let result = got.borrow_mut().take().unwrap();
+    match result {
+        Err(dlaas_core::ClientError::Rejected(msg)) => {
+            assert!(msg.contains("quota"), "unexpected rejection: {msg}");
+        }
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+}
+
+/// Killing a QUEUED job removes it from the fair queue without it ever
+/// being admitted — the terminal status wins the CAS race.
+#[test]
+fn killed_queued_job_never_admits() {
+    let (mut sim, platform) = boot(304);
+    platform
+        .add_tenant(&Tenant::new("kq", "kq-key", 1))
+        .expect("tenant insert");
+    let client = platform.client("kq", "kq-key");
+
+    // Saturate the 1-GPU quota with a long job, then queue a second.
+    let long = submit_blocking(&mut sim, &client, quota_manifest("long", 1, 5_000));
+    let queued = submit_blocking(&mut sim, &client, quota_manifest("victim", 1, 100));
+    assert_eq!(platform.job_status(&queued), Some(JobStatus::Queued));
+
+    client.kill(&mut sim, queued.clone(), |_s, r| {
+        r.expect("kill accepted");
+    });
+    sim.run_for(SimDuration::from_mins(2));
+    assert_eq!(platform.job_status(&queued), Some(JobStatus::Killed));
+
+    // The killed job must stay dead through the long job's completion —
+    // the arbiter must not resurrect it once quota frees up.
+    sim.run_for(SimDuration::from_hours(3));
+    assert_eq!(platform.job_status(&long), Some(JobStatus::Completed));
+    assert_eq!(platform.job_status(&queued), Some(JobStatus::Killed));
+    check_invariants(&sim, &platform).assert_clean();
+}
